@@ -1,0 +1,103 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (§V) on the simulated substrates and prints them as text.
+//
+// Usage:
+//
+//	experiments [-only table1,table3,fig2,fig4,fig5,fig6,fig7,fig8,fig9,retention] [-scale small|full]
+//
+// With no -only flag every experiment runs in order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"pmove/internal/experiments"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated subset of experiments to run")
+	scaleFlag := flag.String("scale", "small", "problem scale: small or full")
+	flag.Parse()
+
+	scale := experiments.Small
+	switch *scaleFlag {
+	case "small":
+	case "full":
+		scale = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, s := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(s)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	duration := 10.0
+	fig6Dur := 60.0
+	threads := 8
+	reps := 5
+	if scale == experiments.Full {
+		duration = 60
+		fig6Dur = 600
+		threads = 0 // all cores
+	}
+
+	type step struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	render := func(f func() (interface{ Render() string }, error)) func() (fmt.Stringer, error) {
+		return func() (fmt.Stringer, error) {
+			r, err := f()
+			if err != nil {
+				return nil, err
+			}
+			return stringer{r.Render()}, nil
+		}
+	}
+	steps := []step{
+		{"table1", render(func() (interface{ Render() string }, error) { return experiments.TableI() })},
+		{"table3", render(func() (interface{ Render() string }, error) { return experiments.TableIII(duration) })},
+		{"fig2", render(func() (interface{ Render() string }, error) { return experiments.Fig2() })},
+		{"fig4", render(func() (interface{ Render() string }, error) { return experiments.Fig4(nil, nil) })},
+		{"fig5", render(func() (interface{ Render() string }, error) { return experiments.Fig5("skx", nil, reps) })},
+		{"fig6", render(func() (interface{ Render() string }, error) { return experiments.Fig6(nil, fig6Dur) })},
+		{"fig7", render(func() (interface{ Render() string }, error) { return experiments.Fig7(scale, threads) })},
+		{"fig8", render(func() (interface{ Render() string }, error) { return experiments.Fig8(scale, threads) })},
+		{"fig9", render(func() (interface{ Render() string }, error) { return experiments.Fig9(threads) })},
+		{"retention", render(func() (interface{ Render() string }, error) {
+			return experiments.RetentionStudy(8, 60, []float64{0, 30, 5})
+		})},
+	}
+
+	failed := false
+	for _, s := range steps {
+		if !want(s.name) {
+			continue
+		}
+		start := time.Now()
+		out, err := s.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.name, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("──── %s (%.2fs wall) ────\n%s\n", s.name, time.Since(start).Seconds(), out)
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type stringer struct{ s string }
+
+func (s stringer) String() string { return s.s }

@@ -1,0 +1,81 @@
+// Command likwidbench mirrors the role likwid-bench plays in the paper's
+// §V-A accuracy experiments: it executes a pre-determined, fixed number of
+// instruction streams on the analytic engine and reports the exact
+// ground-truth event counts afterwards — the reference the sampled
+// telemetry is compared against in Fig 4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"pmove"
+	"pmove/internal/kernels"
+)
+
+func main() {
+	host := flag.String("host", "csl", "target preset (skx|icl|csl|zen3)")
+	kernel := flag.String("kernel", "triad", "kernel: "+strings.Join(kernels.LikwidKernels(), "|"))
+	isaFlag := flag.String("isa", "", "isa: scalar|sse|avx2|avx512 (default: widest)")
+	threads := flag.Int("threads", 4, "threads")
+	wss := flag.Int64("wss", 8<<20, "working set bytes per thread")
+	sweeps := flag.Int("sweeps", 100, "working-set sweeps")
+	flag.Parse()
+
+	sys, err := pmove.NewPreset(*host)
+	if err != nil {
+		log.Fatal(err)
+	}
+	isa := sys.CPU.WidestISA()
+	if *isaFlag != "" {
+		isa = pmove.ISA(*isaFlag)
+		if !sys.CPU.HasISA(isa) {
+			log.Fatalf("%s does not support %s", *host, isa)
+		}
+	}
+	m, err := pmove.NewMachine(sys, pmove.MachineConfig{Seed: 1, Noiseless: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec, err := pmove.LikwidKernel(*kernel, isa, *wss, *sweeps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pin, err := pmove.Pin(sys, pmove.PinBalanced, *threads)
+	if err != nil {
+		log.Fatal(err)
+	}
+	exec, err := m.Run(spec, pin)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("likwid-bench (simulated) -t %s on %s, %s, %d threads\n", *kernel, *host, isa, *threads)
+	fmt.Printf("working set %d bytes/thread, %d sweeps, %d iterations/thread\n", *wss, *sweeps, spec.Iters)
+	fmt.Printf("time: %.6f s at %.2f GHz\n", exec.Duration, exec.FreqGHz)
+	fmt.Printf("performance: %.2f GFLOP/s, %.2f GB/s, AI %.4f\n\n", exec.GFLOPS, exec.GBps, exec.AI)
+
+	// Ground-truth event counts, summed across threads (what pmdaperfevent
+	// samples are verified against).
+	totals := map[string]uint64{}
+	for _, tc := range exec.TruthCounts() {
+		for ev, v := range tc.Events {
+			totals[ev] += v
+		}
+	}
+	var names []string
+	for ev := range totals {
+		names = append(names, ev)
+	}
+	sort.Strings(names)
+	fmt.Println("ground-truth event counts (all threads):")
+	for _, ev := range names {
+		if totals[ev] == 0 {
+			continue
+		}
+		fmt.Printf("  %-36s %16d\n", ev, totals[ev])
+	}
+}

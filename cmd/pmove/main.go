@@ -1,0 +1,296 @@
+// Command pmove is the P-MoVE daemon CLI. It drives the framework against
+// a simulated target system:
+//
+//	pmove probe   -host skx                          probe and print the KB summary
+//	pmove views   -host skx -kind thread             print a KB view
+//	pmove monitor -host icl -freq 4 -duration 30     Scenario A monitoring
+//	pmove observe -host csl -kernel triad -threads 8 Scenario B observation
+//	pmove carm    -host csl -threads 8               construct and print the CARM
+//	pmove bench   -host csl -name stream -threads 8  run a BenchmarkInterface
+//	pmove abst    -arch zen3 -event TOTAL_MEMORY_OPERATIONS
+//
+// All state is embedded; -influx/-mongo accept external tsdb/docdb server
+// addresses started with cmd/superdb.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmove"
+	"pmove/internal/abst"
+	"pmove/internal/kernels"
+	"pmove/internal/ontology"
+	"pmove/internal/topo"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster> [flags]")
+	os.Exit(2)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "probe":
+		err = cmdProbe(args)
+	case "views":
+		err = cmdViews(args)
+	case "monitor":
+		err = cmdMonitor(args)
+	case "observe":
+		err = cmdObserve(args)
+	case "carm":
+		err = cmdCARM(args)
+	case "bench":
+		err = cmdBench(args)
+	case "abst":
+		err = cmdAbst(args)
+	case "whatif":
+		err = cmdWhatIf(args)
+	case "scan":
+		err = cmdScan(args)
+	case "cluster":
+		err = cmdCluster(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pmove %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+// daemonFor builds a daemon with one attached, probed target.
+func daemonFor(host string, seed uint64) (*pmove.Daemon, *pmove.System, error) {
+	d, err := pmove.NewDaemon(pmove.EnvFromOS())
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := pmove.NewPreset(host)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := d.AttachTarget(sys, pmove.MachineConfig{Seed: seed}, pmove.DefaultPipeline()); err != nil {
+		return nil, nil, err
+	}
+	if _, err := d.Probe(host); err != nil {
+		return nil, nil, err
+	}
+	return d, sys, nil
+}
+
+func cmdProbe(args []string) error {
+	fs := flag.NewFlagSet("probe", flag.ExitOnError)
+	host := fs.String("host", "skx", "target preset (skx|icl|csl|zen3)")
+	gpu := fs.Bool("gpu", false, "attach a GPU to the target")
+	fs.Parse(args)
+	d, err := pmove.NewDaemon(pmove.EnvFromOS())
+	if err != nil {
+		return err
+	}
+	sys, err := pmove.NewPreset(*host)
+	if err != nil {
+		return err
+	}
+	if *gpu {
+		sys = pmove.WithGPU(sys)
+	}
+	if _, err := d.AttachTarget(sys, pmove.MachineConfig{Seed: 1}, pmove.DefaultPipeline()); err != nil {
+		return err
+	}
+	kb, err := d.Probe(*host)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("host %s: %d component twins, root %s\n", kb.Host, kb.Len(), kb.Root().ID)
+	for _, kind := range ontology.Kinds() {
+		nodes := kb.NodesOfKind(kind)
+		if len(nodes) > 0 {
+			fmt.Printf("  %-8s %4d\n", kind, len(nodes))
+		}
+	}
+	st, err := kb.TripleStore()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("linked data: %d RDF triples\n", st.Len())
+	return nil
+}
+
+func cmdViews(args []string) error {
+	fs := flag.NewFlagSet("views", flag.ExitOnError)
+	host := fs.String("host", "skx", "target preset")
+	kind := fs.String("kind", "socket", "component kind for the level view")
+	fs.Parse(args)
+	d, _, err := daemonFor(*host, 1)
+	if err != nil {
+		return err
+	}
+	kb, err := d.KB(*host)
+	if err != nil {
+		return err
+	}
+	v, err := kb.LevelView(pmove.ComponentKind(*kind))
+	if err != nil {
+		return err
+	}
+	fmt.Println(v.Title)
+	for _, n := range v.Nodes {
+		fmt.Printf("  %-40s %s\n", n.ID, n.Interface.DisplayName)
+	}
+	dash, err := d.Gen.FromView(v)
+	if err != nil {
+		return err
+	}
+	b, err := dash.Encode()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ndashboard JSON (%d panels, %d bytes)\n", len(dash.Panels), len(b))
+	return nil
+}
+
+func cmdMonitor(args []string) error {
+	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
+	host := fs.String("host", "icl", "target preset")
+	freq := fs.Float64("freq", 2, "sampling frequency in Hz")
+	duration := fs.Float64("duration", 10, "virtual seconds to monitor")
+	fs.Parse(args)
+	d, _, err := daemonFor(*host, 1)
+	if err != nil {
+		return err
+	}
+	res, err := d.Monitor(*host, nil, *freq, *duration)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Printf("%s\n", res.Observation.Report)
+	fmt.Printf("expected %d, inserted %d, zeros %d, lost %d (%.1f%% L, %.1f%% L+Z)\n",
+		st.Expected, st.Inserted, st.Zeros, st.Lost, st.LossPct, st.LossPlusZPct)
+	out, err := pmove.RenderDashboard(d.TS, res.Dashboard, 60)
+	if err != nil {
+		return err
+	}
+	fmt.Println(out)
+	return nil
+}
+
+func cmdObserve(args []string) error {
+	fs := flag.NewFlagSet("observe", flag.ExitOnError)
+	host := fs.String("host", "csl", "target preset")
+	kernel := fs.String("kernel", "triad", "likwid kernel: "+strings.Join(kernels.LikwidKernels(), "|"))
+	threads := fs.Int("threads", 8, "software threads")
+	pin := fs.String("pin", "balanced", "pinning strategy")
+	freq := fs.Float64("freq", 32, "sampling frequency in Hz")
+	wss := fs.Int64("wss", 8<<20, "working set bytes per thread")
+	sweeps := fs.Int("sweeps", 2000, "working-set sweeps")
+	fs.Parse(args)
+	d, sys, err := daemonFor(*host, 1)
+	if err != nil {
+		return err
+	}
+	spec, err := pmove.LikwidKernel(*kernel, sys.CPU.WidestISA(), *wss, *sweeps)
+	if err != nil {
+		return err
+	}
+	generics := []string{abst.GenericTotalMemOps, abst.GenericEnergy, abst.GenericInstructions, abst.GenericCycles}
+	res, err := d.Observe(pmove.ObserveRequest{
+		Host: *host, Workload: spec,
+		Command: "likwid-bench -t " + *kernel,
+		Threads: *threads, Pin: topo.PinStrategy(*pin),
+		GenericEvents: generics,
+		FreqHz:        *freq,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(res.Observation.Report)
+	fmt.Printf("tag %s, affinity %v\n", res.Observation.Tag, res.Observation.Affinity)
+	fmt.Println("recall queries:")
+	for _, q := range res.Queries {
+		if len(q) > 120 {
+			q = q[:117] + "..."
+		}
+		fmt.Printf("  %s\n", q)
+	}
+	return nil
+}
+
+func cmdCARM(args []string) error {
+	fs := flag.NewFlagSet("carm", flag.ExitOnError)
+	host := fs.String("host", "csl", "target preset")
+	threads := fs.Int("threads", 8, "threads")
+	fs.Parse(args)
+	d, sys, err := daemonFor(*host, 1)
+	if err != nil {
+		return err
+	}
+	model, err := d.ConstructCARM(*host, sys.CPU.WidestISA(), *threads)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("CARM %s %s %d threads: peak %.1f GFLOP/s\n", model.Host, model.ISA, model.Threads, model.PeakGFLOPS)
+	for _, lvl := range []pmove.CacheLevel{pmove.L1, pmove.L2, pmove.L3, pmove.DRAM} {
+		ridge, err := model.RidgeAI(lvl)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("  %-4s %9.1f GB/s (ridge at AI %.3f)\n", lvl, model.MemGBps[lvl], ridge)
+	}
+	fmt.Print(pmove.RenderCARM(model, nil, 72, 18))
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	host := fs.String("host", "csl", "target preset")
+	name := fs.String("name", "stream", "benchmark: stream|hpcg")
+	threads := fs.Int("threads", 8, "threads")
+	fs.Parse(args)
+	d, _, err := daemonFor(*host, 1)
+	if err != nil {
+		return err
+	}
+	var b *pmove.Benchmark
+	switch *name {
+	case "stream":
+		b, err = d.RunSTREAM(*host, *threads)
+	case "hpcg":
+		b, err = d.RunHPCG(*host, *threads, 1<<18)
+	default:
+		return fmt.Errorf("unknown benchmark %q", *name)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("BenchmarkInterface %s (%s, compiler %s):\n", b.ID, b.Name, b.Compiler)
+	for _, r := range b.Results {
+		fmt.Printf("  %-12s %10.2f %-8s %v\n", r.Metric, r.Value, r.Unit, r.Params)
+	}
+	return nil
+}
+
+func cmdAbst(args []string) error {
+	fs := flag.NewFlagSet("abst", flag.ExitOnError)
+	arch := fs.String("arch", "skl", "pmu name or alias")
+	event := fs.String("event", abst.GenericTotalMemOps, "generic event name")
+	fs.Parse(args)
+	reg, err := pmove.DefaultAbstRegistry()
+	if err != nil {
+		return err
+	}
+	toks, err := reg.Get(*arch, *event)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("> pmu_utils.get(%q, %q)\n> %q\n", *arch, *event, toks)
+	return nil
+}

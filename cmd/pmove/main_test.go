@@ -1,0 +1,88 @@
+package main
+
+import "testing"
+
+// The CLI subcommands run end-to-end against embedded state; these tests
+// pin their exit behaviour (each cmdX returns nil on a healthy run and an
+// error on bad flags).
+
+func TestCmdProbe(t *testing.T) {
+	if err := cmdProbe([]string{"-host", "icl", "-gpu"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdProbe([]string{"-host", "pdp11"}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestCmdViews(t *testing.T) {
+	if err := cmdViews([]string{"-host", "icl", "-kind", "socket"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdViews([]string{"-host", "icl", "-kind", "flux_capacitor"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestCmdMonitor(t *testing.T) {
+	if err := cmdMonitor([]string{"-host", "icl", "-freq", "2", "-duration", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdObserve(t *testing.T) {
+	if err := cmdObserve([]string{"-host", "csl", "-kernel", "ddot", "-threads", "4", "-sweeps", "200"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdObserve([]string{"-host", "csl", "-kernel", "fft"}); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
+func TestCmdCARM(t *testing.T) {
+	if err := cmdCARM([]string{"-host", "zen3", "-threads", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdBench(t *testing.T) {
+	if err := cmdBench([]string{"-host", "icl", "-name", "stream", "-threads", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBench([]string{"-host", "icl", "-name", "hpcg", "-threads", "4"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdBench([]string{"-name", "linpack"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestCmdAbst(t *testing.T) {
+	if err := cmdAbst([]string{"-arch", "zen3", "-event", "L3_HIT"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdAbst([]string{"-arch", "cascade", "-event", "L3_HIT"}); err == nil {
+		t.Fatal("Table I says Not Supported — the CLI should error")
+	}
+}
+
+func TestCmdWhatIf(t *testing.T) {
+	if err := cmdWhatIf([]string{"-baseline", "icl", "-kernel", "triad", "-threads", "8", "-wss", "1048576"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdWhatIf([]string{"-baseline", "cray1"}); err == nil {
+		t.Fatal("unknown baseline accepted")
+	}
+}
+
+func TestCmdScan(t *testing.T) {
+	if err := cmdScan([]string{"-host", "csl", "-threads", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdCluster(t *testing.T) {
+	if err := cmdCluster([]string{"-preset", "icl", "-nodes", "2", "-jobs", "3"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+// Command superdb runs the global performance database as network
+// services: the document store (MongoDB stand-in) and the time-series
+// store (InfluxDB stand-in), each on its own TCP port. Local P-MoVE
+// instances ship KBs and observations here for long-term, cross-system
+// analysis (§III-E).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"pmove/internal/docdb"
+	"pmove/internal/tsdb"
+)
+
+func main() {
+	docAddr := flag.String("docs", "127.0.0.1:27017", "document store listen address")
+	tsAddr := flag.String("ts", "127.0.0.1:8086", "time-series store listen address")
+	retention := flag.Duration("retention", 0, "time-series retention (0 = keep forever)")
+	flag.Parse()
+
+	docs := docdb.New()
+	ts := tsdb.New()
+	if *retention > 0 {
+		ts.SetRetention(tsdb.RetentionPolicy{Name: "superdb", Duration: retention.Nanoseconds()})
+	}
+
+	docSrv := docdb.NewServer(docs)
+	gotDoc, err := docSrv.Listen(*docAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tsSrv := tsdb.NewServer(ts)
+	gotTS, err := tsSrv.Listen(*tsAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("superdb: documents on %s, time series on %s\n", gotDoc, gotTS)
+	if *retention > 0 {
+		fmt.Printf("retention: %s\n", *retention)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("superdb: shutting down")
+	docSrv.Close()
+	tsSrv.Close()
+}

@@ -1,0 +1,81 @@
+// cluster_jobs demonstrates the cluster-level extension sketched in the
+// paper's conclusion: a simulated cluster of icl nodes runs a batch of
+// jobs with different communication patterns through a FIFO scheduler;
+// job-specific metadata (submit/start/end, nodes, compute vs
+// communication split, NIC telemetry) is collected into the cluster KB,
+// and the anomaly scanner plus the what-if predictor close the loop.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pmove"
+	"pmove/internal/cluster"
+	"pmove/internal/whatif"
+)
+
+func main() {
+	fabric := cluster.Interconnect{LinkGBs: 12.5, LatencyMicros: 2}
+	c, err := cluster.New(pmove.PresetICL, 4, fabric, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := c.Scheduler()
+
+	mkJob := func(name, user string, nodes int, comm cluster.CommSpec) cluster.Job {
+		spec, err := pmove.LikwidKernel("triad", pmove.ISAAVX2, 4<<20, 400)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cluster.Job{
+			Name: name, User: user, Nodes: nodes,
+			ThreadsPerNode: 8, Workload: spec, Comm: comm,
+		}
+	}
+
+	jobs := []cluster.Job{
+		mkJob("cfd-halo", "alice", 4, cluster.CommSpec{Pattern: cluster.CommHalo, BytesPerStep: 8 << 20, Steps: 200}),
+		mkJob("kmeans-allreduce", "bob", 2, cluster.CommSpec{Pattern: cluster.CommAllReduce, BytesPerStep: 2 << 20, Steps: 300}),
+		mkJob("fft-alltoall", "carol", 4, cluster.CommSpec{Pattern: cluster.CommAllToAll, BytesPerStep: 4 << 20, Steps: 100}),
+		mkJob("serial-postproc", "bob", 1, cluster.CommSpec{}),
+	}
+	for _, j := range jobs {
+		if _, err := s.Submit(j); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("submitted %d jobs to a %d-node cluster (queue %d, running %d)\n\n",
+		len(jobs), len(c.Nodes()), s.QueueLength(), s.RunningCount())
+
+	if err := s.Drain(3600); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-18s %-6s %5s %9s %9s %10s %10s %12s\n",
+		"job", "user", "nodes", "wait (s)", "run (s)", "comp (s)", "comm (s)", "comm bytes")
+	for _, r := range s.Records() {
+		fmt.Printf("%-18s %-6s %5d %9.4f %9.4f %10.4f %10.4f %12d\n",
+			r.Name, r.User, len(r.NodeNames), r.WaitSeconds(), r.ElapsedSeconds(),
+			r.ComputeSecs, r.CommSecs, r.CommBytes)
+	}
+
+	// Cluster KB: per-node twins + job metadata.
+	ckb, err := c.BuildKB()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncluster KB: %d node twins, %d job records\n", len(ckb.Nodes), len(ckb.Jobs))
+	for _, n := range c.Nodes() {
+		fmt.Printf("  %s: %d KB components, %d NIC bytes shipped\n",
+			n.Name, ckb.Nodes[n.Name].Len(), n.NICBytes())
+	}
+
+	// What-if: would the all-to-all job run faster on a bigger node?
+	target := jobs[2]
+	rec, err := whatif.Recommend(pmove.PresetICL, target.Workload, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwhat-if for %q at 16 threads/node: %s\n", target.Name, rec.Suggestion)
+}

@@ -1,0 +1,3 @@
+module pmove
+
+go 1.22

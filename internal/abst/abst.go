@@ -1,0 +1,273 @@
+// Package abst implements P-MoVE's Abstraction Layer (§IV-A): a
+// platform-agnostic mapping from generic event names to vendor-specific
+// PMU event formulas. Configuration files follow the paper's grammar:
+//
+//	[pmu_name | alias]
+//	<generic_event>:<hardware_event_1> [op]
+//	[op] : ((+|-|*|/) (<hw_event> | <const>)) [op]
+//
+// so a generic event expands to an arithmetic expression over hardware
+// events and constants, which differs per vendor and microarchitecture
+// (Table I). Formulas are parsed once and can be evaluated against any
+// reading source (live counters, recorded observations).
+package abst
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Generic event names established by P-MoVE, "assumed to be supported by
+// the commodity CPUs".
+const (
+	GenericEnergy       = "RAPL_ENERGY_PKG"
+	GenericTotalMemOps  = "TOTAL_MEMORY_OPERATIONS"
+	GenericL1DataMiss   = "L1_CACHE_DATA_MISS"
+	GenericFPDivRetired = "FP_DIV_RETIRED"
+	GenericL3Hit        = "L3_HIT"
+	GenericInstructions = "INSTRUCTIONS_RETIRED"
+	GenericCycles       = "CPU_CYCLES"
+	GenericFlopsDouble  = "FLOPS_DOUBLE"
+	GenericScalarDouble = "SCALAR_DOUBLE_INSTRUCTIONS"
+	GenericAVX512Double = "AVX512_DOUBLE_INSTRUCTIONS"
+)
+
+// TokKind discriminates formula tokens.
+type TokKind int
+
+// Token kinds.
+const (
+	TokEvent TokKind = iota // hardware event name
+	TokOp                   // + - * /
+	TokConst                // numeric literal
+)
+
+// Token is one element of a formula in RPN-free infix form, exactly as
+// pmu_utils.get returns it in the paper:
+//
+//	["MEM_INST_RETIRED:ALL_LOADS", "+", "MEM_INST_RETIRED:ALL_STORES"]
+type Token struct {
+	Kind  TokKind
+	Text  string
+	Value float64 // for TokConst
+}
+
+// Formula is a parsed mapping for one generic event.
+type Formula struct {
+	Generic string
+	Tokens  []Token
+}
+
+// Strings renders the formula as the token list of the paper's API.
+func (f *Formula) Strings() []string {
+	out := make([]string, len(f.Tokens))
+	for i, t := range f.Tokens {
+		out[i] = t.Text
+	}
+	return out
+}
+
+// Events returns the distinct hardware events the formula reads.
+func (f *Formula) Events() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, t := range f.Tokens {
+		if t.Kind == TokEvent && !seen[t.Text] {
+			seen[t.Text] = true
+			out = append(out, t.Text)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Eval computes the formula over a reading function mapping hardware event
+// names to values. Operators follow the usual precedence: * and / bind
+// tighter than + and -, evaluation is otherwise left to right. This lets a
+// single mapping line express weighted sums like
+// "FP_ARITH:SCALAR_DOUBLE + FP_ARITH:512B_PACKED_DOUBLE * 8".
+func (f *Formula) Eval(read func(event string) (float64, error)) (float64, error) {
+	if len(f.Tokens) == 0 {
+		return 0, fmt.Errorf("abst: empty formula for %s", f.Generic)
+	}
+	if len(f.Tokens)%2 == 0 {
+		return 0, fmt.Errorf("abst: dangling operator in %s", f.Generic)
+	}
+	operand := func(t Token) (float64, error) {
+		switch t.Kind {
+		case TokEvent:
+			return read(t.Text)
+		case TokConst:
+			return t.Value, nil
+		}
+		return 0, fmt.Errorf("abst: operator %q where operand expected in %s", t.Text, f.Generic)
+	}
+	// Pass 1: fold * and / runs into terms; collect terms and +/- ops.
+	var terms []float64
+	var addOps []string
+	cur, err := operand(f.Tokens[0])
+	if err != nil {
+		return 0, err
+	}
+	for i := 1; i < len(f.Tokens); i += 2 {
+		op := f.Tokens[i]
+		if op.Kind != TokOp {
+			return 0, fmt.Errorf("abst: expected operator at token %d of %s, got %q", i, f.Generic, op.Text)
+		}
+		rhs, err := operand(f.Tokens[i+1])
+		if err != nil {
+			return 0, err
+		}
+		switch op.Text {
+		case "*":
+			cur *= rhs
+		case "/":
+			if rhs == 0 {
+				return 0, fmt.Errorf("abst: division by zero in %s", f.Generic)
+			}
+			cur /= rhs
+		case "+", "-":
+			terms = append(terms, cur)
+			addOps = append(addOps, op.Text)
+			cur = rhs
+		default:
+			return 0, fmt.Errorf("abst: unknown operator %q in %s", op.Text, f.Generic)
+		}
+	}
+	terms = append(terms, cur)
+	// Pass 2: fold + and -.
+	acc := terms[0]
+	for i, op := range addOps {
+		if op == "+" {
+			acc += terms[i+1]
+		} else {
+			acc -= terms[i+1]
+		}
+	}
+	return acc, nil
+}
+
+// Config is the mapping table of one PMU (microarchitecture): generic
+// event -> formula.
+type Config struct {
+	PMU      string
+	Aliases  []string
+	formulas map[string]*Formula
+}
+
+// Formula returns the mapping for a generic event.
+func (c *Config) Formula(generic string) (*Formula, bool) {
+	f, ok := c.formulas[generic]
+	return f, ok
+}
+
+// Generics lists the mapped generic events, sorted.
+func (c *Config) Generics() []string {
+	var out []string
+	for g := range c.formulas {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseConfig reads a configuration file in the paper's format. Lines
+// starting with '#' are comments. The header line is
+// "[pmu_name | alias1 | alias2 ...]".
+func ParseConfig(r io.Reader) (*Config, error) {
+	sc := bufio.NewScanner(r)
+	var cfg *Config
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if strings.HasPrefix(line, "[") {
+			if cfg != nil {
+				return nil, fmt.Errorf("abst: line %d: multiple headers (one PMU per config)", lineNo)
+			}
+			if !strings.HasSuffix(line, "]") {
+				return nil, fmt.Errorf("abst: line %d: unterminated header", lineNo)
+			}
+			parts := strings.Split(strings.Trim(line, "[]"), "|")
+			for i := range parts {
+				parts[i] = strings.TrimSpace(parts[i])
+			}
+			if parts[0] == "" {
+				return nil, fmt.Errorf("abst: line %d: empty pmu name", lineNo)
+			}
+			cfg = &Config{PMU: parts[0], Aliases: parts[1:], formulas: map[string]*Formula{}}
+			continue
+		}
+		if cfg == nil {
+			return nil, fmt.Errorf("abst: line %d: mapping before [pmu] header", lineNo)
+		}
+		generic, rhs, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("abst: line %d: expected <generic>:<formula>", lineNo)
+		}
+		generic = strings.TrimSpace(generic)
+		if generic == "" {
+			return nil, fmt.Errorf("abst: line %d: empty generic event name", lineNo)
+		}
+		f, err := parseFormula(generic, rhs)
+		if err != nil {
+			return nil, fmt.Errorf("abst: line %d: %w", lineNo, err)
+		}
+		if _, dup := cfg.formulas[generic]; dup {
+			return nil, fmt.Errorf("abst: line %d: duplicate mapping for %s", lineNo, generic)
+		}
+		cfg.formulas[generic] = f
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if cfg == nil {
+		return nil, fmt.Errorf("abst: config has no [pmu] header")
+	}
+	if len(cfg.formulas) == 0 {
+		return nil, fmt.Errorf("abst: config for %s has no mappings", cfg.PMU)
+	}
+	return cfg, nil
+}
+
+// parseFormula tokenizes "<hw_event> [op <hw_event|const>]...". Event
+// names may contain ':' (Intel mask syntax), so the right-hand side is
+// split on whitespace.
+func parseFormula(generic, rhs string) (*Formula, error) {
+	fields := strings.Fields(rhs)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("empty formula for %s", generic)
+	}
+	f := &Formula{Generic: generic}
+	for i, tok := range fields {
+		expectOp := i%2 == 1
+		isOp := tok == "+" || tok == "-" || tok == "*" || tok == "/"
+		if expectOp != isOp {
+			if expectOp {
+				return nil, fmt.Errorf("expected operator at %q in %s", tok, generic)
+			}
+			return nil, fmt.Errorf("expected event or constant at %q in %s", tok, generic)
+		}
+		switch {
+		case isOp:
+			f.Tokens = append(f.Tokens, Token{Kind: TokOp, Text: tok})
+		default:
+			if v, err := strconv.ParseFloat(tok, 64); err == nil {
+				f.Tokens = append(f.Tokens, Token{Kind: TokConst, Text: tok, Value: v})
+			} else {
+				f.Tokens = append(f.Tokens, Token{Kind: TokEvent, Text: tok})
+			}
+		}
+	}
+	if len(f.Tokens)%2 == 0 {
+		return nil, fmt.Errorf("dangling operator in %s", generic)
+	}
+	return f, nil
+}

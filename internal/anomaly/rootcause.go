@@ -1,0 +1,78 @@
+package anomaly
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"pmove/internal/kb"
+	"pmove/internal/ontology"
+)
+
+// fieldRe parses instance-domain field names like "_cpu17", "_node1",
+// "_socket0", "_gpu2".
+var fieldRe = regexp.MustCompile(`^_(cpu|node|socket|gpu)(\d+)$`)
+
+// ComponentFor resolves a finding's instance field to the KB component
+// twin it names: "_cpu17" → the thread twin with ordinal 17, "_node1" →
+// the NUMA node, "_socket0" → the socket, "_gpu0" → the GPU.
+func ComponentFor(k *kb.KB, field string) (*kb.Node, error) {
+	m := fieldRe.FindStringSubmatch(field)
+	if m == nil {
+		return nil, fmt.Errorf("anomaly: field %q does not name a component instance", field)
+	}
+	ord, err := strconv.Atoi(m[2])
+	if err != nil {
+		return nil, err
+	}
+	var kind ontology.ComponentKind
+	switch m[1] {
+	case "cpu":
+		kind = ontology.KindThread
+	case "node":
+		kind = ontology.KindNUMA
+	case "socket":
+		kind = ontology.KindSocket
+	case "gpu":
+		kind = ontology.KindGPU
+	}
+	for _, n := range k.NodesOfKind(kind) {
+		if n.Ordinal == ord {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("anomaly: no %s with ordinal %d in the KB of %s", kind, ord, k.Host)
+}
+
+// RootCausePath returns the focus view of the component a finding names —
+// the paper's §III-B navigation: "the path navigating from a component
+// perspective to a more generalized system perspective is analyzed,
+// aiding in tracing and isolating performance issues".
+func RootCausePath(k *kb.KB, f Finding) (*kb.View, error) {
+	n, err := ComponentFor(k, f.Field)
+	if err != nil {
+		return nil, err
+	}
+	return k.FocusView(n.ID)
+}
+
+// Report renders findings with their root-cause paths as text.
+func Report(k *kb.KB, findings []Finding) string {
+	var b strings.Builder
+	if len(findings) == 0 {
+		b.WriteString("no anomalies detected\n")
+		return b.String()
+	}
+	for _, f := range findings {
+		fmt.Fprintf(&b, "[%s] %s %s %s: %s\n", f.Severity, f.Detector, f.Measurement, f.Field, f.Message)
+		if v, err := RootCausePath(k, f); err == nil {
+			b.WriteString("  path:")
+			for _, n := range v.Nodes {
+				fmt.Fprintf(&b, " %s(%s)", n.Kind, n.Interface.DisplayName)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package anomaly
+
+import (
+	"strings"
+	"testing"
+
+	"pmove/internal/kb"
+	"pmove/internal/ontology"
+	"pmove/internal/topo"
+)
+
+func testKB(t *testing.T) *kb.KB {
+	t.Helper()
+	doc, err := topo.NewProber().Probe(topo.WithGPU(topo.MustPreset(topo.PresetICL)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kb.Generate(doc, kb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestComponentFor(t *testing.T) {
+	k := testKB(t)
+	cases := []struct {
+		field string
+		kind  ontology.ComponentKind
+		ord   int
+	}{
+		{"_cpu5", ontology.KindThread, 5},
+		{"_cpu15", ontology.KindThread, 15},
+		{"_node0", ontology.KindNUMA, 0},
+		{"_socket0", ontology.KindSocket, 0},
+		{"_gpu0", ontology.KindGPU, 0},
+	}
+	for _, c := range cases {
+		n, err := ComponentFor(k, c.field)
+		if err != nil {
+			t.Fatalf("%s: %v", c.field, err)
+		}
+		if n.Kind != c.kind || n.Ordinal != c.ord {
+			t.Errorf("%s -> %s/%d, want %s/%d", c.field, n.Kind, n.Ordinal, c.kind, c.ord)
+		}
+	}
+	if _, err := ComponentFor(k, "1 minute"); err == nil {
+		t.Error("non-instance field resolved")
+	}
+	if _, err := ComponentFor(k, "_cpu999"); err == nil {
+		t.Error("out-of-range ordinal resolved")
+	}
+}
+
+func TestRootCausePathAndReport(t *testing.T) {
+	k := testKB(t)
+	f := Finding{
+		Detector: "stall", Measurement: "perfevent_hwcounters_CYC",
+		Field: "_cpu3", Severity: Critical, Message: "counter frozen",
+	}
+	v, err := RootCausePath(k, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// thread -> core -> socket -> system.
+	if len(v.Nodes) != 4 || v.Nodes[0].Kind != ontology.KindThread {
+		t.Fatalf("path: %d nodes, first %s", len(v.Nodes), v.Nodes[0].Kind)
+	}
+	out := Report(k, []Finding{f})
+	if !strings.Contains(out, "critical") || !strings.Contains(out, "thread(cpu3)") {
+		t.Errorf("report:\n%s", out)
+	}
+	if !strings.Contains(Report(k, nil), "no anomalies") {
+		t.Error("empty report wrong")
+	}
+}

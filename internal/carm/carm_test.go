@@ -1,0 +1,289 @@
+package carm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pmove/internal/machine"
+	"pmove/internal/pmu"
+	"pmove/internal/topo"
+)
+
+func construct(t *testing.T, preset string, isa topo.ISA, threads int) *Model {
+	t.Helper()
+	m, err := machine.New(topo.MustPreset(preset), machine.Config{Seed: 2, Noiseless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := Construct(m, isa, threads, topo.PinBalanced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+func TestConstructIntelAndAMD(t *testing.T) {
+	// The paper extends CARM beyond Intel-only adCARM to AMD systems.
+	intel := construct(t, topo.PresetCSL, topo.ISAAVX512, 8)
+	amd := construct(t, topo.PresetZEN3, topo.ISAAVX2, 8)
+	for _, m := range []*Model{intel, amd} {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// All four memory levels measured.
+		for _, lvl := range []topo.CacheLevel{topo.L1, topo.L2, topo.L3, topo.DRAM} {
+			if m.MemGBps[lvl] <= 0 {
+				t.Errorf("%s: no %s roof", m.Host, lvl)
+			}
+		}
+	}
+	if amd.PeakGFLOPS >= intel.PeakGFLOPS {
+		t.Error("AVX-512 CSL should out-FLOP AVX2 Zen3 at 8 threads")
+	}
+}
+
+func TestRoofOrdering(t *testing.T) {
+	m := construct(t, topo.PresetCSL, topo.ISAAVX512, 4)
+	if !(m.MemGBps[topo.L1] >= m.MemGBps[topo.L2] &&
+		m.MemGBps[topo.L2] >= m.MemGBps[topo.L3] &&
+		m.MemGBps[topo.L3] >= m.MemGBps[topo.DRAM]) {
+		t.Errorf("roofs not ordered: %v", m.MemGBps)
+	}
+}
+
+func TestConstructRejectsUnsupportedISA(t *testing.T) {
+	m, err := machine.New(topo.MustPreset(topo.PresetZEN3), machine.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Construct(m, topo.ISAAVX512, 4, topo.PinBalanced); err == nil {
+		t.Error("Zen3 does not support AVX-512; Construct should refuse")
+	}
+}
+
+func TestRoofAtAndRidge(t *testing.T) {
+	m := &Model{
+		Host: "x", ISA: topo.ISAAVX512, Threads: 4,
+		MemGBps:    map[topo.CacheLevel]float64{topo.L1: 1000, topo.DRAM: 100},
+		PeakGFLOPS: 500,
+	}
+	if v, err := m.RoofAt(topo.DRAM, 1); err != nil || v != 100 {
+		t.Errorf("roof at AI 1 = %v %v", v, err)
+	}
+	if v, _ := m.RoofAt(topo.DRAM, 100); v != 500 {
+		t.Errorf("roof should cap at peak, got %v", v)
+	}
+	ridge, err := m.RidgeAI(topo.DRAM)
+	if err != nil || ridge != 5 {
+		t.Errorf("ridge = %v %v, want 5", ridge, err)
+	}
+	if _, err := m.RoofAt(topo.L3, 1); err == nil {
+		t.Error("missing roof should error")
+	}
+}
+
+func TestBoundingLevel(t *testing.T) {
+	m := &Model{
+		Host: "x", ISA: topo.ISAScalar, Threads: 1,
+		MemGBps:    map[topo.CacheLevel]float64{topo.L1: 1000, topo.L2: 400, topo.L3: 150, topo.DRAM: 50},
+		PeakGFLOPS: 500,
+	}
+	// At AI 1: DRAM roof 50, L3 150, L2 400, L1 500(capped).
+	if lvl := m.BoundingLevel(1, 40); lvl != topo.DRAM {
+		t.Errorf("40 GFLOPS at AI 1 bound by %s, want DRAM", lvl)
+	}
+	if lvl := m.BoundingLevel(1, 100); lvl != topo.L3 {
+		t.Errorf("100 GFLOPS bound by %s, want L3", lvl)
+	}
+	if lvl := m.BoundingLevel(1, 450); lvl != topo.L1 {
+		t.Errorf("450 GFLOPS bound by %s, want L1", lvl)
+	}
+}
+
+func TestKBRoundTrip(t *testing.T) {
+	m := construct(t, topo.PresetCSL, topo.ISAAVX512, 8)
+	bench := m.ToBenchmark("bench:1", 100, 200)
+	if bench.Name != "carm" || len(bench.Results) != 5 {
+		t.Fatalf("benchmark entry: %+v", bench)
+	}
+	got, err := FromBenchmark(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host != m.Host || got.ISA != m.ISA || got.Threads != m.Threads {
+		t.Errorf("identity lost: %+v", got)
+	}
+	if math.Abs(got.PeakGFLOPS-m.PeakGFLOPS) > 1e-9 {
+		t.Error("peak lost")
+	}
+	for lvl, bw := range m.MemGBps {
+		if math.Abs(got.MemGBps[lvl]-bw) > 1e-9 {
+			t.Errorf("%s bandwidth lost", lvl)
+		}
+	}
+}
+
+func TestFromBenchmarkRejectsWrongKind(t *testing.T) {
+	m := construct(t, topo.PresetCSL, topo.ISAAVX512, 4)
+	b := m.ToBenchmark("b", 0, 0)
+	b.Name = "stream"
+	if _, err := FromBenchmark(b); err == nil {
+		t.Error("non-carm benchmark accepted")
+	}
+}
+
+func TestLivePanelComputesAIAndGFLOPS(t *testing.T) {
+	model := &Model{
+		Host: "t", ISA: topo.ISAAVX512, Threads: 1,
+		MemGBps:    map[topo.CacheLevel]float64{topo.L1: 100, topo.DRAM: 10},
+		PeakGFLOPS: 100,
+	}
+	lp := NewLivePanel(model, topo.VendorIntel)
+	// First reading primes.
+	if _, ok := lp.Feed(Reading{TimeNanos: 0, Events: map[string]uint64{}}, "k"); ok {
+		t.Error("first reading should not produce a point")
+	}
+	// One second later: 1e9 scalar FP, 1e8 loads (all scalar width).
+	pt, ok := lp.Feed(Reading{TimeNanos: 1e9, Events: map[string]uint64{
+		pmu.IntelScalarDouble: 1e9,
+		pmu.IntelLoads:        1e8,
+	}}, "k")
+	if !ok {
+		t.Fatal("no point produced")
+	}
+	if math.Abs(pt.GFLOPS-1.0) > 1e-9 {
+		t.Errorf("GFLOPS = %f, want 1", pt.GFLOPS)
+	}
+	// AI = 1e9 flops / (1e8 * 8 bytes) = 1.25.
+	if math.Abs(pt.AI-1.25) > 1e-9 {
+		t.Errorf("AI = %f, want 1.25", pt.AI)
+	}
+}
+
+func TestLivePanelWidthMix(t *testing.T) {
+	model := &Model{Host: "t", ISA: topo.ISAAVX512, Threads: 1,
+		MemGBps: map[topo.CacheLevel]float64{topo.DRAM: 10}, PeakGFLOPS: 100}
+	lp := NewLivePanel(model, topo.VendorIntel)
+	lp.Feed(Reading{TimeNanos: 0, Events: map[string]uint64{}}, "k")
+	// Pure AVX-512: memory instructions count 64 bytes each.
+	pt, ok := lp.Feed(Reading{TimeNanos: 1e9, Events: map[string]uint64{
+		pmu.Intel512PackedDbl: 1e6,
+		pmu.IntelLoads:        1e6,
+	}}, "k")
+	if !ok {
+		t.Fatal("no point")
+	}
+	// flops = 8e6; bytes = 1e6 * 64 => AI = 0.125.
+	if math.Abs(pt.AI-0.125) > 1e-9 {
+		t.Errorf("AVX-512 AI = %f, want 0.125", pt.AI)
+	}
+}
+
+func TestLivePanelAMD(t *testing.T) {
+	model := &Model{Host: "t", ISA: topo.ISAAVX2, Threads: 1,
+		MemGBps: map[topo.CacheLevel]float64{topo.DRAM: 10}, PeakGFLOPS: 100}
+	lp := NewLivePanel(model, topo.VendorAMD)
+	lp.Feed(Reading{TimeNanos: 0, Events: map[string]uint64{}}, "k")
+	pt, ok := lp.Feed(Reading{TimeNanos: 1e9, Events: map[string]uint64{
+		pmu.AMDFlopsAny: 8e8, // FLOPs counted directly on Zen3
+		pmu.AMDLoads:    1e8,
+	}}, "k")
+	if !ok {
+		t.Fatal("no point")
+	}
+	if math.Abs(pt.GFLOPS-0.8) > 1e-9 {
+		t.Errorf("GFLOPS = %f", pt.GFLOPS)
+	}
+	if math.Abs(pt.AI-1.0) > 1e-9 {
+		t.Errorf("AI = %f, want 8e8/8e8 = 1", pt.AI)
+	}
+}
+
+func TestLivePanelIdleProducesNoPoints(t *testing.T) {
+	model := &Model{Host: "t", ISA: topo.ISAScalar, Threads: 1,
+		MemGBps: map[topo.CacheLevel]float64{topo.DRAM: 10}, PeakGFLOPS: 100}
+	lp := NewLivePanel(model, topo.VendorIntel)
+	lp.Feed(Reading{TimeNanos: 0, Events: map[string]uint64{}}, "idle")
+	if _, ok := lp.Feed(Reading{TimeNanos: 1e9, Events: map[string]uint64{}}, "idle"); ok {
+		t.Error("idle interval produced a point")
+	}
+	if len(lp.Points()) != 0 {
+		t.Error("points accumulated while idle")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	model := &Model{Host: "t", ISA: topo.ISAScalar, Threads: 1,
+		MemGBps: map[topo.CacheLevel]float64{topo.DRAM: 10}, PeakGFLOPS: 100}
+	lp := NewLivePanel(model, topo.VendorIntel)
+	lp.Feed(Reading{TimeNanos: 0, Events: map[string]uint64{}}, "a")
+	cum := map[string]uint64{pmu.IntelScalarDouble: 0, pmu.IntelLoads: 0}
+	feed := func(i int, label string) {
+		cum[pmu.IntelScalarDouble] += 1e9
+		cum[pmu.IntelLoads] += 1e8
+		lp.Feed(Reading{TimeNanos: int64(i) * 1e9, Events: map[string]uint64{
+			pmu.IntelScalarDouble: cum[pmu.IntelScalarDouble],
+			pmu.IntelLoads:        cum[pmu.IntelLoads],
+		}}, label)
+	}
+	for i := 1; i <= 3; i++ {
+		feed(i, "a")
+	}
+	for i := 4; i <= 5; i++ {
+		feed(i, "b")
+	}
+	sums := lp.Summarize()
+	if len(sums) != 2 || sums[0].Label != "a" || sums[1].Label != "b" {
+		t.Fatalf("summaries: %+v", sums)
+	}
+	if sums[0].N != 3 || sums[1].N != 2 {
+		t.Errorf("counts: %+v", sums)
+	}
+	lp.Reset()
+	if len(lp.Points()) != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestEventsNeeded(t *testing.T) {
+	intel := EventsNeeded(topo.VendorIntel)
+	if len(intel) != 6 {
+		t.Errorf("intel events: %v", intel)
+	}
+	amd := EventsNeeded(topo.VendorAMD)
+	if len(amd) != 3 || amd[0] != pmu.AMDFlopsAny {
+		t.Errorf("amd events: %v", amd)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	m := construct(t, topo.PresetCSL, topo.ISAAVX512, 4)
+	pts := []Point{{AI: 0.125, GFLOPS: m.PeakGFLOPS / 10, Label: "x"}}
+	out := RenderASCII(m, pts, 60, 12)
+	if !strings.Contains(out, "*") {
+		t.Error("application point not rendered")
+	}
+	for _, mark := range []string{"1", "2", "3", "D"} {
+		if !strings.Contains(out, mark) {
+			t.Errorf("roof %s not rendered", mark)
+		}
+	}
+	if !strings.Contains(out, "csl") {
+		t.Error("header missing")
+	}
+}
+
+func TestValidateRejectsBrokenModels(t *testing.T) {
+	bad := []*Model{
+		{Host: "x", MemGBps: map[topo.CacheLevel]float64{topo.L1: 10}},                               // no peak
+		{Host: "x", PeakGFLOPS: 10},                                                                  // no roofs
+		{Host: "x", PeakGFLOPS: 10, MemGBps: map[topo.CacheLevel]float64{topo.L1: 0}},                // zero bw
+		{Host: "x", PeakGFLOPS: 10, MemGBps: map[topo.CacheLevel]float64{topo.L1: 5, topo.DRAM: 50}}, // inverted
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package carm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"pmove/internal/pmu"
+	"pmove/internal/topo"
+)
+
+// Point is one live application point on the CARM plot.
+type Point struct {
+	TimeNanos int64   `json:"time_ns"`
+	AI        float64 `json:"ai"`
+	GFLOPS    float64 `json:"gflops"`
+	Label     string  `json:"label,omitempty"`
+}
+
+// Reading is one PMU snapshot (cumulative counts summed across the
+// observed threads) at one timestamp. The live panel differences
+// consecutive readings to compute rates.
+type Reading struct {
+	TimeNanos int64
+	// Events maps hardware event name to cumulative count.
+	Events map[string]uint64
+}
+
+// LivePanel converts a stream of PMU readings into CARM points for a
+// model, implementing §IV-B2: GFLOPS from the weighted sum of FP events,
+// bytes from load/store counts scaled by the FP-width mix ("inferred from
+// the ratios of different FP instructions (scalar, SSE, AVX2, AVX512),
+// which are applied to the total amount of store and load events").
+type LivePanel struct {
+	Model  *Model
+	Vendor topo.Vendor
+
+	prev   *Reading
+	points []Point
+}
+
+// NewLivePanel builds a panel for a model on a vendor's event scheme.
+func NewLivePanel(model *Model, vendor topo.Vendor) *LivePanel {
+	return &LivePanel{Model: model, Vendor: vendor}
+}
+
+// EventsNeeded returns the hardware events the panel must have programmed,
+// per vendor — what P-MoVE configures automatically "based on the
+// underlying architecture of a system".
+func EventsNeeded(vendor topo.Vendor) []string {
+	if vendor == topo.VendorAMD {
+		return []string{pmu.AMDFlopsAny, pmu.AMDLoads, pmu.AMDStores}
+	}
+	return []string{
+		pmu.IntelScalarDouble, pmu.Intel128PackedDbl, pmu.Intel256PackedDbl,
+		pmu.Intel512PackedDbl, pmu.IntelLoads, pmu.IntelStores,
+	}
+}
+
+// flopsAndBytes derives the FLOP count and estimated byte traffic from
+// event deltas.
+func (lp *LivePanel) flopsAndBytes(d map[string]float64) (flops, bytes float64) {
+	if lp.Vendor == topo.VendorAMD {
+		flops = d[pmu.AMDFlopsAny]
+		memOps := d[pmu.AMDLoads] + d[pmu.AMDStores]
+		// Zen3 reports FLOPs, not instructions; assume the data-path width
+		// follows the FLOP rate per memory op, floor 8 bytes.
+		bytes = memOps * 8
+		return flops, bytes
+	}
+	scalar := d[pmu.IntelScalarDouble]
+	sse := d[pmu.Intel128PackedDbl]
+	avx2 := d[pmu.Intel256PackedDbl]
+	avx512 := d[pmu.Intel512PackedDbl]
+	flops = scalar + 2*sse + 4*avx2 + 8*avx512
+	fpTotal := scalar + sse + avx2 + avx512
+	memOps := d[pmu.IntelLoads] + d[pmu.IntelStores]
+	if fpTotal == 0 {
+		return flops, memOps * 8
+	}
+	// Width mix of FP instructions applied to memory instructions.
+	avgWidthBytes := (scalar*8 + sse*16 + avx2*32 + avx512*64) / fpTotal
+	bytes = memOps * avgWidthBytes
+	return flops, bytes
+}
+
+// Feed ingests the next cumulative reading and returns the new point, or
+// false for the first reading (no delta yet) and for idle intervals with
+// no FP activity.
+func (lp *LivePanel) Feed(r Reading, label string) (Point, bool) {
+	defer func() { lp.prev = &r }()
+	if lp.prev == nil {
+		return Point{}, false
+	}
+	dt := float64(r.TimeNanos-lp.prev.TimeNanos) / 1e9
+	if dt <= 0 {
+		return Point{}, false
+	}
+	delta := map[string]float64{}
+	for ev, v := range r.Events {
+		p := lp.prev.Events[ev]
+		if v >= p {
+			delta[ev] = float64(v - p)
+		}
+	}
+	flops, bytes := lp.flopsAndBytes(delta)
+	if flops <= 0 || bytes <= 0 {
+		return Point{}, false
+	}
+	pt := Point{
+		TimeNanos: r.TimeNanos,
+		AI:        flops / bytes,
+		GFLOPS:    flops / dt / 1e9,
+		Label:     label,
+	}
+	lp.points = append(lp.points, pt)
+	return pt, true
+}
+
+// Points returns all accumulated points.
+func (lp *LivePanel) Points() []Point {
+	return append([]Point(nil), lp.points...)
+}
+
+// Reset clears the panel state (a new observation window).
+func (lp *LivePanel) Reset() {
+	lp.prev = nil
+	lp.points = nil
+}
+
+// Summary aggregates points per label: the median AI and GFLOPS of each
+// phase, used by the Fig 8/9 analyses.
+type Summary struct {
+	Label    string
+	N        int
+	MedianAI float64
+	MedianGF float64
+	MaxGF    float64
+}
+
+// Summarize groups the panel's points by label.
+func (lp *LivePanel) Summarize() []Summary {
+	byLabel := map[string][]Point{}
+	var order []string
+	for _, p := range lp.points {
+		if _, ok := byLabel[p.Label]; !ok {
+			order = append(order, p.Label)
+		}
+		byLabel[p.Label] = append(byLabel[p.Label], p)
+	}
+	var out []Summary
+	for _, lbl := range order {
+		pts := byLabel[lbl]
+		ais := make([]float64, len(pts))
+		gfs := make([]float64, len(pts))
+		maxGF := 0.0
+		for i, p := range pts {
+			ais[i], gfs[i] = p.AI, p.GFLOPS
+			if p.GFLOPS > maxGF {
+				maxGF = p.GFLOPS
+			}
+		}
+		sort.Float64s(ais)
+		sort.Float64s(gfs)
+		out = append(out, Summary{
+			Label: lbl, N: len(pts),
+			MedianAI: ais[len(ais)/2], MedianGF: gfs[len(gfs)/2], MaxGF: maxGF,
+		})
+	}
+	return out
+}
+
+// RenderASCII draws the CARM (log-log) with roofs and points as text — the
+// terminal stand-in for the Grafana live-CARM panel. Width/height are the
+// plot interior dimensions in characters.
+func RenderASCII(m *Model, points []Point, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+	// Axis ranges: AI from 1/64 to 64, GFLOPS from peak/4096 to peak*2.
+	aiMin, aiMax := math.Log2(1.0/64), math.Log2(64.0)
+	gfMax := math.Log2(m.PeakGFLOPS * 2)
+	gfMin := gfMax - 13
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	toXY := func(ai, gf float64) (int, int, bool) {
+		if ai <= 0 || gf <= 0 {
+			return 0, 0, false
+		}
+		x := int((math.Log2(ai) - aiMin) / (aiMax - aiMin) * float64(width-1))
+		y := int((math.Log2(gf) - gfMin) / (gfMax - gfMin) * float64(height-1))
+		if x < 0 || x >= width || y < 0 || y >= height {
+			return 0, 0, false
+		}
+		return x, height - 1 - y, true
+	}
+	// Roofs.
+	marks := map[topo.CacheLevel]byte{topo.L1: '1', topo.L2: '2', topo.L3: '3', topo.DRAM: 'D'}
+	for lvl, bw := range m.MemGBps {
+		for xi := 0; xi < width*2; xi++ {
+			ai := math.Exp2(aiMin + (aiMax-aiMin)*float64(xi)/float64(width*2-1))
+			gf := math.Min(m.PeakGFLOPS, ai*bw)
+			if x, y, ok := toXY(ai, gf); ok {
+				if grid[y][x] == ' ' {
+					grid[y][x] = marks[lvl]
+				}
+			}
+		}
+	}
+	// Points.
+	for _, p := range points {
+		if x, y, ok := toXY(p.AI, p.GFLOPS); ok {
+			grid[y][x] = '*'
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "live-CARM %s  isa=%s threads=%d  peak=%.1f GFLOP/s\n", m.Host, m.ISA, m.Threads, m.PeakGFLOPS)
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("|\n")
+	}
+	b.WriteString("+" + strings.Repeat("-", width) + "+\n")
+	fmt.Fprintf(&b, " AI %.3g .. %.3g FLOP/byte (log)   roofs: 1=L1 2=L2 3=L3 D=DRAM  *=app\n",
+		math.Exp2(aiMin), math.Exp2(aiMax))
+	return b.String()
+}

@@ -1,0 +1,129 @@
+package carm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmove/internal/topo"
+)
+
+// Property tests on the roofline function itself.
+
+func testModel() *Model {
+	return &Model{
+		Host: "p", ISA: topo.ISAAVX512, Threads: 8,
+		MemGBps: map[topo.CacheLevel]float64{
+			topo.L1: 2000, topo.L2: 1000, topo.L3: 400, topo.DRAM: 100,
+		},
+		PeakGFLOPS: 800,
+	}
+}
+
+func TestRoofMonotoneInAIProperty(t *testing.T) {
+	m := testModel()
+	f := func(a, b uint16) bool {
+		ai1 := float64(a%4096)/64 + 1e-6
+		ai2 := float64(b%4096)/64 + 1e-6
+		if ai1 > ai2 {
+			ai1, ai2 = ai2, ai1
+		}
+		for lvl := range m.MemGBps {
+			r1, err1 := m.RoofAt(lvl, ai1)
+			r2, err2 := m.RoofAt(lvl, ai2)
+			if err1 != nil || err2 != nil {
+				return false
+			}
+			// Roofs never decrease with AI and never exceed the peak.
+			if r1 > r2+1e-9 || r2 > m.PeakGFLOPS+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoofOrderingProperty(t *testing.T) {
+	// At every AI, inner levels dominate outer levels.
+	m := testModel()
+	f := func(a uint16) bool {
+		ai := float64(a%4096)/64 + 1e-6
+		l1, _ := m.RoofAt(topo.L1, ai)
+		l2, _ := m.RoofAt(topo.L2, ai)
+		l3, _ := m.RoofAt(topo.L3, ai)
+		dr, _ := m.RoofAt(topo.DRAM, ai)
+		return l1 >= l2 && l2 >= l3 && l3 >= dr
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRidgeIsRoofIntersectionProperty(t *testing.T) {
+	m := testModel()
+	for lvl := range m.MemGBps {
+		ridge, err := m.RidgeAI(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at, _ := m.RoofAt(lvl, ridge)
+		if math.Abs(at-m.PeakGFLOPS) > 1e-6 {
+			t.Errorf("%s: roof at ridge = %f, want the peak %f", lvl, at, m.PeakGFLOPS)
+		}
+		below, _ := m.RoofAt(lvl, ridge*0.5)
+		if math.Abs(below-m.PeakGFLOPS/2) > 1e-6 {
+			t.Errorf("%s: below the ridge the roof must be linear in AI", lvl)
+		}
+	}
+}
+
+func TestBoundingLevelConsistentWithRoofs(t *testing.T) {
+	m := testModel()
+	f := func(a, g uint16) bool {
+		ai := float64(a%2048)/64 + 1e-3
+		gf := float64(g%1600) / 2
+		lvl := m.BoundingLevel(ai, gf)
+		roof, err := m.RoofAt(lvl, ai)
+		if err != nil {
+			return false
+		}
+		if gf <= roof*1.03+1e-9 {
+			return true
+		}
+		// A point above every roof (measurement artefact) falls through to
+		// L1 — the innermost ceiling is still the right label.
+		l1roof, _ := m.RoofAt(topo.L1, ai)
+		return lvl == topo.L1 && gf > l1roof
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKBRoundTripProperty(t *testing.T) {
+	// Any valid model survives the KB round trip exactly.
+	f := func(p, l1, dr uint16) bool {
+		peak := float64(p%5000) + 1
+		bw1 := float64(l1%5000) + 2
+		bwd := math.Min(bw1, float64(dr%3000)+1)
+		m := &Model{
+			Host: "q", ISA: topo.ISAAVX2, Threads: 4,
+			MemGBps:    map[topo.CacheLevel]float64{topo.L1: bw1, topo.DRAM: bwd},
+			PeakGFLOPS: peak,
+		}
+		if m.Validate() != nil {
+			return true // generated an invalid combination; skip
+		}
+		got, err := FromBenchmark(m.ToBenchmark("b", 0, 1))
+		if err != nil {
+			return false
+		}
+		return got.PeakGFLOPS == peak && got.MemGBps[topo.L1] == bw1 && got.MemGBps[topo.DRAM] == bwd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package cluster extends P-MoVE from single-node servers to clusters —
+// the paper's stated next step (§VI: "we are on the verge of developing a
+// cluster-level P-MoVE that encapsulates meticulous performance analysis
+// and monitoring capabilities, in conjunction with communication
+// telemetry and job-specific metadata emitted from HPC clusters"; §I: the
+// KB "contains historical job metadata linked to the sampled performance
+// metrics").
+//
+// A Cluster is a set of simulated nodes sharing one virtual clock and an
+// interconnect model. A Scheduler places Jobs onto free nodes; running
+// jobs execute their per-node workloads on each node's analytic engine
+// while the interconnect model charges communication time and NIC
+// telemetry. Completed jobs leave JobRecords — the job metadata the
+// cluster KB links to sampled performance data.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"pmove/internal/kb"
+	"pmove/internal/machine"
+	"pmove/internal/topo"
+)
+
+// Node is one cluster machine.
+type Node struct {
+	Name    string
+	System  *topo.System
+	Machine *machine.Machine
+	// busyJob is the id of the job occupying the node, or "".
+	busyJob string
+	// nicBytes accumulates communication telemetry.
+	nicBytes uint64
+}
+
+// Busy reports whether a job occupies the node.
+func (n *Node) Busy() bool { return n.busyJob != "" }
+
+// NICBytes returns the accumulated interconnect traffic of the node.
+func (n *Node) NICBytes() uint64 { return n.nicBytes }
+
+// Interconnect models the cluster fabric.
+type Interconnect struct {
+	// LinkGBs is the per-node injection bandwidth in GB/s.
+	LinkGBs float64
+	// LatencyMicros is the per-message latency in microseconds.
+	LatencyMicros float64
+}
+
+// CommPattern names a collective pattern; it determines how per-step
+// bytes scale with the node count.
+type CommPattern string
+
+// Supported communication patterns.
+const (
+	CommNone      CommPattern = "none"
+	CommHalo      CommPattern = "halo"      // nearest-neighbour exchange
+	CommAllReduce CommPattern = "allreduce" // tree reduction + broadcast
+	CommAllToAll  CommPattern = "alltoall"
+)
+
+// CommSpec describes a job's communication per superstep.
+type CommSpec struct {
+	Pattern CommPattern
+	// BytesPerStep is the payload each node contributes per superstep.
+	BytesPerStep int64
+	// Steps is the number of supersteps over the job's lifetime.
+	Steps int
+}
+
+// commSeconds returns the communication time one node spends and the
+// bytes it injects, for the whole job.
+func (ic Interconnect) commSeconds(c CommSpec, nodes int) (seconds float64, bytesPerNode uint64) {
+	if c.Pattern == CommNone || c.Pattern == "" || c.Steps == 0 || nodes <= 1 {
+		return 0, 0
+	}
+	var factor float64
+	var msgsPerStep float64
+	switch c.Pattern {
+	case CommHalo:
+		factor, msgsPerStep = 2, 2 // two neighbours
+	case CommAllReduce:
+		// log2(nodes) phases, payload each phase.
+		lg := 0
+		for n := 1; n < nodes; n *= 2 {
+			lg++
+		}
+		factor, msgsPerStep = float64(lg), float64(lg)
+	case CommAllToAll:
+		factor, msgsPerStep = float64(nodes-1), float64(nodes-1)
+	default:
+		return 0, 0
+	}
+	bytesPerStep := float64(c.BytesPerStep) * factor
+	perStep := bytesPerStep/(ic.LinkGBs*1e9) + msgsPerStep*ic.LatencyMicros*1e-6
+	return perStep * float64(c.Steps), uint64(bytesPerStep * float64(c.Steps))
+}
+
+// Cluster is a set of nodes under one scheduler clock.
+type Cluster struct {
+	Fabric Interconnect
+	nodes  []*Node
+	byName map[string]*Node
+	now    float64
+
+	sched *Scheduler
+}
+
+// New builds a cluster of n identical nodes from a preset, named
+// <preset>-00 … <preset>-NN.
+func New(preset string, n int, fabric Interconnect, seed uint64) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node")
+	}
+	c := &Cluster{Fabric: fabric, byName: map[string]*Node{}}
+	for i := 0; i < n; i++ {
+		sys, err := topo.NewPreset(preset)
+		if err != nil {
+			return nil, err
+		}
+		cp := *sys
+		cp.Hostname = fmt.Sprintf("%s-%02d", preset, i)
+		m, err := machine.New(&cp, machine.Config{Seed: seed + uint64(i)*97})
+		if err != nil {
+			return nil, err
+		}
+		node := &Node{Name: cp.Hostname, System: &cp, Machine: m}
+		c.nodes = append(c.nodes, node)
+		c.byName[node.Name] = node
+	}
+	c.sched = newScheduler(c)
+	return c, nil
+}
+
+// Nodes returns the nodes in name order.
+func (c *Cluster) Nodes() []*Node {
+	out := append([]*Node(nil), c.nodes...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Node returns a node by name.
+func (c *Cluster) Node(name string) (*Node, bool) {
+	n, ok := c.byName[name]
+	return n, ok
+}
+
+// Now returns the cluster's virtual time in seconds.
+func (c *Cluster) Now() float64 { return c.now }
+
+// Scheduler returns the cluster's scheduler.
+func (c *Cluster) Scheduler() *Scheduler { return c.sched }
+
+// AdvanceTo moves the cluster clock (and every node's machine clock)
+// forward, driving the scheduler at job boundaries.
+func (c *Cluster) AdvanceTo(t float64) error {
+	if t < c.now {
+		return fmt.Errorf("cluster: cannot advance backwards (%.6f < %.6f)", t, c.now)
+	}
+	for c.now < t {
+		// Next interesting instant: the earliest running-job completion.
+		segEnd := t
+		if next, ok := c.sched.nextCompletion(); ok && next < segEnd {
+			segEnd = next
+		}
+		for _, n := range c.nodes {
+			if err := n.Machine.AdvanceTo(segEnd); err != nil {
+				return err
+			}
+		}
+		c.now = segEnd
+		c.sched.reap(c.now)
+		c.sched.dispatch(c.now)
+	}
+	return nil
+}
+
+// FreeNodes returns the names of idle nodes, sorted.
+func (c *Cluster) FreeNodes() []string {
+	var out []string
+	for _, n := range c.nodes {
+		if !n.Busy() {
+			out = append(out, n.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ClusterKB aggregates the per-node knowledge bases plus the job records
+// — the cluster-level KB the paper's conclusion sketches.
+type ClusterKB struct {
+	Nodes map[string]*kb.KB
+	Jobs  []*JobRecord
+}
+
+// BuildKB probes every node and collects completed job records.
+func (c *Cluster) BuildKB() (*ClusterKB, error) {
+	out := &ClusterKB{Nodes: map[string]*kb.KB{}}
+	for _, n := range c.nodes {
+		prober := topo.NewProber()
+		doc, err := prober.Probe(n.System)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: probe %s: %w", n.Name, err)
+		}
+		k, err := kb.Generate(doc, kb.Config{})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: kb %s: %w", n.Name, err)
+		}
+		out.Nodes[n.Name] = k
+	}
+	out.Jobs = c.sched.Records()
+	return out, nil
+}

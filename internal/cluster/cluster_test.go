@@ -1,0 +1,267 @@
+package cluster
+
+import (
+	"testing"
+
+	"pmove/internal/kernels"
+	"pmove/internal/machine"
+	"pmove/internal/topo"
+)
+
+func fabric() Interconnect {
+	return Interconnect{LinkGBs: 12.5, LatencyMicros: 2} // 100 Gbit HDR-ish
+}
+
+func smallJob(t *testing.T, nodes int, comm CommSpec) Job {
+	t.Helper()
+	spec, err := kernels.Likwid("triad", topo.ISAAVX2, 1<<20, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Job{
+		Name: "triad", User: "alice", Nodes: nodes,
+		ThreadsPerNode: 4, Workload: spec, Comm: comm,
+	}
+}
+
+func TestNewClusterNaming(t *testing.T) {
+	c, err := New(topo.PresetICL, 4, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := c.Nodes()
+	if len(nodes) != 4 {
+		t.Fatalf("nodes: %d", len(nodes))
+	}
+	if nodes[0].Name != "icl-00" || nodes[3].Name != "icl-03" {
+		t.Errorf("names: %s .. %s", nodes[0].Name, nodes[3].Name)
+	}
+	if _, ok := c.Node("icl-02"); !ok {
+		t.Error("lookup failed")
+	}
+	if _, err := New(topo.PresetICL, 0, fabric(), 1); err == nil {
+		t.Error("empty cluster accepted")
+	}
+	if _, err := New("enigma", 2, fabric(), 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	c, err := New(topo.PresetICL, 2, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Scheduler()
+	j := smallJob(t, 0, CommSpec{})
+	if _, err := s.Submit(j); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	j = smallJob(t, 3, CommSpec{})
+	if _, err := s.Submit(j); err == nil {
+		t.Error("oversized job accepted")
+	}
+	j = smallJob(t, 1, CommSpec{})
+	j.ThreadsPerNode = 0
+	if _, err := s.Submit(j); err == nil {
+		t.Error("zero threads accepted")
+	}
+	j = smallJob(t, 1, CommSpec{})
+	j.Workload = machine.WorkloadSpec{}
+	if _, err := s.Submit(j); err == nil {
+		t.Error("invalid workload accepted")
+	}
+}
+
+func TestJobLifecycle(t *testing.T) {
+	c, err := New(topo.PresetICL, 2, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Scheduler()
+	rec, err := s.Submit(smallJob(t, 2, CommSpec{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateRunning {
+		t.Fatalf("job should dispatch immediately on a free cluster, state=%s", rec.State)
+	}
+	if len(c.FreeNodes()) != 0 {
+		t.Error("all nodes should be busy")
+	}
+	if err := s.Drain(100); err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != StateFinished {
+		t.Fatalf("state=%s", rec.State)
+	}
+	if rec.ElapsedSeconds() <= 0 || rec.GFLOPSPerNode <= 0 {
+		t.Errorf("record: %+v", rec)
+	}
+	if len(rec.NodeNames) != 2 {
+		t.Errorf("nodes: %v", rec.NodeNames)
+	}
+	if len(c.FreeNodes()) != 2 {
+		t.Error("nodes not released")
+	}
+}
+
+func TestFIFOQueueing(t *testing.T) {
+	c, err := New(topo.PresetICL, 2, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.Scheduler()
+	// First job takes both nodes; the next two queue.
+	a, _ := s.Submit(smallJob(t, 2, CommSpec{}))
+	b, _ := s.Submit(smallJob(t, 1, CommSpec{}))
+	d, _ := s.Submit(smallJob(t, 1, CommSpec{}))
+	if b.State != StateQueued || d.State != StateQueued {
+		t.Fatalf("states: %s %s", b.State, d.State)
+	}
+	if s.QueueLength() != 2 || s.RunningCount() != 1 {
+		t.Fatalf("queue=%d running=%d", s.QueueLength(), s.RunningCount())
+	}
+	if err := s.Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	recs := s.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records: %d", len(recs))
+	}
+	// FIFO: a starts before b and d; b and d wait for a.
+	if b.StartTime < a.EndTime-1e-9 || d.StartTime < a.EndTime-1e-9 {
+		t.Errorf("queued jobs started before the blocker finished: a.end=%f b.start=%f d.start=%f",
+			a.EndTime, b.StartTime, d.StartTime)
+	}
+	if b.WaitSeconds() <= 0 {
+		t.Error("queued job should record wait time")
+	}
+}
+
+func TestCommunicationExtendsJobs(t *testing.T) {
+	mk := func(comm CommSpec) *JobRecord {
+		c, err := New(topo.PresetICL, 4, fabric(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := c.Scheduler().Submit(smallJob(t, 4, comm))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Scheduler().Drain(1000); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	noComm := mk(CommSpec{})
+	halo := mk(CommSpec{Pattern: CommHalo, BytesPerStep: 4 << 20, Steps: 100})
+	a2a := mk(CommSpec{Pattern: CommAllToAll, BytesPerStep: 4 << 20, Steps: 100})
+	if halo.ElapsedSeconds() <= noComm.ElapsedSeconds() {
+		t.Error("communication should extend the job")
+	}
+	if a2a.CommSecs <= halo.CommSecs {
+		t.Errorf("alltoall (%.4fs) should cost more than halo (%.4fs) at 4 nodes", a2a.CommSecs, halo.CommSecs)
+	}
+	if halo.CommBytes == 0 {
+		t.Error("communication telemetry missing")
+	}
+	if noComm.CommSecs != 0 || noComm.CommBytes != 0 {
+		t.Error("no-comm job charged for communication")
+	}
+}
+
+func TestSingleNodeJobHasNoComm(t *testing.T) {
+	c, err := New(topo.PresetICL, 2, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.Scheduler().Submit(smallJob(t, 1, CommSpec{Pattern: CommAllReduce, BytesPerStep: 1 << 20, Steps: 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Scheduler().Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	if rec.CommSecs != 0 {
+		t.Error("single-node job should not pay for the fabric")
+	}
+}
+
+func TestNICTelemetryAccumulates(t *testing.T) {
+	c, err := New(topo.PresetICL, 2, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Scheduler().Submit(smallJob(t, 2, CommSpec{Pattern: CommHalo, BytesPerStep: 1 << 20, Steps: 10})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Scheduler().Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes() {
+		if n.NICBytes() == 0 {
+			t.Errorf("node %s has no communication telemetry", n.Name)
+		}
+	}
+}
+
+func TestClockMonotone(t *testing.T) {
+	c, err := New(topo.PresetICL, 1, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdvanceTo(1); err == nil {
+		t.Error("backwards advance accepted")
+	}
+	// Node machine clocks follow the cluster clock.
+	if got := c.Nodes()[0].Machine.Now(); got != 5 {
+		t.Errorf("node clock %f, want 5", got)
+	}
+}
+
+func TestBuildClusterKB(t *testing.T) {
+	c, err := New(topo.PresetICL, 2, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Scheduler().Submit(smallJob(t, 2, CommSpec{Pattern: CommAllReduce, BytesPerStep: 1 << 18, Steps: 5})); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Scheduler().Drain(1000); err != nil {
+		t.Fatal(err)
+	}
+	ckb, err := c.BuildKB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckb.Nodes) != 2 {
+		t.Fatalf("node KBs: %d", len(ckb.Nodes))
+	}
+	for name, k := range ckb.Nodes {
+		if k.Host != name {
+			t.Errorf("KB host %q for node %q", k.Host, name)
+		}
+	}
+	if len(ckb.Jobs) != 1 {
+		t.Fatalf("job records: %d", len(ckb.Jobs))
+	}
+	j := ckb.Jobs[0]
+	if j.User != "alice" || j.State != StateFinished || len(j.NodeNames) != 2 {
+		t.Errorf("job metadata: %+v", j)
+	}
+}
+
+func TestDrainDetectsDeadlock(t *testing.T) {
+	c, err := New(topo.PresetICL, 1, fabric(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Nothing running, nothing queued: drain is a no-op.
+	if err := c.Scheduler().Drain(1); err != nil {
+		t.Fatal(err)
+	}
+}

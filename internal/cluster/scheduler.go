@@ -1,0 +1,233 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"pmove/internal/machine"
+	"pmove/internal/topo"
+)
+
+// JobState tracks a job through the scheduler.
+type JobState string
+
+// Job states.
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateFinished JobState = "finished"
+)
+
+// Job is one batch submission.
+type Job struct {
+	ID    string
+	Name  string
+	User  string
+	Nodes int
+	// ThreadsPerNode and Pin control per-node placement.
+	ThreadsPerNode int
+	Pin            topo.PinStrategy
+	// Workload is the per-node compute; Comm the inter-node communication.
+	Workload machine.WorkloadSpec
+	Comm     CommSpec
+}
+
+// JobRecord is the job-specific metadata emitted on completion — what the
+// cluster KB links to the sampled performance metrics.
+type JobRecord struct {
+	Job
+	State         JobState
+	SubmitTime    float64
+	StartTime     float64
+	EndTime       float64
+	NodeNames     []string
+	ComputeSecs   float64
+	CommSecs      float64
+	CommBytes     uint64
+	GFLOPSPerNode float64
+}
+
+// WaitSeconds returns queue wait time.
+func (r *JobRecord) WaitSeconds() float64 { return r.StartTime - r.SubmitTime }
+
+// ElapsedSeconds returns wall time on the nodes.
+func (r *JobRecord) ElapsedSeconds() float64 { return r.EndTime - r.StartTime }
+
+// running pairs a record with its node executions.
+type running struct {
+	rec   *JobRecord
+	end   float64
+	nodes []*Node
+}
+
+// Scheduler is a FIFO batch scheduler over the cluster's nodes.
+type Scheduler struct {
+	c      *Cluster
+	seq    int
+	queue  []*JobRecord
+	active []*running
+	done   []*JobRecord
+}
+
+func newScheduler(c *Cluster) *Scheduler { return &Scheduler{c: c} }
+
+// Submit enqueues a job and returns its record. Dispatch happens on the
+// next clock advance (or immediately if nodes are free).
+func (s *Scheduler) Submit(j Job) (*JobRecord, error) {
+	if j.Nodes <= 0 {
+		return nil, fmt.Errorf("cluster: job %q requests %d nodes", j.Name, j.Nodes)
+	}
+	if j.Nodes > len(s.c.nodes) {
+		return nil, fmt.Errorf("cluster: job %q requests %d nodes but the cluster has %d", j.Name, j.Nodes, len(s.c.nodes))
+	}
+	if j.ThreadsPerNode <= 0 {
+		return nil, fmt.Errorf("cluster: job %q requests %d threads per node", j.Name, j.ThreadsPerNode)
+	}
+	if err := j.Workload.Validate(); err != nil {
+		return nil, fmt.Errorf("cluster: job %q: %w", j.Name, err)
+	}
+	if j.Pin == "" {
+		j.Pin = topo.PinBalanced
+	}
+	s.seq++
+	if j.ID == "" {
+		j.ID = fmt.Sprintf("job-%04d", s.seq)
+	}
+	rec := &JobRecord{Job: j, State: StateQueued, SubmitTime: s.c.now}
+	s.queue = append(s.queue, rec)
+	s.dispatch(s.c.now)
+	return rec, nil
+}
+
+// dispatch places queued jobs on free nodes, FIFO without backfilling.
+func (s *Scheduler) dispatch(now float64) {
+	for len(s.queue) > 0 {
+		rec := s.queue[0]
+		free := s.freeNodes()
+		if len(free) < rec.Nodes {
+			return // strict FIFO: head of queue blocks
+		}
+		nodes := free[:rec.Nodes]
+		if err := s.launch(rec, nodes, now); err != nil {
+			// An unlaunchable job is finished with an error marker rather
+			// than wedging the queue.
+			rec.State = StateFinished
+			rec.StartTime = now
+			rec.EndTime = now
+			s.done = append(s.done, rec)
+		}
+		s.queue = s.queue[1:]
+	}
+}
+
+func (s *Scheduler) freeNodes() []*Node {
+	var out []*Node
+	for _, n := range s.c.nodes {
+		if !n.Busy() {
+			out = append(out, n)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// launch starts the job's workload on every allocated node and computes
+// its end time including communication.
+func (s *Scheduler) launch(rec *JobRecord, nodes []*Node, now float64) error {
+	commSecs, commBytes := s.c.Fabric.commSeconds(rec.Comm, len(nodes))
+	var end float64
+	var gflops float64
+	for _, n := range nodes {
+		pinning, err := topo.Pin(n.System, rec.Pin, rec.ThreadsPerNode)
+		if err != nil {
+			return err
+		}
+		exec, err := n.Machine.Launch(rec.Workload, pinning)
+		if err != nil {
+			return err
+		}
+		// Communication overlaps poorly with compute in BSP codes; the
+		// job's node occupancy extends by the comm time.
+		if e := exec.End() + commSecs; e > end {
+			end = e
+		}
+		gflops += exec.GFLOPS
+		rec.ComputeSecs = exec.Duration
+		n.busyJob = rec.ID
+		n.nicBytes += commBytes
+	}
+	rec.State = StateRunning
+	rec.StartTime = now
+	rec.CommSecs = commSecs
+	rec.CommBytes = commBytes
+	rec.GFLOPSPerNode = gflops / float64(len(nodes))
+	for _, n := range nodes {
+		rec.NodeNames = append(rec.NodeNames, n.Name)
+	}
+	sort.Strings(rec.NodeNames)
+	s.active = append(s.active, &running{rec: rec, end: end, nodes: nodes})
+	return nil
+}
+
+// nextCompletion returns the earliest running-job end time.
+func (s *Scheduler) nextCompletion() (float64, bool) {
+	ok := false
+	min := 0.0
+	for _, r := range s.active {
+		if !ok || r.end < min {
+			min = r.end
+			ok = true
+		}
+	}
+	return min, ok
+}
+
+// reap retires jobs whose end time has passed.
+func (s *Scheduler) reap(now float64) {
+	var still []*running
+	for _, r := range s.active {
+		if r.end <= now+1e-12 {
+			r.rec.State = StateFinished
+			r.rec.EndTime = r.end
+			for _, n := range r.nodes {
+				n.busyJob = ""
+			}
+			s.done = append(s.done, r.rec)
+		} else {
+			still = append(still, r)
+		}
+	}
+	s.active = still
+}
+
+// QueueLength returns the number of jobs waiting.
+func (s *Scheduler) QueueLength() int { return len(s.queue) }
+
+// RunningCount returns the number of jobs executing.
+func (s *Scheduler) RunningCount() int { return len(s.active) }
+
+// Records returns completed job records in completion order.
+func (s *Scheduler) Records() []*JobRecord {
+	out := append([]*JobRecord(nil), s.done...)
+	sort.Slice(out, func(i, j int) bool { return out[i].EndTime < out[j].EndTime })
+	return out
+}
+
+// Drain advances the cluster clock until every submitted job completed,
+// bounded by maxSeconds of virtual time.
+func (s *Scheduler) Drain(maxSeconds float64) error {
+	deadline := s.c.now + maxSeconds
+	for len(s.queue) > 0 || len(s.active) > 0 {
+		next, ok := s.nextCompletion()
+		if !ok {
+			return fmt.Errorf("cluster: %d jobs queued but nothing running (deadlock)", len(s.queue))
+		}
+		if next > deadline {
+			return fmt.Errorf("cluster: drain exceeded %.1fs budget", maxSeconds)
+		}
+		if err := s.c.AdvanceTo(next); err != nil {
+			return err
+		}
+	}
+	return nil
+}

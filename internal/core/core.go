@@ -1,0 +1,302 @@
+// Package core implements the P-MoVE daemon: the orchestrator that reads
+// its environment (Figure 3 step ⓪), probes targets and generates their
+// Knowledge Bases (①–③), configures samplers and dashboards from the KB,
+// and runs the two operating scenarios — system monitoring (Scenario A)
+// and kernel observation with PMU sampling (Scenario B) — plus benchmark
+// execution and live-CARM analysis.
+//
+// The daemon is host-side: "P-MoVE is designed to run on a host that can
+// be different than the target system. The host runs the P-MoVE daemon as
+// well as the tools with heavy workloads, e.g., InfluxDB, MongoDB, and
+// Grafana. The target only runs the PCP samplers."
+package core
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"pmove/internal/abst"
+	"pmove/internal/dashboard"
+	"pmove/internal/docdb"
+	"pmove/internal/kb"
+	"pmove/internal/machine"
+	"pmove/internal/pmu"
+	"pmove/internal/telemetry"
+	"pmove/internal/topo"
+	"pmove/internal/tsdb"
+)
+
+// Env is the daemon's environment configuration (step ⓪ reads "the IP
+// addresses of InfluxDB and MongoDB instances and Grafana token").
+type Env struct {
+	InfluxAddr   string
+	MongoAddr    string
+	GrafanaToken string
+}
+
+// EnvFromOS reads the configuration from the process environment, with
+// embedded-instance defaults when unset.
+func EnvFromOS() Env {
+	get := func(k, def string) string {
+		if v := os.Getenv(k); v != "" {
+			return v
+		}
+		return def
+	}
+	return Env{
+		InfluxAddr:   get("PMOVE_INFLUX_ADDR", "embedded"),
+		MongoAddr:    get("PMOVE_MONGO_ADDR", "embedded"),
+		GrafanaToken: get("PMOVE_GRAFANA_TOKEN", "dev-token"),
+	}
+}
+
+// Target is one attached system: its execution engine and PCP-like
+// sampler stack.
+type Target struct {
+	System   *topo.System
+	Machine  *machine.Machine
+	PMCD     *telemetry.PMCD
+	Pipeline telemetry.PipelineConfig
+}
+
+// Daemon is the P-MoVE host process.
+type Daemon struct {
+	Env      Env
+	Docs     *docdb.DB
+	TS       *tsdb.DB
+	Registry *abst.Registry
+	Gen      *dashboard.Generator
+
+	mu      sync.Mutex
+	targets map[string]*Target
+	kbs     map[string]*kb.KB
+	seq     uint64
+}
+
+// New creates a daemon with embedded databases and the built-in
+// abstraction-layer registry.
+func New(env Env) (*Daemon, error) {
+	reg, err := abst.DefaultRegistry()
+	if err != nil {
+		return nil, err
+	}
+	return &Daemon{
+		Env:      env,
+		Docs:     docdb.New(),
+		TS:       tsdb.New(),
+		Registry: reg,
+		Gen:      dashboard.NewGenerator("UUkm1881"),
+		targets:  map[string]*Target{},
+		kbs:      map[string]*kb.KB{},
+	}, nil
+}
+
+// AttachTarget registers a target system with the daemon, building its
+// execution engine and sampler stack.
+func (d *Daemon) AttachTarget(sys *topo.System, mcfg machine.Config, pipe telemetry.PipelineConfig) (*Target, error) {
+	m, err := machine.New(sys, mcfg)
+	if err != nil {
+		return nil, err
+	}
+	t := &Target{System: sys, Machine: m, PMCD: telemetry.NewPMCD(m), Pipeline: pipe}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.targets[sys.Hostname]; dup {
+		return nil, fmt.Errorf("core: target %q already attached", sys.Hostname)
+	}
+	d.targets[sys.Hostname] = t
+	return t, nil
+}
+
+// Target returns an attached target.
+func (d *Daemon) Target(host string) (*Target, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t, ok := d.targets[host]
+	if !ok {
+		return nil, fmt.Errorf("core: no target %q attached", host)
+	}
+	return t, nil
+}
+
+// Hosts lists attached targets, sorted.
+func (d *Daemon) Hosts() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []string
+	for h := range d.targets {
+		out = append(out, h)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Probe runs Figure 3 steps ①–③ for a target: the probing module runs on
+// the target, the probe document comes back to the host, the KB is
+// generated from it and inserted into the document database.
+func (d *Daemon) Probe(host string) (*kb.KB, error) {
+	t, err := d.Target(host)
+	if err != nil {
+		return nil, err
+	}
+	prober := topo.NewProber()
+	prober.EventLister = func(microarch string) []string {
+		cat, err := pmu.CatalogFor(microarch)
+		if err != nil {
+			return nil
+		}
+		return cat.Names()
+	}
+	prober.MetricLister = func(*topo.System) []string { return t.PMCD.Metrics() }
+	doc, err := prober.Probe(t.System)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kb.Generate(doc, kb.Config{
+		InfluxAddr:   d.Env.InfluxAddr,
+		MongoAddr:    d.Env.MongoAddr,
+		GrafanaToken: d.Env.GrafanaToken,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := k.Persist(d.Docs); err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.kbs[host] = k
+	d.mu.Unlock()
+	return k, nil
+}
+
+// KB returns the generated knowledge base for a host.
+func (d *Daemon) KB(host string) (*kb.KB, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	k, ok := d.kbs[host]
+	if !ok {
+		return nil, fmt.Errorf("core: host %q not probed yet", host)
+	}
+	return k, nil
+}
+
+// persistKB re-inserts a host's KB after it changed ("Step ③ re-occurs
+// every time KB changes").
+func (d *Daemon) persistKB(host string) error {
+	k, err := d.KB(host)
+	if err != nil {
+		return err
+	}
+	return k.Persist(d.Docs)
+}
+
+// nextTag allocates an observation tag.
+func (d *Daemon) nextTag(host string) string {
+	d.mu.Lock()
+	d.seq++
+	s := d.seq
+	d.mu.Unlock()
+	return kb.NewUUID(host, s)
+}
+
+// MonitorResult is the outcome of a Scenario A run.
+type MonitorResult struct {
+	Observation *kb.Observation
+	Stats       telemetry.SessionStats
+	Dashboard   *dashboard.Dashboard
+}
+
+// Monitor runs Scenario A: sampling software-emitted metrics to monitor
+// system state. The KB supplies the sampler configuration; dashboards are
+// generated before the target starts reporting ("the dashboards are
+// already generated on the host when the target starts reporting").
+func (d *Daemon) Monitor(host string, metrics []string, freqHz, durationSeconds float64) (*MonitorResult, error) {
+	t, err := d.Target(host)
+	if err != nil {
+		return nil, err
+	}
+	k, err := d.KB(host)
+	if err != nil {
+		return nil, err
+	}
+	if len(metrics) == 0 {
+		// Default SWTelemetry set from the KB: every software telemetry
+		// definition on any component.
+		seen := map[string]bool{}
+		for _, n := range k.Nodes() {
+			for _, tel := range n.Interface.Telemetries("SWTelemetry") {
+				if t2, ok := t.PMCD.Agent(telemetry.AgentLinux); ok {
+					for _, m := range t2.Metrics() {
+						if m == tel.SamplerName && !seen[m] {
+							seen[m] = true
+							metrics = append(metrics, m)
+						}
+					}
+				}
+			}
+		}
+		sort.Strings(metrics)
+	}
+	tag := d.nextTag(host)
+
+	// A1/A2: configure the sampler and generate the dashboard in parallel
+	// conceptually; here sequentially but before sampling starts.
+	obs := &kb.Observation{
+		ID:         "obs:" + tag,
+		Type:       "ObservationInterface",
+		Tag:        tag,
+		Host:       host,
+		Command:    "monitor",
+		FreqHz:     freqHz,
+		StartNanos: int64(t.Machine.Now() * 1e9),
+	}
+	for _, m := range metrics {
+		obs.Metrics = append(obs.Metrics, kb.MetricRef{
+			Measurement: tsdb.MeasurementName(m),
+			Fields:      d.fieldsForMetric(t, m),
+		})
+	}
+	dash, err := d.Gen.ForObservation(obs)
+	if err != nil {
+		return nil, err
+	}
+
+	collector := telemetry.NewCollector(d.TS, t.Pipeline)
+	sess, err := telemetry.NewSession(t.PMCD, collector, telemetry.SessionConfig{
+		Metrics: metrics, FreqHz: freqHz, Tag: tag, DurationSeconds: durationSeconds,
+	})
+	if err != nil {
+		return nil, err
+	}
+	stats, err := sess.Run()
+	if err != nil {
+		return nil, err
+	}
+	obs.EndNanos = int64(t.Machine.Now() * 1e9)
+	obs.Report = fmt.Sprintf("monitored %d metrics at %g Hz for %gs: %d inserted, %.1f%% lost",
+		len(metrics), freqHz, durationSeconds, stats.Inserted, stats.LossPct)
+	if err := k.Attach(obs); err != nil {
+		return nil, err
+	}
+	if err := d.persistKB(host); err != nil {
+		return nil, err
+	}
+	return &MonitorResult{Observation: obs, Stats: stats, Dashboard: dash}, nil
+}
+
+// fieldsForMetric resolves the instance fields a metric reports on a
+// target (the query parameters "already encoded in KB").
+func (d *Daemon) fieldsForMetric(t *Target, metric string) []string {
+	s, err := t.PMCD.Sample(metric)
+	if err != nil {
+		return nil
+	}
+	var fields []string
+	for f := range s.Values {
+		fields = append(fields, f)
+	}
+	sort.Strings(fields)
+	return fields
+}

@@ -1,0 +1,249 @@
+// Package dashboard is the visualization substrate standing in for
+// Grafana: dashboards are "only a simple JSON file" (paper Listing 1)
+// holding panels whose targets name a datasource, a measurement and an
+// instance-field parameter. P-MoVE auto-generates these files from the KB
+// views (focus, subtree, level) and a renderer turns panel data from the
+// tsdb into terminal plots.
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"pmove/internal/kb"
+	"pmove/internal/ontology"
+	"pmove/internal/tsdb"
+)
+
+// Datasource identifies where a target's data lives (Listing 1: type
+// "influxdb" and a uid).
+type Datasource struct {
+	Type string `json:"type"`
+	UID  string `json:"uid"`
+}
+
+// Target is one query of a panel: the measurement and the instance-field
+// parameter ("params": "_cpu0" in Listing 1).
+type Target struct {
+	Datasource  Datasource `json:"datasource"`
+	Measurement string     `json:"measurement"`
+	Params      string     `json:"params"`
+	Tag         string     `json:"tag,omitempty"` // observation tag filter
+}
+
+// Panel is one chart.
+type Panel struct {
+	ID      int      `json:"id"`
+	Title   string   `json:"title,omitempty"`
+	Targets []Target `json:"targets"`
+}
+
+// TimeRange is the dashboard's display window (Listing 1: "from": "now-5m").
+type TimeRange struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// Dashboard is the JSON document Grafana processes. "A dashboard can be
+// modified by the users and saved for the next sessions. The corresponding
+// JSON file can be shared by multiple users."
+type Dashboard struct {
+	ID     int       `json:"id"`
+	Title  string    `json:"title,omitempty"`
+	Panels []Panel   `json:"panels"`
+	Time   TimeRange `json:"time"`
+}
+
+// Encode renders the dashboard JSON.
+func (d *Dashboard) Encode() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// Decode parses a dashboard JSON file.
+func Decode(b []byte) (*Dashboard, error) {
+	var d Dashboard
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("dashboard: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// Validate checks structural soundness: unique panel ids, non-empty
+// targets.
+func (d *Dashboard) Validate() error {
+	ids := map[int]bool{}
+	for _, p := range d.Panels {
+		if ids[p.ID] {
+			return fmt.Errorf("dashboard: duplicate panel id %d", p.ID)
+		}
+		ids[p.ID] = true
+		if len(p.Targets) == 0 {
+			return fmt.Errorf("dashboard: panel %d has no targets", p.ID)
+		}
+		for _, t := range p.Targets {
+			if t.Measurement == "" {
+				return fmt.Errorf("dashboard: panel %d has a target without a measurement", p.ID)
+			}
+			if t.Datasource.Type == "" {
+				return fmt.Errorf("dashboard: panel %d has a target without a datasource type", p.ID)
+			}
+		}
+	}
+	return nil
+}
+
+// Generator builds dashboards from KB views. DatasourceUID names the
+// tsdb connection registered in the visualization layer.
+type Generator struct {
+	DatasourceUID string
+	nextID        int
+}
+
+// NewGenerator creates a generator.
+func NewGenerator(datasourceUID string) *Generator {
+	return &Generator{DatasourceUID: datasourceUID, nextID: 1}
+}
+
+func (g *Generator) ds() Datasource {
+	return Datasource{Type: "influxdb", UID: g.DatasourceUID}
+}
+
+// FromView generates one dashboard for a KB view: one panel per component
+// carrying the component's telemetry definitions as targets. This is the
+// fully automated path of §III-B ("Employing a tree-structured KB enables
+// fully automated performance monitoring … and dashboards").
+func (g *Generator) FromView(v *kb.View) (*Dashboard, error) {
+	if v == nil || len(v.Nodes) == 0 {
+		return nil, fmt.Errorf("dashboard: empty view")
+	}
+	g.nextID++
+	d := &Dashboard{
+		ID:    g.nextID,
+		Title: v.Title,
+		Time:  TimeRange{From: "now-5m", To: "now"},
+	}
+	pid := 0
+	for _, n := range v.Nodes {
+		tels := n.Interface.Telemetries("")
+		if len(tels) == 0 {
+			continue
+		}
+		pid++
+		p := Panel{ID: pid, Title: n.Interface.DisplayName}
+		for _, t := range tels {
+			p.Targets = append(p.Targets, Target{
+				Datasource:  g.ds(),
+				Measurement: t.DBName,
+				Params:      t.FieldName,
+			})
+		}
+		sort.Slice(p.Targets, func(i, j int) bool {
+			a, b := p.Targets[i], p.Targets[j]
+			if a.Measurement != b.Measurement {
+				return a.Measurement < b.Measurement
+			}
+			return a.Params < b.Params
+		})
+		d.Panels = append(d.Panels, p)
+	}
+	if len(d.Panels) == 0 {
+		return nil, fmt.Errorf("dashboard: view %q has no telemetry to display", v.Title)
+	}
+	return d, d.Validate()
+}
+
+// ForObservation generates the dashboard recalling one observation's
+// sampled metrics (the Scenario B visualisation path).
+func (g *Generator) ForObservation(o *kb.Observation) (*Dashboard, error) {
+	if len(o.Metrics) == 0 {
+		return nil, fmt.Errorf("dashboard: observation %s sampled no metrics", o.Tag)
+	}
+	g.nextID++
+	d := &Dashboard{
+		ID:    g.nextID,
+		Title: fmt.Sprintf("observation %s (%s)", o.Tag, o.Command),
+		Time:  TimeRange{From: "now-5m", To: "now"},
+	}
+	for i, m := range o.Metrics {
+		p := Panel{ID: i + 1, Title: m.Measurement}
+		fields := append([]string(nil), m.Fields...)
+		sort.Strings(fields)
+		for _, f := range fields {
+			p.Targets = append(p.Targets, Target{
+				Datasource:  g.ds(),
+				Measurement: m.Measurement,
+				Params:      f,
+				Tag:         o.Tag,
+			})
+		}
+		d.Panels = append(d.Panels, p)
+	}
+	return d, d.Validate()
+}
+
+// FetchSeries runs a panel target against the tsdb, returning time-ordered
+// (ns, value) pairs.
+func FetchSeries(db *tsdb.DB, t Target) ([]int64, []float64, error) {
+	q := &tsdb.Query{
+		Fields:      []string{t.Params},
+		Measurement: t.Measurement,
+		TagFilter:   map[string]string{},
+	}
+	if t.Params == "" {
+		q.Fields = []string{"*"}
+	}
+	if t.Tag != "" {
+		q.TagFilter["tag"] = t.Tag
+	}
+	res, err := db.Execute(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	var ts []int64
+	var vs []float64
+	for _, row := range res.Rows {
+		if v, ok := row.Values[t.Params]; ok {
+			ts = append(ts, row.Time)
+			vs = append(vs, v)
+		} else if t.Params == "" {
+			for _, v := range row.Values {
+				ts = append(ts, row.Time)
+				vs = append(vs, v)
+				break
+			}
+		}
+	}
+	return ts, vs, nil
+}
+
+// KindDashboards generates the standard dashboard set for a KB: a subtree
+// view of the whole system plus a level view per populated component kind
+// — the automation behind Fig 2.
+func (g *Generator) KindDashboards(k *kb.KB) (map[string]*Dashboard, error) {
+	out := map[string]*Dashboard{}
+	sub, err := k.SubtreeView(k.Root().ID)
+	if err != nil {
+		return nil, err
+	}
+	d, err := g.FromView(sub)
+	if err != nil {
+		return nil, err
+	}
+	out["subtree:"+k.Host] = d
+	for _, kind := range ontology.Kinds() {
+		lv, err := k.LevelView(kind)
+		if err != nil {
+			continue // kind not populated
+		}
+		d, err := g.FromView(lv)
+		if err != nil {
+			continue // no telemetry at this level
+		}
+		out[fmt.Sprintf("level:%s:%s", k.Host, kind)] = d
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package dashboard
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Save writes the dashboard JSON to a file — "a dashboard ... can be
+// modified by the users and saved for the next sessions. The
+// corresponding JSON file can be shared by multiple users."
+func Save(d *Dashboard, path string) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	b, err := d.Encode()
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return fmt.Errorf("dashboard: save: %w", err)
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// LoadFile reads and validates a dashboard JSON file.
+func LoadFile(path string) (*Dashboard, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("dashboard: load: %w", err)
+	}
+	return Decode(b)
+}
+
+// Library is a directory of saved dashboards, addressed by name
+// (<name>.json).
+type Library struct {
+	Dir string
+}
+
+// Save stores a dashboard under a name.
+func (l Library) Save(name string, d *Dashboard) error {
+	if strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("dashboard: library name %q must not contain path separators", name)
+	}
+	return Save(d, filepath.Join(l.Dir, name+".json"))
+}
+
+// Load fetches a dashboard by name.
+func (l Library) Load(name string) (*Dashboard, error) {
+	return LoadFile(filepath.Join(l.Dir, name+".json"))
+}
+
+// List returns the saved dashboard names, sorted.
+func (l Library) List() ([]string, error) {
+	entries, err := os.ReadDir(l.Dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			out = append(out, strings.TrimSuffix(e.Name(), ".json"))
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

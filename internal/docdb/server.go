@@ -1,0 +1,221 @@
+package docdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// request is the wire format of the Server protocol: one JSON object per
+// line.
+type request struct {
+	Op         string  `json:"op"` // insert | find | get | delete | count | collections
+	Collection string  `json:"collection,omitempty"`
+	Doc        Doc     `json:"doc,omitempty"`
+	Filter     *Filter `json:"filter,omitempty"`
+	ID         string  `json:"id,omitempty"`
+}
+
+type response struct {
+	OK    bool     `json:"ok"`
+	Error string   `json:"error,omitempty"`
+	ID    string   `json:"id,omitempty"`
+	Docs  []Doc    `json:"docs,omitempty"`
+	Count int      `json:"count,omitempty"`
+	Names []string `json:"names,omitempty"`
+}
+
+// Server exposes a DB over TCP, one JSON request/response per line.
+type Server struct {
+	db *DB
+
+	mu    sync.Mutex
+	ln    net.Listener
+	conns map[net.Conn]bool
+	wg    sync.WaitGroup
+}
+
+// NewServer wraps a DB.
+func NewServer(db *DB) *Server { return &Server{db: db, conns: map[net.Conn]bool{}} }
+
+// Listen starts serving and returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("docdb: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns[conn] = true
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.handle(conn)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	enc := json.NewEncoder(conn)
+	for sc.Scan() {
+		var req request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			if encErr := enc.Encode(response{Error: err.Error()}); encErr != nil {
+				return
+			}
+			continue
+		}
+		if err := enc.Encode(s.dispatch(&req)); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *request) response {
+	col := func() *Collection { return s.db.Collection(req.Collection) }
+	switch strings.ToLower(req.Op) {
+	case "insert":
+		id, err := col().Insert(req.Doc)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, ID: id}
+	case "upsert":
+		id, err := col().Upsert(req.Doc)
+		if err != nil {
+			return response{Error: err.Error()}
+		}
+		return response{OK: true, ID: id}
+	case "find":
+		return response{OK: true, Docs: col().Find(req.Filter)}
+	case "get":
+		d, ok := col().Get(req.ID)
+		if !ok {
+			return response{Error: fmt.Sprintf("no document %q", req.ID)}
+		}
+		return response{OK: true, Docs: []Doc{d}}
+	case "delete":
+		return response{OK: true, Count: col().Delete(req.Filter)}
+	case "count":
+		return response{OK: true, Count: col().Count(req.Filter)}
+	case "collections":
+		return response{OK: true, Names: s.db.Collections()}
+	}
+	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+}
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+		s.ln = nil
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client talks to a Server.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("docdb: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+func (c *Client) roundTrip(req request) (response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, err := json.Marshal(req)
+	if err != nil {
+		return response{}, err
+	}
+	if _, err := fmt.Fprintf(c.conn, "%s\n", b); err != nil {
+		return response{}, err
+	}
+	line, err := c.r.ReadBytes('\n')
+	if err != nil {
+		return response{}, err
+	}
+	var resp response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return response{}, fmt.Errorf("docdb: bad response: %w", err)
+	}
+	if resp.Error != "" {
+		return resp, fmt.Errorf("docdb: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Insert stores a document remotely and returns its id.
+func (c *Client) Insert(collection string, d Doc) (string, error) {
+	resp, err := c.roundTrip(request{Op: "insert", Collection: collection, Doc: d})
+	return resp.ID, err
+}
+
+// Upsert inserts or replaces a document remotely by its _id.
+func (c *Client) Upsert(collection string, d Doc) (string, error) {
+	resp, err := c.roundTrip(request{Op: "upsert", Collection: collection, Doc: d})
+	return resp.ID, err
+}
+
+// Find queries a collection remotely.
+func (c *Client) Find(collection string, f *Filter) ([]Doc, error) {
+	resp, err := c.roundTrip(request{Op: "find", Collection: collection, Filter: f})
+	return resp.Docs, err
+}
+
+// Get fetches one document by id.
+func (c *Client) Get(collection, id string) (Doc, error) {
+	resp, err := c.roundTrip(request{Op: "get", Collection: collection, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Docs) == 0 {
+		return nil, fmt.Errorf("docdb: no document %q", id)
+	}
+	return resp.Docs[0], nil
+}
+
+// Count counts matching documents.
+func (c *Client) Count(collection string, f *Filter) (int, error) {
+	resp, err := c.roundTrip(request{Op: "count", Collection: collection, Filter: f})
+	return resp.Count, err
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,130 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V) on the simulated substrates. Each experiment returns a
+// structured result with a text renderer, consumed by cmd/experiments and
+// by the benchmark harness in the repository root.
+//
+// Absolute numbers differ from the paper's testbed (the substrate is an
+// analytic simulator); the *shapes* — who wins, by what rough factor,
+// where crossovers fall — are asserted by the test suite and recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pmove/internal/machine"
+	"pmove/internal/telemetry"
+	"pmove/internal/topo"
+)
+
+// Scale selects the problem sizes: tests run Small for speed, the CLI
+// defaults to Full for closer-to-paper workloads.
+type Scale int
+
+// Scales.
+const (
+	Small Scale = iota
+	Full
+)
+
+// matrixRows returns the synthetic matrix size for a paper matrix at a
+// scale. Small keeps test runtimes low while still exceeding the L2
+// locality window; Full pushes the large matrices past the CSL L3 so the
+// matrix stream comes from DRAM as on the real testbed.
+func matrixRows(name string, s Scale) int {
+	small := map[string]int{
+		"adaptive": 250000, "audikw_1": 20000, "dielFilterV3real": 20000,
+		"hugetrace-00020": 360000, "human_gene1": 1500,
+	}
+	full := map[string]int{
+		"adaptive": 722500, "audikw_1": 50000, "dielFilterV3real": 50000,
+		"hugetrace-00020": 1000000, "human_gene1": 3300,
+	}
+	if s == Full {
+		return full[name]
+	}
+	return small[name]
+}
+
+// spmvRepeats sizes a Fig 7/8 phase: enough back-to-back SpMV invocations
+// that each phase spans many sampling intervals.
+func spmvRepeats(nnz int) int {
+	r := 1 + int(4e8/float64(nnz))
+	return r
+}
+
+// newTarget builds a machine and sampler stack for a preset host.
+func newTarget(host string, seed uint64) (*machine.Machine, *telemetry.PMCD, error) {
+	sys, err := topo.NewPreset(host)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := machine.New(sys, machine.Config{Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, telemetry.NewPMCD(m), nil
+}
+
+// selectEvents picks n core-scope events for a machine, starting with the
+// never-zero events Table III samples ("metrics that are highly unlikely
+// to report zero, e.g., UNHALTED_CORE_CYCLES, INSTRUCTION_RETIRED,
+// UOPS_DISPATCHED").
+func selectEvents(m *machine.Machine, n int) []string {
+	cat := m.Catalog()
+	events := cat.NeverZeroEvents()
+	for _, ev := range cat.Names() {
+		if len(events) >= n {
+			break
+		}
+		def, _ := cat.Lookup(ev)
+		if def.PMU != "core" {
+			continue
+		}
+		dup := false
+		for _, e := range events {
+			if e == ev {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			events = append(events, ev)
+		}
+	}
+	if len(events) > n {
+		events = events[:n]
+	}
+	return events
+}
+
+// sciNotation renders a count the way Table III does (e.g. "7.04E+03").
+func sciNotation(v float64) string {
+	return strings.ToUpper(strings.Replace(fmt.Sprintf("%.2e", v), "e+0", "E+0", 1))
+}
+
+// trimZeros renders a float without trailing zeros ("2", "0.5").
+func trimZeros(f float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.3f", f), "0"), ".")
+}
+
+// trimTo1 renders a float with one decimal place.
+func trimTo1(f float64) string { return fmt.Sprintf("%.1f", f) }
+
+// tableWriter accumulates aligned text rows.
+type tableWriter struct {
+	b      strings.Builder
+	format string
+}
+
+func newTableWriter(title, format string, headers ...any) *tableWriter {
+	tw := &tableWriter{format: format}
+	tw.b.WriteString(title + "\n")
+	fmt.Fprintf(&tw.b, format, headers...)
+	return tw
+}
+
+func (tw *tableWriter) row(args ...any) { fmt.Fprintf(&tw.b, tw.format, args...) }
+
+func (tw *tableWriter) String() string { return tw.b.String() }

@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pmove/internal/spmv"
+	"pmove/internal/topo"
+)
+
+func TestTableIShapes(t *testing.T) {
+	res, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGeneric := map[string]TableIRow{}
+	for _, r := range res.Rows {
+		byGeneric[r.Generic] = r
+	}
+	// Same event name on both vendors.
+	if r := byGeneric["RAPL_ENERGY_PKG"]; r.Intel != "RAPL_ENERGY_PKG" || r.AMD != "RAPL_ENERGY_PKG" {
+		t.Errorf("energy row: %+v", r)
+	}
+	// Different names, composed formulas.
+	r := byGeneric["TOTAL_MEMORY_OPERATIONS"]
+	if !strings.Contains(r.Intel, "MEM_INST_RETIRED:ALL_LOADS + MEM_INST_RETIRED:ALL_STORES") {
+		t.Errorf("intel mem ops: %s", r.Intel)
+	}
+	if !strings.Contains(r.AMD, "LS_DISPATCH:STORE_DISPATCH + LS_DISPATCH:LD_DISPATCH") {
+		t.Errorf("amd mem ops: %s", r.AMD)
+	}
+	// Vendor-exclusive event.
+	if byGeneric["L3_HIT"].Intel != "Not Supported" {
+		t.Error("L3_HIT should be unsupported on Intel Cascade")
+	}
+	if byGeneric["L3_HIT"].AMD == "Not Supported" {
+		t.Error("L3_HIT should be supported on Zen3")
+	}
+	if !strings.Contains(res.Render(), "pmu_utils.get") {
+		t.Error("render should include the paper's API example")
+	}
+}
+
+func TestTableIIIShapes(t *testing.T) {
+	res, err := TableIII(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 18 { // 2 hosts x 3 freqs x 3 metric counts
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	get := func(host string, freq float64, nmt int) TableIIIRow {
+		for _, r := range res.Rows {
+			if r.Host == host && r.FreqHz == freq && r.NMetrics == nmt {
+				return r
+			}
+		}
+		t.Fatalf("row %s/%g/%d missing", host, freq, nmt)
+		return TableIIIRow{}
+	}
+	// Expected counts follow duration * freq * nmt * domain.
+	r := get("skx", 2, 4)
+	if r.Expected != uint64(10*2*4*88) {
+		t.Errorf("skx expected = %d, want 7040", r.Expected)
+	}
+	if get("icl", 2, 4).Expected != uint64(10*2*4*16) {
+		t.Error("icl expected count wrong")
+	}
+	// Low frequency: clean; no zeros.
+	for _, host := range []string{"skx", "icl"} {
+		for _, nmt := range []int{4, 5, 6} {
+			row := get(host, 2, nmt)
+			if row.LossPct > 2 || row.Zeros != 0 {
+				t.Errorf("%s @2Hz/%dmt: loss %.1f zeros %d", host, nmt, row.LossPct, row.Zeros)
+			}
+		}
+	}
+	// 32 Hz: skx loses much more than icl; both batch zeros.
+	skx32, icl32 := get("skx", 32, 5), get("icl", 32, 5)
+	if skx32.LossPct < 15 {
+		t.Errorf("skx @32Hz loss %.1f%%, want heavy losses (paper: 19-38%%)", skx32.LossPct)
+	}
+	if icl32.LossPct > 10 {
+		t.Errorf("icl @32Hz loss %.1f%%, want small (paper: ~2.4%%)", icl32.LossPct)
+	}
+	if icl32.Zeros == 0 || skx32.Zeros == 0 {
+		t.Error("32 Hz should batch zeros")
+	}
+	if icl32.LZPct < 25 || icl32.LZPct > 55 {
+		t.Errorf("icl @32Hz L+Z %.1f%%, paper band ~36%%", icl32.LZPct)
+	}
+	// Throughput grows with frequency.
+	if get("skx", 32, 6).Tput <= get("skx", 2, 6).Tput {
+		t.Error("throughput should grow with frequency")
+	}
+	// A.Tput excludes zeros.
+	if skx32.ATput > skx32.Tput {
+		t.Error("actual throughput exceeds raw throughput")
+	}
+	if !strings.Contains(res.Render(), "Tput") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig4Shapes(t *testing.T) {
+	res, err := Fig4([]string{"icl", "zen3"}, []float64{2, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := res.Averaged()
+	if len(avg) != 4 {
+		t.Fatalf("averaged rows: %d", len(avg))
+	}
+	for _, r := range avg {
+		// Fig 4: errors stay within a few percent.
+		if math.Abs(r.FlopsErr) > 0.05 || math.Abs(r.BytesErr) > 0.05 {
+			t.Errorf("%s @%g: errors %.4f/%.4f exceed the Fig 4 band", r.Host, r.FreqHz, r.FlopsErr, r.BytesErr)
+		}
+	}
+	// Low-frequency errors are sub-percent.
+	for _, r := range avg {
+		if r.FreqHz == 2 && (math.Abs(r.FlopsErr) > 0.01 || math.Abs(r.BytesErr) > 0.01) {
+			t.Errorf("%s @2Hz: errors %.4f/%.4f should be sub-percent", r.Host, r.FlopsErr, r.BytesErr)
+		}
+	}
+}
+
+func TestFig5Shapes(t *testing.T) {
+	res, err := Fig5("icl", []float64{2, 32}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 { // 6 kernels x 2 freqs
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	var sum2, sum32 float64
+	anyNegative := false
+	for _, r := range res.Rows {
+		if math.Abs(r.OverheadPct) > 1 {
+			t.Errorf("%s @%g: overhead %.3f%% out of the Fig 5 band", r.Kernel, r.FreqHz, r.OverheadPct)
+		}
+		if r.OverheadPct < 0 {
+			anyNegative = true
+		}
+		if r.FreqHz == 2 {
+			sum2 += r.OverheadPct
+		} else {
+			sum32 += r.OverheadPct
+		}
+	}
+	// "a meaningful skew towards positive overhead is observed with
+	// increasing frequency".
+	if sum32 <= sum2 {
+		t.Errorf("overhead should skew positive with frequency: 2Hz sum %.4f vs 32Hz sum %.4f", sum2, sum32)
+	}
+	if !anyNegative {
+		t.Log("note: no negative overheads in this run (paper observed some)")
+	}
+}
+
+func TestFig6Shapes(t *testing.T) {
+	res, err := Fig6([]float64{1, 4}, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAgent := map[string][]Fig6Row{}
+	for _, r := range res.Rows {
+		byAgent[r.Agent] = append(byAgent[r.Agent], r)
+	}
+	for agent, rows := range byAgent {
+		if len(rows) != 2 {
+			t.Fatalf("%s: %d rows", agent, len(rows))
+		}
+		slow, fast := rows[0], rows[1]
+		if slow.IntervalSec < fast.IntervalSec {
+			slow, fast = fast, slow
+		}
+		// Memory constant regardless of frequency.
+		if slow.MemoryMB != fast.MemoryMB {
+			t.Errorf("%s: memory varies with frequency (%f vs %f)", agent, slow.MemoryMB, fast.MemoryMB)
+		}
+		// CPU scales with frequency (~4x here, allow 2x..6x).
+		if fast.CPUPct < slow.CPUPct*2 {
+			t.Errorf("%s: CPU did not scale with frequency: %f -> %f", agent, slow.CPUPct, fast.CPUPct)
+		}
+	}
+	// pmdaproc uses the most memory.
+	if byAgent["pmdaproc"][0].MemoryMB <= byAgent["pmdalinux"][0].MemoryMB {
+		t.Error("pmdaproc should have the largest memory footprint")
+	}
+	// Network and disk scale with frequency (tracked on pmcd).
+	pm := byAgent["pmcd"]
+	slow, fast := pm[0], pm[1]
+	if slow.IntervalSec < fast.IntervalSec {
+		slow, fast = fast, slow
+	}
+	if fast.NetKBps < slow.NetKBps*2 || fast.DiskKBps < slow.DiskKBps*2 {
+		t.Errorf("net/disk should scale: %f/%f -> %f/%f", slow.NetKBps, slow.DiskKBps, fast.NetKBps, fast.DiskKBps)
+	}
+}
+
+func TestFig7Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig7 runs full matrix workloads")
+	}
+	res, err := Fig7(Small, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Phases) != 20 { // 2 orderings x 5 matrices x 2 algorithms
+		t.Fatalf("phases: %d", len(res.Phases))
+	}
+	for _, p := range res.Phases {
+		switch p.Algorithm {
+		case spmv.AlgoMKL:
+			// "AVX512_DP_FP events are only manifested for Intel MKL."
+			if p.AVX512DP == 0 {
+				t.Errorf("%s/%s: MKL phase has no AVX-512 events", p.Ordering, p.Matrix)
+			}
+			if p.ScalarDP != 0 {
+				t.Errorf("%s/%s: MKL phase has scalar FP events", p.Ordering, p.Matrix)
+			}
+		case spmv.AlgoMerge:
+			// "SCALAR_DP_FP appear during the Merge algorithm."
+			if p.ScalarDP == 0 || p.AVX512DP != 0 {
+				t.Errorf("%s/%s: merge events wrong: scalar=%d avx512=%d", p.Ordering, p.Matrix, p.ScalarDP, p.AVX512DP)
+			}
+		}
+	}
+	// Per-matrix: SIMD reduces memory instruction counts.
+	byKey := map[string]Fig7Phase{}
+	for _, p := range res.Phases {
+		byKey[string(p.Ordering)+"/"+p.Matrix+"/"+string(p.Algorithm)] = p
+	}
+	for _, mi := range spmv.PaperMatrices() {
+		mkl := byKey["none/"+mi.Name+"/mkl"]
+		merge := byKey["none/"+mi.Name+"/merge"]
+		if mkl.MemInstr >= merge.MemInstr {
+			t.Errorf("%s: MKL mem instr %d should be below merge %d (SIMD)", mi.Name, mkl.MemInstr, merge.MemInstr)
+		}
+		// "the measures for RAPL_POWER_PACKAGE ... are lower than for
+		// Merge" — scalar code draws more package power here.
+		if mkl.MeanWatts >= merge.MeanWatts {
+			t.Errorf("%s: MKL watts %.1f should be below merge %.1f", mi.Name, mkl.MeanWatts, merge.MeanWatts)
+		}
+		// Both algorithms computed identical results.
+		if math.Abs(mkl.Checksum-merge.Checksum) > 1e-6*math.Abs(mkl.Checksum) {
+			t.Errorf("%s: checksums diverge", mi.Name)
+		}
+	}
+	// The headline: "the reordered ones took about 22% less time".
+	sp := res.SpeedupPct()
+	if sp < 10 || sp > 50 {
+		t.Errorf("RCM speedup %.1f%%, want the paper's ~22%% band (10-50)", sp)
+	}
+	if !strings.Contains(res.Render(), "rcm speedup") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig8 constructs a CARM and runs SpMV phases")
+	}
+	res, err := Fig8(Small, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	need := []string{"mkl/none", "merge/none", "mkl/rcm", "merge/rcm"}
+	got := map[string]float64{}
+	for _, label := range need {
+		s, ok := res.Summary(label)
+		if !ok || s.N == 0 {
+			t.Fatalf("phase %s missing from the live panel", label)
+		}
+		got[label] = s.MedianGF
+	}
+	// "for each algorithm, the RCM reordering yielded higher performance".
+	if got["mkl/rcm"] <= got["mkl/none"] {
+		t.Errorf("MKL: rcm %.1f should beat none %.1f", got["mkl/rcm"], got["mkl/none"])
+	}
+	if got["merge/rcm"] <= got["merge/none"] {
+		t.Errorf("merge: rcm %.1f should beat none %.1f", got["merge/rcm"], got["merge/none"])
+	}
+	// "Intel MKL SpMV provides higher performance than the Merge SpMV"
+	// (clearest under RCM, where AVX-512 pays off).
+	if got["mkl/rcm"] <= got["merge/rcm"] {
+		t.Errorf("MKL/rcm %.1f should beat merge/rcm %.1f", got["mkl/rcm"], got["merge/rcm"])
+	}
+	// Every point sits under the model's L1 envelope.
+	for _, p := range res.Panel.Points() {
+		roof, err := res.Model.RoofAt(topo.L1, p.AI)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.GFLOPS > roof*1.15 {
+			t.Errorf("point (%f, %f) above the envelope %f", p.AI, p.GFLOPS, roof)
+		}
+	}
+	if !strings.Contains(res.Render(), "live-CARM") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig9Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig9 constructs a CARM and runs benchmark phases")
+	}
+	res, err := Fig9(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]Fig9Row{}
+	for _, r := range res.Rows {
+		rows[r.Kernel] = r
+	}
+	for _, k := range []string{"triad", "peakflops", "ddot"} {
+		if _, ok := rows[k]; !ok {
+			t.Fatalf("kernel %s missing", k)
+		}
+	}
+	// Live AI matches the theoretical AI within 30%.
+	for k, r := range rows {
+		if r.TheoreticalAI == 0 {
+			t.Fatalf("%s: zero theoretical AI", k)
+		}
+		ratio := r.MedianAI / r.TheoreticalAI
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("%s: live AI %.4f vs theoretical %.4f (ratio %.2f)", k, r.MedianAI, r.TheoreticalAI, ratio)
+		}
+	}
+	// Triad is bounded by the L2 roof (does not fit in L1).
+	if rows["triad"].Bounding != topo.L2 {
+		t.Errorf("triad bound by %s, want L2", rows["triad"].Bounding)
+	}
+	// PeakFlops reaches near the FP ceiling.
+	if rows["peakflops"].MedianGF < res.Model.PeakGFLOPS*0.85 {
+		t.Errorf("peakflops %.1f GFLOPS, peak %.1f — should approach the roof",
+			rows["peakflops"].MedianGF, res.Model.PeakGFLOPS)
+	}
+	// DDOT surpasses the L2 roof (L1-resident).
+	l2roof, err := res.Model.RoofAt(topo.L2, rows["ddot"].MedianAI)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows["ddot"].MedianGF <= l2roof {
+		t.Errorf("ddot %.1f GFLOPS should surpass the L2 roof %.1f", rows["ddot"].MedianGF, l2roof)
+	}
+}
+
+func TestFig2Shapes(t *testing.T) {
+	res, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a_focus_cache", "b_subtree_icl", "c_level_threads", "d_cross_machine"} {
+		d, ok := res.Dashboards[name]
+		if !ok {
+			t.Fatalf("dashboard %s missing", name)
+		}
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	// The thread level view of skx has 88 panels (one per thread).
+	if res.PanelCounts["c_level_threads"] != 88 {
+		t.Errorf("thread level panels: %d", res.PanelCounts["c_level_threads"])
+	}
+	// The cross-machine view spans 3 sockets.
+	if res.PanelCounts["d_cross_machine"] != 3 {
+		t.Errorf("cross-machine panels: %d", res.PanelCounts["d_cross_machine"])
+	}
+}
+
+func TestRetentionStudyShapes(t *testing.T) {
+	res, err := RetentionStudy(8, 30, []float64{0, 10, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	forever, mid, short := res.Rows[0], res.Rows[1], res.Rows[2]
+	if forever.PointsDropped != 0 {
+		t.Error("infinite retention dropped rows")
+	}
+	if mid.PointsDropped == 0 || short.PointsDropped == 0 {
+		t.Error("finite retention should drop rows")
+	}
+	// Tighter retention keeps less data.
+	if !(short.PointsStored < mid.PointsStored && mid.PointsStored < forever.PointsStored) {
+		t.Errorf("storage not ordered by retention: %d / %d / %d",
+			short.PointsStored, mid.PointsStored, forever.PointsStored)
+	}
+	if !strings.Contains(res.Render(), "forever") {
+		t.Error("render broken")
+	}
+}

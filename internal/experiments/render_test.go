@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The Render methods feed cmd/experiments; these tests pin their shape so
+// the CLI output stays parseable.
+
+func TestTableIIIRender(t *testing.T) {
+	res, err := TableIII(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, want := range []string{"Host", "Freq", "#mt", "Expected", "Inserted", "Zeros", "%L", "L+Z%", "Tput", "A.Tput", "skx", "icl"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+	// Scientific notation in the paper's style.
+	if !strings.Contains(out, "E+0") {
+		t.Error("counts not in scientific notation")
+	}
+}
+
+func TestFig4Render(t *testing.T) {
+	res, err := Fig4([]string{"zen3"}, []float64{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "averaged over kernels") {
+		t.Error("averaged section missing")
+	}
+	for _, k := range []string{"sum", "stream", "triad", "peakflops", "ddot", "daxpy"} {
+		if !strings.Contains(out, k) {
+			t.Errorf("kernel %s missing", k)
+		}
+	}
+	if !strings.Contains(out, "%") {
+		t.Error("errors should render as percentages")
+	}
+}
+
+func TestFig5Render(t *testing.T) {
+	res, err := Fig5("icl", []float64{2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	if !strings.Contains(out, "overhead") || !strings.Contains(out, "2 reps") {
+		t.Errorf("render:\n%s", out)
+	}
+}
+
+func TestFig6Render(t *testing.T) {
+	res, err := Fig6([]float64{1}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, agent := range []string{"pmcd", "pmdaperfevent", "pmdalinux", "pmdaproc"} {
+		if !strings.Contains(out, agent) {
+			t.Errorf("agent %s missing", agent)
+		}
+	}
+	if !strings.Contains(out, "1/1") {
+		t.Error("interval notation missing")
+	}
+}
+
+func TestFig2Render(t *testing.T) {
+	res, err := Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Render()
+	for _, name := range []string{"a_focus_cache", "b_subtree_icl", "c_level_threads", "d_cross_machine"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("dashboard %s missing from render", name)
+		}
+	}
+}
+
+func TestScaleSelection(t *testing.T) {
+	if matrixRows("adaptive", Small) >= matrixRows("adaptive", Full) {
+		t.Error("full scale should be larger")
+	}
+	if matrixRows("human_gene1", Small) <= 0 {
+		t.Error("unknown size")
+	}
+	if spmvRepeats(1000) <= spmvRepeats(100000000) {
+		t.Error("repeats should shrink with matrix size")
+	}
+}
+
+func TestSciNotation(t *testing.T) {
+	if got := sciNotation(7040); got != "7.04E+03" {
+		t.Errorf("sciNotation(7040) = %q", got)
+	}
+	if got := sciNotation(0); got != "0.00E+00" {
+		t.Errorf("sciNotation(0) = %q", got)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pmove/internal/abst"
+)
+
+// TableIRow is one generic event's mapping on two microarchitectures.
+type TableIRow struct {
+	Generic string
+	Intel   string // formula on Intel Cascade, or "Not Supported"
+	AMD     string // formula on AMD Zen3
+}
+
+// TableIResult reproduces Table I: "Intel vs. AMD PMU events: the same,
+// similar, different, and exclusive event names for the same generic
+// event."
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableI resolves the paper's generic events through the Abstraction
+// Layer for Intel Cascade Lake and AMD Zen3.
+func TableI() (*TableIResult, error) {
+	reg, err := abst.DefaultRegistry()
+	if err != nil {
+		return nil, err
+	}
+	generics := []string{
+		abst.GenericEnergy,
+		abst.GenericTotalMemOps,
+		abst.GenericL3Hit,
+		abst.GenericL1DataMiss,
+		abst.GenericFPDivRetired,
+		abst.GenericInstructions,
+	}
+	res := &TableIResult{}
+	for _, g := range generics {
+		row := TableIRow{Generic: g}
+		if toks, err := reg.Get("cascade", g); err == nil {
+			row.Intel = strings.Join(toks, " ")
+		} else {
+			row.Intel = "Not Supported"
+		}
+		if toks, err := reg.Get("zen3", g); err == nil {
+			row.AMD = strings.Join(toks, " ")
+		} else {
+			row.AMD = "Not Supported"
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the table.
+func (r *TableIResult) Render() string {
+	tw := newTableWriter(
+		"Table I: Intel vs. AMD PMU events for the same generic event",
+		"%-26s | %-62s | %-52s\n", "Generic event", "Intel Cascade", "AMD Zen3")
+	for _, row := range r.Rows {
+		tw.row(row.Generic, row.Intel, row.AMD)
+	}
+	// The paper's example API call.
+	reg, err := abst.DefaultRegistry()
+	if err == nil {
+		toks, gerr := reg.Get("skl", abst.GenericTotalMemOps)
+		if gerr == nil {
+			return tw.String() + fmt.Sprintf("\n> pmu_utils.get(%q, %q)\n> %q\n", "skl", "TOTAL_MEMORY_OPERATIONS", toks)
+		}
+	}
+	return tw.String()
+}

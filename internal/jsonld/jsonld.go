@@ -1,0 +1,228 @@
+// Package jsonld implements the linked-data substrate of P-MoVE: JSON-LD
+// documents (@context/@id/@type keywords), expansion of documents into RDF
+// triples (subject, predicate, object), and an indexed triple store with
+// pattern queries. The Knowledge Base serialises to JSON-LD (paper §II:
+// "RDF is a standardized approach for organizing data as triples … JSON-LD,
+// an RDF serialization, has unique attributes").
+package jsonld
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Reserved JSON-LD keywords.
+const (
+	KeyContext = "@context"
+	KeyID      = "@id"
+	KeyType    = "@type"
+	KeyValue   = "@value"
+)
+
+// Document is a JSON-LD node object.
+type Document map[string]any
+
+// ID returns the node's @id, or "".
+func (d Document) ID() string {
+	s, _ := d[KeyID].(string)
+	return s
+}
+
+// Types returns the node's @type values (a string or list in JSON-LD).
+func (d Document) Types() []string {
+	switch t := d[KeyType].(type) {
+	case string:
+		return []string{t}
+	case []any:
+		var out []string
+		for _, v := range t {
+			if s, ok := v.(string); ok {
+				out = append(out, s)
+			}
+		}
+		return out
+	case []string:
+		return append([]string(nil), t...)
+	}
+	return nil
+}
+
+// HasType reports whether the node carries the type.
+func (d Document) HasType(t string) bool {
+	for _, x := range d.Types() {
+		if x == t {
+			return true
+		}
+	}
+	return false
+}
+
+// Context returns the node's @context as a string (the DTDL usage), or "".
+func (d Document) Context() string {
+	s, _ := d[KeyContext].(string)
+	return s
+}
+
+// Parse decodes a JSON-LD document.
+func Parse(b []byte) (Document, error) {
+	var d Document
+	if err := json.Unmarshal(b, &d); err != nil {
+		return nil, fmt.Errorf("jsonld: %w", err)
+	}
+	return d, nil
+}
+
+// Encode renders the document as canonical indented JSON.
+func (d Document) Encode() ([]byte, error) {
+	return json.MarshalIndent(d, "", "  ")
+}
+
+// Term is an RDF term: an IRI or a literal.
+type Term struct {
+	// IRI is set for resource terms.
+	IRI string
+	// Literal is set (with IRI empty) for literal terms; Datatype tags the
+	// literal's type when known.
+	Literal  string
+	Datatype string
+}
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.IRI == "" }
+
+// String renders the term in a Turtle-like syntax.
+func (t Term) String() string {
+	if t.IsLiteral() {
+		if t.Datatype != "" {
+			return fmt.Sprintf("%q^^%s", t.Literal, t.Datatype)
+		}
+		return fmt.Sprintf("%q", t.Literal)
+	}
+	return "<" + t.IRI + ">"
+}
+
+// Triple is one RDF statement.
+type Triple struct {
+	Subject   string // IRI
+	Predicate string // IRI
+	Object    Term
+}
+
+// String renders the triple Turtle-style.
+func (t Triple) String() string {
+	return fmt.Sprintf("<%s> <%s> %s .", t.Subject, t.Predicate, t.Object)
+}
+
+// rdfType is the predicate used for @type statements.
+const rdfType = "rdf:type"
+
+// ExpandTriples flattens a JSON-LD document into RDF triples. Nested node
+// objects (maps with an @id) become linked subjects; nested objects
+// without an @id get blank-node ids derived from the parent. Arrays expand
+// element-wise. Keywords other than @id/@type do not generate triples.
+func ExpandTriples(d Document) ([]Triple, error) {
+	id := d.ID()
+	if id == "" {
+		return nil, fmt.Errorf("jsonld: document has no @id, cannot expand")
+	}
+	var out []Triple
+	if err := expandNode(id, d, &out, map[string]bool{}); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Subject != b.Subject {
+			return a.Subject < b.Subject
+		}
+		if a.Predicate != b.Predicate {
+			return a.Predicate < b.Predicate
+		}
+		return a.Object.String() < b.Object.String()
+	})
+	return out, nil
+}
+
+func expandNode(subject string, node map[string]any, out *[]Triple, seen map[string]bool) error {
+	if seen[subject] {
+		return nil
+	}
+	seen[subject] = true
+	keys := make([]string, 0, len(node))
+	for k := range node {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	blank := 0
+	for _, k := range keys {
+		v := node[k]
+		switch k {
+		case KeyID, KeyContext:
+			continue
+		case KeyType:
+			for _, t := range (Document(node)).Types() {
+				*out = append(*out, Triple{Subject: subject, Predicate: rdfType, Object: Term{IRI: t}})
+			}
+			continue
+		}
+		if err := expandValue(subject, k, v, out, seen, &blank); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func expandValue(subject, pred string, v any, out *[]Triple, seen map[string]bool, blank *int) error {
+	switch val := v.(type) {
+	case nil:
+		return nil
+	case string:
+		// DTMI-shaped strings are resource references (e.g. a
+		// Relationship's "target"), so they expand as IRIs and keep the
+		// graph navigable.
+		if strings.HasPrefix(val, "dtmi:") {
+			*out = append(*out, Triple{Subject: subject, Predicate: pred, Object: Term{IRI: val}})
+			return nil
+		}
+		*out = append(*out, Triple{Subject: subject, Predicate: pred, Object: Term{Literal: val, Datatype: "xsd:string"}})
+	case bool:
+		*out = append(*out, Triple{Subject: subject, Predicate: pred, Object: Term{Literal: fmt.Sprintf("%t", val), Datatype: "xsd:boolean"}})
+	case float64:
+		*out = append(*out, Triple{Subject: subject, Predicate: pred, Object: Term{Literal: trimFloat(val), Datatype: "xsd:double"}})
+	case int:
+		*out = append(*out, Triple{Subject: subject, Predicate: pred, Object: Term{Literal: fmt.Sprintf("%d", val), Datatype: "xsd:integer"}})
+	case int64:
+		*out = append(*out, Triple{Subject: subject, Predicate: pred, Object: Term{Literal: fmt.Sprintf("%d", val), Datatype: "xsd:integer"}})
+	case []any:
+		for _, item := range val {
+			if err := expandValue(subject, pred, item, out, seen, blank); err != nil {
+				return err
+			}
+		}
+	case map[string]any:
+		child := Document(val)
+		cid := child.ID()
+		if cid == "" {
+			*blank++
+			cid = fmt.Sprintf("_:b-%s-%s-%d", subject, pred, *blank)
+		}
+		*out = append(*out, Triple{Subject: subject, Predicate: pred, Object: Term{IRI: cid}})
+		return expandNode(cid, val, out, seen)
+	case Document:
+		return expandValue(subject, pred, map[string]any(val), out, seen, blank)
+	default:
+		// Fall back to the JSON rendering as an untyped literal.
+		b, err := json.Marshal(val)
+		if err != nil {
+			return fmt.Errorf("jsonld: cannot expand value under %q: %w", pred, err)
+		}
+		*out = append(*out, Triple{Subject: subject, Predicate: pred, Object: Term{Literal: string(b)}})
+	}
+	return nil
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return strings.TrimSuffix(s, ".0")
+}

@@ -1,0 +1,251 @@
+package jsonld
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func gpuDoc() Document {
+	// Trimmed Listing 4.
+	d, err := Parse([]byte(`{
+		"@type": "Interface",
+		"@id": "dtmi:dt:cn1:gpu0;1",
+		"@context": "dtmi:dtdl:context;2",
+		"contents": [
+			{"@id": "dtmi:dt:cn1:gpu0:property0;1", "@type": "Property",
+			 "name": "model", "description": "NVIDIA Quadro GV100"},
+			{"@id": "dtmi:dt:cn1:gpu0:telemetry1337;1", "@type": "SWTelemetry",
+			 "name": "metric4", "SamplerName": "nvidia.memused", "DBName": "nvidia_memused"}
+		]
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func TestDocumentAccessors(t *testing.T) {
+	d := gpuDoc()
+	if d.ID() != "dtmi:dt:cn1:gpu0;1" {
+		t.Errorf("id = %q", d.ID())
+	}
+	if !d.HasType("Interface") || d.HasType("Telemetry") {
+		t.Errorf("types = %v", d.Types())
+	}
+	if d.Context() != "dtmi:dtdl:context;2" {
+		t.Errorf("context = %q", d.Context())
+	}
+}
+
+func TestTypesList(t *testing.T) {
+	d := Document{KeyType: []any{"A", "B"}}
+	ts := d.Types()
+	if len(ts) != 2 || ts[0] != "A" || ts[1] != "B" {
+		t.Errorf("types = %v", ts)
+	}
+}
+
+func TestExpandTriples(t *testing.T) {
+	ts, err := ExpandTriples(gpuDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(s, p string) []Triple {
+		var out []Triple
+		for _, tr := range ts {
+			if tr.Subject == s && tr.Predicate == p {
+				out = append(out, tr)
+			}
+		}
+		return out
+	}
+	// Root type triple.
+	if got := find("dtmi:dt:cn1:gpu0;1", "rdf:type"); len(got) != 1 || got[0].Object.IRI != "Interface" {
+		t.Errorf("type triple: %v", got)
+	}
+	// Nested nodes are linked by @id.
+	if got := find("dtmi:dt:cn1:gpu0;1", "contents"); len(got) != 2 {
+		t.Errorf("contents links: %v", got)
+	}
+	// Nested property literal.
+	if got := find("dtmi:dt:cn1:gpu0:property0;1", "description"); len(got) != 1 ||
+		got[0].Object.Literal != "NVIDIA Quadro GV100" {
+		t.Errorf("description literal: %v", got)
+	}
+}
+
+func TestExpandNeedsID(t *testing.T) {
+	if _, err := ExpandTriples(Document{"x": 1}); err == nil {
+		t.Fatal("expected error for document without @id")
+	}
+}
+
+func TestExpandBlankNodes(t *testing.T) {
+	d := Document{
+		KeyID:  "root",
+		"meta": map[string]any{"k": "v"}, // no @id -> blank node
+	}
+	ts, err := ExpandTriples(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blank string
+	for _, tr := range ts {
+		if tr.Subject == "root" && tr.Predicate == "meta" {
+			blank = tr.Object.IRI
+		}
+	}
+	if blank == "" {
+		t.Fatal("no blank node link generated")
+	}
+	found := false
+	for _, tr := range ts {
+		if tr.Subject == blank && tr.Predicate == "k" && tr.Object.Literal == "v" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("blank node content missing")
+	}
+}
+
+func TestExpandCycleSafe(t *testing.T) {
+	// Two nodes referencing each other must not loop forever.
+	inner := map[string]any{KeyID: "b"}
+	outer := map[string]any{KeyID: "a", "link": inner}
+	inner["back"] = outer
+	if _, err := ExpandTriples(Document(outer)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTermString(t *testing.T) {
+	if (Term{IRI: "x"}).String() != "<x>" {
+		t.Error("IRI rendering")
+	}
+	if (Term{Literal: "v", Datatype: "xsd:string"}).String() != `"v"^^xsd:string` {
+		t.Error("typed literal rendering")
+	}
+}
+
+func TestStoreAddAndDedup(t *testing.T) {
+	s := NewStore()
+	tr := Triple{Subject: "a", Predicate: "p", Object: Term{IRI: "b"}}
+	if !s.Add(tr) {
+		t.Fatal("first add should insert")
+	}
+	if s.Add(tr) {
+		t.Fatal("duplicate add should be ignored")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestStorePatternQueries(t *testing.T) {
+	s := NewStore()
+	s.Add(Triple{Subject: "a", Predicate: "contains", Object: Term{IRI: "b"}})
+	s.Add(Triple{Subject: "a", Predicate: "contains", Object: Term{IRI: "c"}})
+	s.Add(Triple{Subject: "b", Predicate: "name", Object: Term{Literal: "core0", Datatype: "xsd:string"}})
+	if got := s.Query(Pattern{Subject: "a"}); len(got) != 2 {
+		t.Errorf("subject query: %v", got)
+	}
+	if got := s.Query(Pattern{Predicate: "name"}); len(got) != 1 {
+		t.Errorf("predicate query: %v", got)
+	}
+	if got := s.Query(Pattern{Object: "core0"}); len(got) != 1 {
+		t.Errorf("literal object query: %v", got)
+	}
+	if got := s.Query(Pattern{Object: "b"}); len(got) != 1 {
+		t.Errorf("IRI object query: %v", got)
+	}
+	if got := s.Query(Pattern{Subject: "a", Object: "c"}); len(got) != 1 {
+		t.Errorf("combined query: %v", got)
+	}
+	if got := s.Query(Pattern{}); len(got) != 3 {
+		t.Errorf("wildcard query: %v", got)
+	}
+}
+
+func TestStoreNeighborsAndPath(t *testing.T) {
+	s := NewStore()
+	s.Add(Triple{Subject: "sys", Predicate: "contains", Object: Term{IRI: "sock"}})
+	s.Add(Triple{Subject: "sock", Predicate: "contains", Object: Term{IRI: "core"}})
+	s.Add(Triple{Subject: "core", Predicate: "contains", Object: Term{IRI: "thread"}})
+	s.Add(Triple{Subject: "sys", Predicate: "name", Object: Term{Literal: "skx"}})
+	if n := s.Neighbors("sys"); len(n) != 1 || n[0] != "sock" {
+		t.Errorf("neighbors = %v", n)
+	}
+	if !s.PathExists("sys", "thread") {
+		t.Error("path sys->thread should exist")
+	}
+	if s.PathExists("thread", "sys") {
+		t.Error("reverse path should not exist in a tree")
+	}
+	if !s.PathExists("sys", "sys") {
+		t.Error("trivial path should exist")
+	}
+}
+
+func TestStoreDocumentIngest(t *testing.T) {
+	s := NewStore()
+	n, err := s.AddDocument(gpuDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 || n != s.Len() {
+		t.Fatalf("inserted %d, stored %d", n, s.Len())
+	}
+	// Re-adding the same document inserts nothing.
+	n2, err := s.AddDocument(gpuDoc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 {
+		t.Errorf("duplicate ingest added %d triples", n2)
+	}
+}
+
+func TestExpandDeterministicProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		d := Document{
+			KeyID:   "doc",
+			"alpha": int(a),
+			"beta":  []any{float64(b), "s"},
+		}
+		t1, err1 := ExpandTriples(d)
+		t2, err2 := ExpandTriples(d)
+		if err1 != nil || err2 != nil || len(t1) != len(t2) {
+			return false
+		}
+		for i := range t1 {
+			if t1[i].String() != t2[i].String() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	d := gpuDoc()
+	b, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID() != d.ID() {
+		t.Errorf("round trip lost id: %q", got.ID())
+	}
+	ts1, _ := ExpandTriples(d)
+	ts2, _ := ExpandTriples(got)
+	if len(ts1) != len(ts2) {
+		t.Errorf("round trip changed triple count: %d vs %d", len(ts1), len(ts2))
+	}
+}

@@ -1,0 +1,210 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmove/internal/ontology"
+)
+
+// Entry is a live attachment to the KB: an observation, a benchmark
+// result, or a process instantiation. Entries are serialised to the
+// document database alongside the component interfaces.
+type Entry interface {
+	Kind() ontology.EntryKind
+	EntryID() string
+}
+
+// MetricRef names one sampled metric stream: the measurement in the
+// time-series DB and the fields (instance names) recorded.
+type MetricRef struct {
+	Measurement string   `json:"measurement"`
+	Fields      []string `json:"fields"`
+}
+
+// Observation encodes "sampled hardware performance events and system
+// metrics, executed commands, generated affinity, time and other relevant
+// metadata" (paper §III-C, Listing 2). The Tag links the entry to its
+// time-series rows in the tsdb.
+type Observation struct {
+	ID          string      `json:"@id"`
+	Type        string      `json:"@type"`
+	Tag         string      `json:"tag"` // unique observation id, the tsdb tag
+	Host        string      `json:"host"`
+	Command     string      `json:"command"`
+	Args        []string    `json:"args,omitempty"`
+	PinStrategy string      `json:"pin_strategy,omitempty"`
+	Affinity    []int       `json:"affinity,omitempty"`
+	StartNanos  int64       `json:"start_ns"`
+	EndNanos    int64       `json:"end_ns"`
+	FreqHz      float64     `json:"sampling_hz"`
+	Metrics     []MetricRef `json:"metrics"`
+	Report      string      `json:"report,omitempty"`
+}
+
+// Kind implements Entry.
+func (o *Observation) Kind() ontology.EntryKind { return ontology.EntryObservation }
+
+// EntryID implements Entry.
+func (o *Observation) EntryID() string { return o.ID }
+
+// Queries generates the retrieval statements for the observation — the
+// exact shape of the paper's Listing 3:
+//
+//	SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle" WHERE tag="<tag>"
+//
+// One query per sampled metric, fields sorted.
+func (o *Observation) Queries() []string {
+	var out []string
+	for _, m := range o.Metrics {
+		fields := append([]string(nil), m.Fields...)
+		sort.Strings(fields)
+		var q strings.Builder
+		q.WriteString("SELECT ")
+		for i, f := range fields {
+			if i > 0 {
+				q.WriteString(", ")
+			}
+			fmt.Fprintf(&q, "%q", f)
+		}
+		fmt.Fprintf(&q, " FROM %q WHERE tag=%q", m.Measurement, o.Tag)
+		out = append(out, q.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BenchmarkResult is the helper class recording one benchmark metric
+// (paper §III-C: "BenchmarkInterface, and BenchmarkResult as a helper
+// class, is designed to record benchmark results").
+type BenchmarkResult struct {
+	Metric string  `json:"metric"` // e.g. "bandwidth_GBps", "gflops"
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	// Params identify the configuration: level, ISA, threads, kernel.
+	Params map[string]string `json:"params,omitempty"`
+}
+
+// Benchmark records one benchmark execution (CARM, STREAM, HPCG).
+type Benchmark struct {
+	ID         string            `json:"@id"`
+	Type       string            `json:"@type"`
+	Host       string            `json:"host"`
+	Name       string            `json:"name"` // "carm", "stream", "hpcg"
+	Compiler   string            `json:"compiler,omitempty"`
+	StartNanos int64             `json:"start_ns"`
+	EndNanos   int64             `json:"end_ns"`
+	Results    []BenchmarkResult `json:"results"`
+}
+
+// Kind implements Entry.
+func (b *Benchmark) Kind() ontology.EntryKind { return ontology.EntryBenchmark }
+
+// EntryID implements Entry.
+func (b *Benchmark) EntryID() string { return b.ID }
+
+// Result returns the first result whose metric and params match; params
+// with empty values act as wildcards.
+func (b *Benchmark) Result(metric string, params map[string]string) (BenchmarkResult, bool) {
+	for _, r := range b.Results {
+		if r.Metric != metric {
+			continue
+		}
+		ok := true
+		for k, v := range params {
+			if v != "" && r.Params[k] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return r, true
+		}
+	}
+	return BenchmarkResult{}, false
+}
+
+// Process is the re-instantiated ProcessInterface: "a ProcessInterface is
+// re-instantiated each time it is invoked, reflecting the processes'
+// dynamic nature".
+type Process struct {
+	ID         string `json:"@id"`
+	Type       string `json:"@type"`
+	Host       string `json:"host"`
+	PID        int    `json:"pid"`
+	Command    string `json:"command"`
+	StartNanos int64  `json:"start_ns"`
+	// Threads maps software thread index to hardware thread id.
+	Threads map[string]int `json:"threads,omitempty"`
+}
+
+// Kind implements Entry.
+func (p *Process) Kind() ontology.EntryKind { return ontology.EntryProcess }
+
+// EntryID implements Entry.
+func (p *Process) EntryID() string { return p.ID }
+
+// Attach appends an entry to the KB ("It captures more about the system it
+// represents as time passes by attaching new entries").
+func (k *KB) Attach(e Entry) error {
+	if e.EntryID() == "" {
+		return fmt.Errorf("kb: entry of kind %s has no id", e.Kind())
+	}
+	for _, have := range k.Entries {
+		if have.EntryID() == e.EntryID() {
+			return fmt.Errorf("kb: duplicate entry id %s", e.EntryID())
+		}
+	}
+	k.Entries = append(k.Entries, e)
+	return nil
+}
+
+// Observations returns all observation entries in attachment order.
+func (k *KB) Observations() []*Observation {
+	var out []*Observation
+	for _, e := range k.Entries {
+		if o, ok := e.(*Observation); ok {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Benchmarks returns all benchmark entries, optionally filtered by name
+// ("" for all).
+func (k *KB) Benchmarks(name string) []*Benchmark {
+	var out []*Benchmark
+	for _, e := range k.Entries {
+		if b, ok := e.(*Benchmark); ok && (name == "" || b.Name == name) {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// FindObservation returns the observation with the given tag.
+func (k *KB) FindObservation(tag string) (*Observation, bool) {
+	for _, o := range k.Observations() {
+		if o.Tag == tag {
+			return o, true
+		}
+	}
+	return nil, false
+}
+
+// NewUUID derives a deterministic-looking unique tag from a sequence
+// number and host: P-MoVE tags observations with UUIDs (Listing 2). The
+// result is formatted like a UUID for fidelity but derives from the
+// arguments so replays are reproducible.
+func NewUUID(host string, seq uint64) string {
+	h := uint64(1469598103934665603)
+	for _, c := range []byte(host) {
+		h = (h ^ uint64(c)) * 1099511628211
+	}
+	h ^= seq * 0x9e3779b97f4a7c15
+	h2 := h * 0xbf58476d1ce4e5b9
+	return fmt.Sprintf("%08x-%04x-%04x-%04x-%012x",
+		uint32(h), uint16(h>>32), uint16(h>>48)&0x0fff|0x4000,
+		uint16(h2)&0x3fff|0x8000, h2>>16&0xffffffffffff)
+}

@@ -1,0 +1,167 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"pmove/internal/docdb"
+	"pmove/internal/ontology"
+)
+
+// Collection names used in the document database.
+const (
+	CollInterfaces = "kb_interfaces"
+	CollEntries    = "kb_entries"
+	CollMeta       = "kb_meta"
+)
+
+// Persist writes the whole KB into the document database (Figure 3 step
+// ③: "Once the KB is generated, it is inserted into MongoDB … Step ③
+// re-occurs every time KB changes"). Existing documents for the same host
+// are replaced, making Persist idempotent.
+func (k *KB) Persist(db *docdb.DB) error {
+	ifaces := db.Collection(CollInterfaces)
+	entries := db.Collection(CollEntries)
+	meta := db.Collection(CollMeta)
+
+	// Drop prior state for this host.
+	hostFilter := &docdb.Filter{Eq: map[string]any{"host": k.Host}}
+	ifaces.Delete(hostFilter)
+	entries.Delete(hostFilter)
+	meta.Delete(hostFilter)
+
+	for _, n := range k.Nodes() {
+		doc, err := toDoc(n.Interface)
+		if err != nil {
+			return fmt.Errorf("kb: persist %s: %w", n.ID, err)
+		}
+		doc["_id"] = n.ID
+		doc["host"] = k.Host
+		doc["kind"] = string(n.Kind)
+		doc["parent"] = n.Parent
+		if _, err := ifaces.Insert(doc); err != nil {
+			return err
+		}
+	}
+	for _, e := range k.Entries {
+		doc, err := toDoc(e)
+		if err != nil {
+			return fmt.Errorf("kb: persist entry %s: %w", e.EntryID(), err)
+		}
+		doc["_id"] = e.EntryID()
+		doc["host"] = k.Host
+		doc["kind"] = string(e.Kind())
+		if _, err := entries.Insert(doc); err != nil {
+			return err
+		}
+	}
+	metaDoc, err := toDoc(map[string]any{
+		"_id":    "meta:" + k.Host,
+		"host":   k.Host,
+		"root":   k.root,
+		"config": k.Config,
+		"nodes":  k.Len(),
+	})
+	if err != nil {
+		return err
+	}
+	_, err = meta.Insert(metaDoc)
+	return err
+}
+
+// Load reconstructs a KB for a host from the document database.
+func Load(db *docdb.DB, host string) (*KB, error) {
+	meta := db.Collection(CollMeta)
+	md, ok := meta.Get("meta:" + host)
+	if !ok {
+		return nil, fmt.Errorf("kb: no persisted KB for host %q", host)
+	}
+	root, _ := md["root"].(string)
+	k := &KB{Host: host, nodes: map[string]*Node{}, root: root}
+	if cfgRaw, ok := md["config"]; ok {
+		b, _ := json.Marshal(cfgRaw)
+		if err := json.Unmarshal(b, &k.Config); err != nil {
+			return nil, fmt.Errorf("kb: load config: %w", err)
+		}
+	}
+
+	hostFilter := &docdb.Filter{Eq: map[string]any{"host": host}}
+	for _, doc := range db.Collection(CollInterfaces).Find(hostFilter) {
+		b, err := json.Marshal(doc)
+		if err != nil {
+			return nil, err
+		}
+		iface, err := ontology.ParseInterface(b)
+		if err != nil {
+			return nil, fmt.Errorf("kb: load %s: %w", doc.ID(), err)
+		}
+		kind, _ := doc["kind"].(string)
+		parent, _ := doc["parent"].(string)
+		ordinal := 0
+		if v, ok := iface.Property("__ordinal").(float64); ok {
+			ordinal = int(v)
+		}
+		k.nodes[iface.ID] = &Node{
+			ID: iface.ID, Kind: ontology.ComponentKind(kind), Ordinal: ordinal,
+			Interface: iface, Parent: parent,
+		}
+	}
+	// Rebuild children lists from parents.
+	for _, n := range k.nodes {
+		if n.Parent != "" {
+			if p, ok := k.nodes[n.Parent]; ok {
+				p.Children = append(p.Children, n.ID)
+			}
+		}
+	}
+	for _, n := range k.nodes {
+		sort.Strings(n.Children)
+	}
+	for _, doc := range db.Collection(CollEntries).Find(hostFilter) {
+		e, err := entryFromDoc(doc)
+		if err != nil {
+			return nil, err
+		}
+		k.Entries = append(k.Entries, e)
+	}
+	if err := k.Validate(); err != nil {
+		return nil, fmt.Errorf("kb: loaded KB invalid: %w", err)
+	}
+	return k, nil
+}
+
+// entryFromDoc reconstructs a typed entry from its stored document.
+func entryFromDoc(doc docdb.Doc) (Entry, error) {
+	kind, _ := doc["kind"].(string)
+	b, err := json.Marshal(doc)
+	if err != nil {
+		return nil, err
+	}
+	switch ontology.EntryKind(kind) {
+	case ontology.EntryObservation, ontology.EntryTSObservation, ontology.EntryAGGObservation:
+		var o Observation
+		if err := json.Unmarshal(b, &o); err != nil {
+			return nil, err
+		}
+		return &o, nil
+	case ontology.EntryBenchmark:
+		var bm Benchmark
+		if err := json.Unmarshal(b, &bm); err != nil {
+			return nil, err
+		}
+		return &bm, nil
+	case ontology.EntryProcess:
+		var p Process
+		if err := json.Unmarshal(b, &p); err != nil {
+			return nil, err
+		}
+		return &p, nil
+	}
+	return nil, fmt.Errorf("kb: unknown entry kind %q in document %s", kind, doc.ID())
+}
+
+// toDoc converts any JSON-able value to a docdb document.
+func toDoc(v any) (docdb.Doc, error) {
+	return docdb.FromValue(v)
+}

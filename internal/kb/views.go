@@ -1,0 +1,118 @@
+package kb
+
+import (
+	"fmt"
+	"sort"
+
+	"pmove/internal/ontology"
+)
+
+// ViewKind names the three dashboard views of §III-B.
+type ViewKind string
+
+// The three views.
+const (
+	ViewFocus   ViewKind = "focus"   // single component + path to root
+	ViewSubtree ViewKind = "subtree" // component and all descendants
+	ViewLevel   ViewKind = "level"   // all components of one type
+)
+
+// View is a selection of KB nodes with the metadata a dashboard generator
+// needs.
+type View struct {
+	Kind  ViewKind
+	Title string
+	// Nodes in display order. For the focus view the first node is the
+	// component itself followed by the path to the root; for the subtree
+	// view a pre-order walk; for the level view ordinal order.
+	Nodes []*Node
+}
+
+// FocusView returns the component itself plus the path from it to the root
+// — "the path navigating from a component perspective to a more
+// generalized system perspective is analyzed, aiding in tracing and
+// isolating performance issues".
+func (k *KB) FocusView(id string) (*View, error) {
+	n, ok := k.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("kb: focus view: no component %s", id)
+	}
+	v := &View{Kind: ViewFocus, Title: fmt.Sprintf("focus: %s", n.Interface.DisplayName)}
+	for cur := n; cur != nil; {
+		v.Nodes = append(v.Nodes, cur)
+		if cur.Parent == "" {
+			break
+		}
+		cur = k.nodes[cur.Parent]
+	}
+	return v, nil
+}
+
+// SubtreeView returns a pre-order walk of the component and everything it
+// contains — "zooms into performance events, starting from an arbitrary
+// node and extending to all connected leaf nodes".
+func (k *KB) SubtreeView(id string) (*View, error) {
+	n, ok := k.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("kb: subtree view: no component %s", id)
+	}
+	v := &View{Kind: ViewSubtree, Title: fmt.Sprintf("subtree: %s", n.Interface.DisplayName)}
+	var walk func(*Node)
+	walk = func(cur *Node) {
+		v.Nodes = append(v.Nodes, cur)
+		children := append([]string(nil), cur.Children...)
+		sort.Strings(children)
+		for _, c := range children {
+			walk(k.nodes[c])
+		}
+	}
+	walk(n)
+	return v, nil
+}
+
+// LevelView returns every component of one kind — "visualizes multiple
+// instances of the same type, such as a group of threads, disks and
+// processes … corresponds to a level in the KB tree".
+func (k *KB) LevelView(kind ontology.ComponentKind) (*View, error) {
+	if !ontology.ValidKind(kind) {
+		return nil, fmt.Errorf("kb: level view: unknown kind %q", kind)
+	}
+	nodes := k.NodesOfKind(kind)
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("kb: level view: no components of kind %s", kind)
+	}
+	return &View{
+		Kind:  ViewLevel,
+		Title: fmt.Sprintf("level: %s (%d instances)", kind, len(nodes)),
+		Nodes: nodes,
+	}, nil
+}
+
+// CrossLevelView merges the level views of several KBs — the linked-data
+// capability that lets Fig 2(d) compare processes "on different servers
+// (skx, icl)" in one dashboard.
+func CrossLevelView(kind ontology.ComponentKind, kbs ...*KB) (*View, error) {
+	v := &View{Kind: ViewLevel, Title: fmt.Sprintf("level: %s across %d systems", kind, len(kbs))}
+	for _, k := range kbs {
+		lv, err := k.LevelView(kind)
+		if err != nil {
+			return nil, fmt.Errorf("kb: cross-level on %s: %w", k.Host, err)
+		}
+		v.Nodes = append(v.Nodes, lv.Nodes...)
+	}
+	return v, nil
+}
+
+// Depth returns a node's distance from the root.
+func (k *KB) Depth(id string) (int, error) {
+	n, ok := k.nodes[id]
+	if !ok {
+		return 0, fmt.Errorf("kb: no component %s", id)
+	}
+	d := 0
+	for n.Parent != "" {
+		n = k.nodes[n.Parent]
+		d++
+	}
+	return d, nil
+}

@@ -1,0 +1,250 @@
+// Package kernels provides the benchmark workloads the paper exercises:
+// the likwid-bench kernels (sum, stream, triad, peakflops, ddot, daxpy)
+// used for the accuracy and overhead experiments (Figs 4, 5, 9), the
+// STREAM and HPCG-proxy benchmarks the BenchmarkInterface runs (§III-C),
+// and the CARM microbenchmarks (§IV-B1) that probe per-level bandwidth and
+// peak FLOPs.
+//
+// Each kernel is expressed as a machine.WorkloadSpec, so executing one on
+// the analytic engine yields both timing and exact ground-truth event
+// counts — the role likwid-bench's fixed instruction streams play in the
+// paper ("executes a pre-determined, fixed number of instruction streams
+// and can report ground truth").
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"pmove/internal/machine"
+	"pmove/internal/topo"
+)
+
+// LikwidKernels lists the likwid-bench kernels of §V-A in the paper's
+// order.
+func LikwidKernels() []string {
+	return []string{"sum", "stream", "triad", "peakflops", "ddot", "daxpy"}
+}
+
+// Likwid builds the named likwid-bench kernel with a per-thread working
+// set of wssBytes and enough iterations to stream it `sweeps` times.
+// The instruction mixes mirror the real kernels:
+//
+//	sum:       s += a[i]                 1 load,  0 store, 1 add
+//	stream:    c[i] = a[i] + s*b[i]      2 loads, 1 store, 1 fma
+//	triad:     a[i] = b[i] + c[i]*d[i]   3 loads, 1 store, 1 fma (AI 1/16)
+//	peakflops: register-resident fma chain, AI 2
+//	ddot:      s += a[i]*b[i]            2 loads, 0 store, 1 fma (AI 0.125)
+//	daxpy:     y[i] = a*x[i] + y[i]      2 loads, 1 store, 1 fma
+func Likwid(name string, isa topo.ISA, wssBytes int64, sweeps int) (machine.WorkloadSpec, error) {
+	if wssBytes <= 0 {
+		return machine.WorkloadSpec{}, fmt.Errorf("kernels: working set must be positive, got %d", wssBytes)
+	}
+	if sweeps <= 0 {
+		return machine.WorkloadSpec{}, fmt.Errorf("kernels: sweeps must be positive, got %d", sweeps)
+	}
+	elems := wssBytes / 8
+	w := float64(isa.VectorWidth())
+	itersPerSweep := uint64(float64(elems)/w + 0.5)
+	if itersPerSweep == 0 {
+		itersPerSweep = 1
+	}
+	spec := machine.WorkloadSpec{
+		Name:            name,
+		Iters:           itersPerSweep * uint64(sweeps),
+		MemISA:          isa,
+		WorkingSetBytes: wssBytes,
+		OtherInstr:      2, // loop index + branch
+	}
+	switch name {
+	case "sum":
+		spec.Loads, spec.Stores = 1, 0
+		spec.FPInstr = map[topo.ISA]float64{isa: 1}
+		spec.FMA = false
+	case "stream":
+		spec.Loads, spec.Stores = 2, 1
+		spec.FPInstr = map[topo.ISA]float64{isa: 1}
+		spec.FMA = true
+	case "triad":
+		spec.Loads, spec.Stores = 3, 1
+		spec.FPInstr = map[topo.ISA]float64{isa: 1}
+		spec.FMA = true
+	case "peakflops":
+		// Register-resident FMA chain: 8 FMA instructions per load.
+		spec.Loads, spec.Stores = 1, 0
+		spec.FPInstr = map[topo.ISA]float64{isa: 8}
+		spec.FMA = true
+	case "ddot":
+		spec.Loads, spec.Stores = 2, 0
+		spec.FPInstr = map[topo.ISA]float64{isa: 1}
+		spec.FMA = true
+	case "daxpy":
+		spec.Loads, spec.Stores = 2, 1
+		spec.FPInstr = map[topo.ISA]float64{isa: 1}
+		spec.FMA = true
+	default:
+		return machine.WorkloadSpec{}, fmt.Errorf("kernels: unknown likwid kernel %q (have %v)", name, LikwidKernels())
+	}
+	return spec, nil
+}
+
+// TheoreticalAI returns the paper's stated arithmetic intensities for the
+// Fig 9 kernels (triad 0.625, peakflops 2, ddot 0.125); other kernels
+// compute from the spec.
+func TheoreticalAI(name string, isa topo.ISA) (float64, error) {
+	spec, err := Likwid(name, isa, 1<<20, 1)
+	if err != nil {
+		return 0, err
+	}
+	return spec.ArithmeticIntensity(), nil
+}
+
+// STREAM builds the four classic STREAM kernels (McCalpin) sized so each
+// array is arrayBytes.
+func STREAM(isa topo.ISA, arrayBytes int64, sweeps int) ([]machine.WorkloadSpec, error) {
+	if arrayBytes <= 0 {
+		return nil, fmt.Errorf("kernels: STREAM array size must be positive")
+	}
+	elems := arrayBytes / 8
+	w := float64(isa.VectorWidth())
+	iters := uint64(float64(elems)/w+0.5) * uint64(sweeps)
+	mk := func(name string, loads, stores, fp float64, fma bool, arrays int64) machine.WorkloadSpec {
+		return machine.WorkloadSpec{
+			Name: "stream_" + name, Iters: iters,
+			Loads: loads, Stores: stores,
+			FPInstr:         map[topo.ISA]float64{isa: fp},
+			FMA:             fma,
+			MemISA:          isa,
+			OtherInstr:      2,
+			WorkingSetBytes: arrays * arrayBytes,
+		}
+	}
+	return []machine.WorkloadSpec{
+		mk("copy", 1, 1, 0, false, 2),
+		mk("scale", 1, 1, 1, false, 2),
+		mk("add", 2, 1, 1, false, 3),
+		mk("triad", 2, 1, 1, true, 3),
+	}, nil
+}
+
+// HPCGProxy approximates the HPCG benchmark's dominant phase (sparse
+// matrix-vector products with multigrid smoothing): low arithmetic
+// intensity, DRAM-resident, scalar-dominated with irregular access.
+func HPCGProxy(n int) machine.WorkloadSpec {
+	rows := uint64(n)
+	return machine.WorkloadSpec{
+		Name:  "hpcg_proxy",
+		Iters: rows * 27, // 27-point stencil rows
+		Loads: 2.2, Stores: 0.1,
+		FPInstr:         map[topo.ISA]float64{topo.ISAScalar: 1},
+		FMA:             true,
+		MemISA:          topo.ISAScalar,
+		OtherInstr:      3,
+		WorkingSetBytes: int64(n) * 27 * 12,
+		HitOverride: map[topo.CacheLevel]float64{
+			topo.L1: 0.30, topo.L2: 0.15, topo.L3: 0.15, topo.DRAM: 0.40,
+		},
+	}
+}
+
+// CARMBench is one CARM microbenchmark point: a load/store mix targeted at
+// one memory level, or a pure-FLOP throughput probe.
+type CARMBench struct {
+	Name  string
+	Level topo.CacheLevel // DRAM for the memory roof; ignored for flops
+	ISA   topo.ISA
+	Flops bool // true: peak-FLOP probe; false: bandwidth probe
+	Spec  machine.WorkloadSpec
+}
+
+// CARMSuite generates the microbenchmark suite for a system: one bandwidth
+// probe per memory level and one FLOP probe, per requested ISA. Working
+// sets are auto-sized from the probed cache sizes (the KB supplies these in
+// the real framework: "CARM microbenchmarks are automatically configured
+// for a target system, taking into account cache sizes and available
+// ISAs").
+func CARMSuite(sys *topo.System, isas []topo.ISA) ([]CARMBench, error) {
+	if len(isas) == 0 {
+		isas = sys.CPU.ISAs
+	}
+	var out []CARMBench
+	for _, isa := range isas {
+		if !sys.CPU.HasISA(isa) {
+			continue
+		}
+		for _, lvl := range []topo.CacheLevel{topo.L1, topo.L2, topo.L3, topo.DRAM} {
+			wss, err := workingSetFor(sys, lvl)
+			if err != nil {
+				continue
+			}
+			elems := wss / 8
+			iters := uint64(float64(elems)/float64(isa.VectorWidth())+0.5) * 64
+			spec := machine.WorkloadSpec{
+				Name:  fmt.Sprintf("carm_bw_%s_%s", lvl, isa),
+				Iters: iters,
+				Loads: 2, Stores: 1,
+				FPInstr:         map[topo.ISA]float64{isa: 0.01}, // negligible compute
+				MemISA:          isa,
+				OtherInstr:      1,
+				WorkingSetBytes: wss,
+			}
+			out = append(out, CARMBench{
+				Name: spec.Name, Level: lvl, ISA: isa, Spec: spec,
+			})
+		}
+		// Peak FLOPs probe: FMA chain from registers/L1.
+		spec := machine.WorkloadSpec{
+			Name:  fmt.Sprintf("carm_flops_%s", isa),
+			Iters: 1 << 22,
+			Loads: 0.05, Stores: 0,
+			FPInstr:         map[topo.ISA]float64{isa: 2},
+			FMA:             true,
+			MemISA:          isa,
+			OtherInstr:      0.5,
+			WorkingSetBytes: 4 << 10,
+		}
+		out = append(out, CARMBench{Name: spec.Name, ISA: isa, Flops: true, Spec: spec})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("kernels: no CARM benchmarks generated (no supported ISA)")
+	}
+	return out, nil
+}
+
+// workingSetFor sizes a working set to sit firmly inside the target level
+// (half its capacity) but beyond the next-inner level.
+func workingSetFor(sys *topo.System, lvl topo.CacheLevel) (int64, error) {
+	if lvl == topo.DRAM {
+		l3, ok := sys.Cache(topo.L3)
+		if !ok {
+			return 256 << 20, nil
+		}
+		return 4 * l3.SizeBytes, nil
+	}
+	c, ok := sys.Cache(lvl)
+	if !ok {
+		return 0, fmt.Errorf("kernels: system has no %s cache", lvl)
+	}
+	return c.SizeBytes / 2, nil
+}
+
+// RepresentativeThreadCounts returns the subset of thread counts the CARM
+// construction benchmarks, "to reduce the extensive benchmarking overhead
+// of all possible thread count combinations": 1, 2, then powers of two up
+// to the core count, the core count itself, and the full SMT thread count.
+func RepresentativeThreadCounts(sys *topo.System) []int {
+	cores := sys.NumCores()
+	threads := sys.NumThreads()
+	set := map[int]bool{1: true}
+	for n := 2; n < cores; n *= 2 {
+		set[n] = true
+	}
+	set[cores] = true
+	set[threads] = true
+	var out []int
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,227 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"pmove/internal/machine"
+	"pmove/internal/topo"
+)
+
+func TestLikwidKernelMixes(t *testing.T) {
+	cases := []struct {
+		name          string
+		loads, stores float64
+		wantAI        float64
+	}{
+		{"sum", 1, 0, 0.125}, // 1 add / 8 bytes
+		{"stream", 2, 1, 2.0 / 24},
+		{"triad", 3, 1, 2.0 / 32}, // 0.0625
+		{"peakflops", 1, 0, 2.0},
+		{"ddot", 2, 0, 0.125},
+		{"daxpy", 2, 1, 2.0 / 24},
+	}
+	for _, c := range cases {
+		spec, err := Likwid(c.name, topo.ISAAVX512, 1<<20, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if spec.Loads != c.loads || spec.Stores != c.stores {
+			t.Errorf("%s: loads/stores %v/%v, want %v/%v", c.name, spec.Loads, spec.Stores, c.loads, c.stores)
+		}
+		if ai := spec.ArithmeticIntensity(); math.Abs(ai-c.wantAI) > 1e-9 {
+			t.Errorf("%s: AI = %f, want %f", c.name, ai, c.wantAI)
+		}
+		if err := spec.Validate(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestLikwidErrors(t *testing.T) {
+	if _, err := Likwid("fft", topo.ISAScalar, 1<<20, 1); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := Likwid("sum", topo.ISAScalar, 0, 1); err == nil {
+		t.Error("zero working set accepted")
+	}
+	if _, err := Likwid("sum", topo.ISAScalar, 1<<20, 0); err == nil {
+		t.Error("zero sweeps accepted")
+	}
+}
+
+func TestLikwidIterationScaling(t *testing.T) {
+	// Wider ISA processes more elements per iteration.
+	scalar, _ := Likwid("sum", topo.ISAScalar, 1<<20, 1)
+	avx, _ := Likwid("sum", topo.ISAAVX512, 1<<20, 1)
+	if scalar.Iters != 8*avx.Iters {
+		t.Errorf("iters: scalar %d vs avx512 %d, want 8x", scalar.Iters, avx.Iters)
+	}
+	one, _ := Likwid("sum", topo.ISAScalar, 1<<20, 1)
+	four, _ := Likwid("sum", topo.ISAScalar, 1<<20, 4)
+	if four.Iters != 4*one.Iters {
+		t.Error("sweeps should scale iterations")
+	}
+}
+
+func TestTheoreticalAIMatchesPaperKernels(t *testing.T) {
+	// Fig 9's stated intensities: ddot 0.125, peakflops 2.
+	if ai, _ := TheoreticalAI("ddot", topo.ISAAVX512); math.Abs(ai-0.125) > 1e-9 {
+		t.Errorf("ddot AI = %f", ai)
+	}
+	if ai, _ := TheoreticalAI("peakflops", topo.ISAAVX512); math.Abs(ai-2) > 1e-9 {
+		t.Errorf("peakflops AI = %f", ai)
+	}
+	if _, err := TheoreticalAI("nope", topo.ISAScalar); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}
+
+func TestSTREAMKernels(t *testing.T) {
+	specs, err := STREAM(topo.ISAAVX2, 32<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("STREAM kernels: %d", len(specs))
+	}
+	names := map[string]bool{}
+	for _, s := range specs {
+		names[s.Name] = true
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", s.Name, err)
+		}
+	}
+	for _, want := range []string{"stream_copy", "stream_scale", "stream_add", "stream_triad"} {
+		if !names[want] {
+			t.Errorf("missing %s", want)
+		}
+	}
+	if _, err := STREAM(topo.ISAScalar, -1, 1); err == nil {
+		t.Error("negative array accepted")
+	}
+}
+
+func TestHPCGProxyShape(t *testing.T) {
+	spec := HPCGProxy(1 << 16)
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// HPCG is memory-bound: AI well under 0.25.
+	if ai := spec.ArithmeticIntensity(); ai > 0.25 {
+		t.Errorf("HPCG proxy AI = %f, should be low", ai)
+	}
+}
+
+func TestCARMSuiteAutoConfigures(t *testing.T) {
+	sys := topo.MustPreset(topo.PresetCSL)
+	suite, err := CARMSuite(sys, []topo.ISA{topo.ISAAVX512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 bandwidth probes + 1 FLOP probe.
+	if len(suite) != 5 {
+		t.Fatalf("suite size %d", len(suite))
+	}
+	l1, _ := sys.Cache(topo.L1)
+	l2, _ := sys.Cache(topo.L2)
+	for _, b := range suite {
+		if err := b.Spec.Validate(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+		switch {
+		case b.Flops:
+			if b.Spec.FlopsPerIter() <= 0 {
+				t.Errorf("%s: FLOP probe without FLOPs", b.Name)
+			}
+		case b.Level == topo.L1:
+			if b.Spec.WorkingSetBytes > l1.SizeBytes {
+				t.Errorf("L1 probe working set %d exceeds L1", b.Spec.WorkingSetBytes)
+			}
+		case b.Level == topo.L2:
+			if b.Spec.WorkingSetBytes <= l1.SizeBytes || b.Spec.WorkingSetBytes > l2.SizeBytes {
+				t.Errorf("L2 probe working set %d not inside L2", b.Spec.WorkingSetBytes)
+			}
+		}
+	}
+}
+
+func TestCARMSuiteSkipsUnsupportedISAs(t *testing.T) {
+	sys := topo.MustPreset(topo.PresetZEN3)
+	suite, err := CARMSuite(sys, []topo.ISA{topo.ISAAVX512})
+	if err == nil {
+		t.Fatalf("Zen3 AVX-512 suite should be empty, got %d benches", len(suite))
+	}
+	// Default: all supported ISAs.
+	suite, err = CARMSuite(sys, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(suite) != 3*5 { // scalar, sse, avx2
+		t.Errorf("suite size %d, want 15", len(suite))
+	}
+}
+
+func TestRepresentativeThreadCounts(t *testing.T) {
+	sys := topo.MustPreset(topo.PresetSKX) // 44c/88t
+	counts := RepresentativeThreadCounts(sys)
+	if counts[0] != 1 {
+		t.Error("must include 1 thread")
+	}
+	hasCores, hasThreads := false, false
+	for i := 1; i < len(counts); i++ {
+		if counts[i] <= counts[i-1] {
+			t.Error("counts not strictly increasing")
+		}
+		if counts[i] == sys.NumCores() {
+			hasCores = true
+		}
+		if counts[i] == sys.NumThreads() {
+			hasThreads = true
+		}
+	}
+	if !hasCores || !hasThreads {
+		t.Errorf("counts %v must include the core and thread totals", counts)
+	}
+	// "a subset of the most representative thread counts", far fewer than
+	// every possible count.
+	if len(counts) >= sys.NumThreads()/2 {
+		t.Errorf("%d counts is not a reduced subset", len(counts))
+	}
+}
+
+func TestKernelsRunOnEngine(t *testing.T) {
+	m, err := machine.New(topo.MustPreset(topo.PresetICL), machine.Config{Seed: 3, Noiseless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pin, err := topo.Pin(m.System(), topo.PinBalanced, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range LikwidKernels() {
+		spec, err := Likwid(name, topo.ISAAVX2, 1<<20, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec, err := m.Run(spec, pin)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if exec.Duration <= 0 || exec.GFLOPS <= 0 {
+			t.Errorf("%s: empty execution", name)
+		}
+	}
+	// peakflops must be the fastest FLOP producer.
+	var peak, rest float64
+	for _, e := range m.CompletedExecutions() {
+		if e.Spec.Name == "peakflops" {
+			peak = e.GFLOPS
+		} else if e.GFLOPS > rest {
+			rest = e.GFLOPS
+		}
+	}
+	if peak <= rest {
+		t.Errorf("peakflops %.1f GFLOPS should dominate (best other %.1f)", peak, rest)
+	}
+}

@@ -1,0 +1,482 @@
+package machine
+
+import (
+	"math"
+	"testing"
+
+	"pmove/internal/pmu"
+	"pmove/internal/topo"
+)
+
+func newTestMachine(t *testing.T, preset string) *Machine {
+	t.Helper()
+	m, err := New(topo.MustPreset(preset), Config{Seed: 1, Noiseless: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func simpleSpec(iters uint64) WorkloadSpec {
+	return WorkloadSpec{
+		Name:    "test",
+		Iters:   iters,
+		FPInstr: map[topo.ISA]float64{topo.ISAScalar: 1},
+		Loads:   1, Stores: 0,
+		MemISA:          topo.ISAScalar,
+		OtherInstr:      1,
+		WorkingSetBytes: 16 << 10,
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	bad := []WorkloadSpec{
+		{},
+		{Name: "x"},
+		{Name: "x", Iters: 1, Loads: -1, MemISA: topo.ISAScalar},
+		{Name: "x", Iters: 1, MemISA: topo.ISAScalar, HitOverride: map[topo.CacheLevel]float64{topo.L1: 0.3}},
+		{Name: "x", Iters: 1},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d not rejected", i)
+		}
+	}
+	good := simpleSpec(10)
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestArithmeticIntensity(t *testing.T) {
+	// ddot-like: 2 loads, 1 FMA -> 2w flops / 16w bytes = 0.125.
+	spec := WorkloadSpec{
+		Name: "ddot", Iters: 1,
+		FPInstr: map[topo.ISA]float64{topo.ISAAVX512: 1}, FMA: true,
+		Loads: 2, MemISA: topo.ISAAVX512,
+	}
+	if ai := spec.ArithmeticIntensity(); math.Abs(ai-0.125) > 1e-12 {
+		t.Errorf("AI = %f, want 0.125", ai)
+	}
+}
+
+func TestRunProducesTimeAndEvents(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	if err := m.ProgramAll([]string{pmu.IntelCycles, pmu.IntelLoads, pmu.IntelScalarDouble}); err != nil {
+		t.Fatal(err)
+	}
+	exec, err := m.Run(simpleSpec(1_000_000), []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exec.Duration <= 0 {
+		t.Fatal("execution has no duration")
+	}
+	if m.Now() < exec.End()-1e-9 {
+		t.Fatal("clock did not advance to execution end")
+	}
+	tp, _ := m.ThreadPMU(0)
+	loads, err := tp.Read(pmu.IntelLoads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 load per iteration, 1M iterations per thread.
+	if loads < 990_000 || loads > 1_010_000 {
+		t.Errorf("loads = %d, want ~1e6", loads)
+	}
+	fp, _ := tp.Read(pmu.IntelScalarDouble)
+	if fp < 990_000 || fp > 1_010_000 {
+		t.Errorf("scalar FP = %d, want ~1e6", fp)
+	}
+}
+
+func TestEventTruthMatchesRates(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	exec, err := m.Run(simpleSpec(500_000), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := exec.TruthCounts()
+	if len(truth) != 1 {
+		t.Fatalf("want 1 thread, got %d", len(truth))
+	}
+	if v := truth[0].Events[pmu.IntelLoads]; v < 495_000 || v > 505_000 {
+		t.Errorf("truth loads = %d", v)
+	}
+	if exec.TotalTruth(pmu.IntelLoads) != truth[0].Events[pmu.IntelLoads] {
+		t.Error("TotalTruth disagrees with per-thread truth")
+	}
+}
+
+func TestLaunchRejectsBadPinning(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	if _, err := m.Launch(simpleSpec(10), nil); err == nil {
+		t.Error("empty pinning accepted")
+	}
+	if _, err := m.Launch(simpleSpec(10), []int{999}); err == nil {
+		t.Error("invalid thread id accepted")
+	}
+	if _, err := m.Launch(simpleSpec(10), []int{0, 0}); err == nil {
+		t.Error("duplicate pinning accepted")
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	if err := m.Advance(1.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AdvanceTo(0.5); err == nil {
+		t.Fatal("advancing backwards should error")
+	}
+	if err := m.AdvanceTo(1.0); err != nil {
+		t.Fatalf("advancing to the current time should be a no-op: %v", err)
+	}
+}
+
+func TestWaitIsNoOpWhenPast(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	exec, err := m.Launch(simpleSpec(1000), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(exec.Duration * 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(exec); err != nil {
+		t.Fatalf("wait after completion should succeed: %v", err)
+	}
+}
+
+func TestBaselineActivityOnIdleSystem(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	if err := m.ProgramAll([]string{pmu.IntelCycles, pmu.IntelInstructions}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Advance(2.0); err != nil {
+		t.Fatal(err)
+	}
+	tp, _ := m.ThreadPMU(3)
+	cyc, _ := tp.Read(pmu.IntelCycles)
+	if cyc == 0 {
+		t.Error("an idle system should still retire cycles (never-zero events)")
+	}
+}
+
+func TestRAPLAccumulatesIdlePower(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	if err := m.Advance(1.0); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := m.RAPL(0)
+	uj := r.Truth("pkg")
+	idleW := float64(uj) / 1e6
+	want := m.System().CPU.IdleWatts
+	if math.Abs(idleW-want) > want*0.05 {
+		t.Errorf("idle power %.1f W, want ~%.1f W", idleW, want)
+	}
+}
+
+func TestActivePowerExceedsIdle(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	spec := simpleSpec(50_000_000)
+	exec, err := m.Run(spec, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := m.RAPL(0)
+	watts := float64(r.Truth("pkg")) / 1e6 / exec.Duration
+	if watts <= m.System().CPU.IdleWatts*1.1 {
+		t.Errorf("active power %.1f W should clearly exceed idle %.1f W", watts, m.System().CPU.IdleWatts)
+	}
+	if watts > m.System().CPU.TDPWatts*1.05 {
+		t.Errorf("power %.1f W exceeds TDP %.1f W", watts, m.System().CPU.TDPWatts)
+	}
+}
+
+func TestMoreThreadsFasterWallClock(t *testing.T) {
+	spec := WorkloadSpec{
+		Name: "scale", Iters: 10_000_000,
+		FPInstr: map[topo.ISA]float64{topo.ISAAVX2: 2}, FMA: true,
+		Loads: 1, MemISA: topo.ISAAVX2, WorkingSetBytes: 16 << 10,
+	}
+	m1 := newTestMachine(t, topo.PresetCSL)
+	e1, err := m1.Run(spec, mustPin(t, m1.System(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m8 := newTestMachine(t, topo.PresetCSL)
+	e8, err := m8.Run(spec, mustPin(t, m8.System(), 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same per-thread iteration count => same duration, 8x aggregate GFLOPS.
+	if e8.GFLOPS < e1.GFLOPS*5 {
+		t.Errorf("8 threads: %.1f GFLOPS vs 1 thread %.1f — poor scaling", e8.GFLOPS, e1.GFLOPS)
+	}
+}
+
+func mustPin(t *testing.T, sys *topo.System, n int) []int {
+	t.Helper()
+	pin, err := topo.Pin(sys, topo.PinBalanced, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pin
+}
+
+func TestDVFSFrequencyDropsUnderLoad(t *testing.T) {
+	m := newTestMachine(t, topo.PresetCSL)
+	sys := m.System()
+	e1, err := m.Launch(simpleSpec(1000), mustPin(t, sys, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(e1); err != nil {
+		t.Fatal(err)
+	}
+	eAll, err := m.Launch(simpleSpec(1000), mustPin(t, sys, sys.NumCores()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eAll.FreqGHz >= e1.FreqGHz {
+		t.Errorf("full-machine frequency %.2f should be below single-core turbo %.2f", eAll.FreqGHz, e1.FreqGHz)
+	}
+	if e1.FreqGHz > sys.CPU.TurboGHz || eAll.FreqGHz < sys.CPU.BaseGHz*0.99 {
+		t.Errorf("frequencies out of DVFS range: %f %f", e1.FreqGHz, eAll.FreqGHz)
+	}
+}
+
+func TestCacheLevelAffectsPerformance(t *testing.T) {
+	mkSpec := func(wss int64) WorkloadSpec {
+		return WorkloadSpec{
+			Name: "bw", Iters: 10_000_000,
+			FPInstr: map[topo.ISA]float64{topo.ISAAVX512: 0.01},
+			Loads:   2, Stores: 1, MemISA: topo.ISAAVX512,
+			WorkingSetBytes: wss,
+		}
+	}
+	sys := topo.MustPreset(topo.PresetCSL)
+	var prev float64 = math.Inf(1)
+	l1, _ := sys.Cache(topo.L1)
+	l2, _ := sys.Cache(topo.L2)
+	l3, _ := sys.Cache(topo.L3)
+	for _, wss := range []int64{l1.SizeBytes / 2, l2.SizeBytes / 2, l3.SizeBytes / 2, l3.SizeBytes * 4} {
+		m := newTestMachine(t, topo.PresetCSL)
+		e, err := m.Run(mkSpec(wss), mustPin(t, sys, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.GBps >= prev {
+			t.Errorf("bandwidth should drop as working set grows: wss=%d got %.1f GB/s prev %.1f", wss, e.GBps, prev)
+		}
+		prev = e.GBps
+	}
+}
+
+func TestChargeSamplingCostExtendsExecution(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	exec, err := m.Launch(simpleSpec(100_000_000), []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := exec.Duration
+	for i := 0; i < 10; i++ {
+		m.ChargeSamplingCost(64)
+	}
+	if exec.Duration <= before {
+		t.Error("sampling cost should extend the execution")
+	}
+	// 640 reads at ~2µs each, shared across 16 hardware threads, against a
+	// ~10ms kernel: the overhead must stay small.
+	if (exec.Duration-before)/before > 0.03 {
+		t.Errorf("sampling overhead %.4f%% implausibly large", (exec.Duration-before)/before*100)
+	}
+}
+
+func TestFMADoubleCountingOnIntel(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	spec := WorkloadSpec{
+		Name: "fma", Iters: 1_000_000,
+		FPInstr: map[topo.ISA]float64{topo.ISAAVX512: 1}, FMA: true,
+		Loads: 1, MemISA: topo.ISAAVX512, WorkingSetBytes: 8 << 10,
+	}
+	exec, err := m.Run(spec, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Intel FP_ARITH counters increment twice per FMA instruction.
+	got := exec.TotalTruth(pmu.Intel512PackedDbl)
+	if got < 1_990_000 || got > 2_010_000 {
+		t.Errorf("FP_ARITH 512B count = %d, want ~2e6 (FMA double counting)", got)
+	}
+}
+
+func TestAMDFlopsCountFlops(t *testing.T) {
+	m := newTestMachine(t, topo.PresetZEN3)
+	spec := WorkloadSpec{
+		Name: "fma", Iters: 1_000_000,
+		FPInstr: map[topo.ISA]float64{topo.ISAAVX2: 1}, FMA: true,
+		Loads: 1, MemISA: topo.ISAAVX2, WorkingSetBytes: 8 << 10,
+	}
+	exec, err := m.Run(spec, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zen3 reports FLOPs directly: 4 lanes x 2 (FMA) = 8 per instruction.
+	got := exec.TotalTruth(pmu.AMDFlopsAny)
+	if got < 7_990_000 || got > 8_010_000 {
+		t.Errorf("RETIRED_SSE_AVX_FLOPS = %d, want ~8e6", got)
+	}
+}
+
+func TestSWSampleCPUIdleReflectsLoad(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	s, err := m.SampleSW(MetricCPUIdle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 16 {
+		t.Fatalf("idle domain size %d, want 16", len(s.Values))
+	}
+	for _, iv := range s.Values {
+		if iv.Value < 0.9 {
+			t.Errorf("idle system should be ~idle, %s = %f", iv.Instance, iv.Value)
+		}
+	}
+	if _, err := m.Launch(simpleSpec(100_000_000), []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := m.SampleSW(MetricCPUIdle)
+	for _, iv := range s2.Values {
+		if iv.Instance == "_cpu0" && iv.Value > 0.1 {
+			t.Errorf("busy cpu0 should report low idle, got %f", iv.Value)
+		}
+	}
+}
+
+func TestSWSampleNUMAFollowsPinning(t *testing.T) {
+	m := newTestMachine(t, topo.PresetSKX)
+	// Pin to socket 1 cores only (core 22 => thread 22).
+	spec := simpleSpec(1_000_000_000)
+	spec.WorkingSetBytes = 1 << 30
+	if _, err := m.Launch(spec, []int{22, 23}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := m.SampleSW(MetricNUMAAllocHit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byNode := map[string]float64{}
+	for _, iv := range s.Values {
+		byNode[iv.Instance] = iv.Value
+	}
+	if byNode["_node1"] <= byNode["_node0"] {
+		t.Errorf("traffic should land on node1: %v", byNode)
+	}
+}
+
+func TestSWSampleUnknownMetric(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	if _, err := m.SampleSW("no.such.metric"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestMemUsedGrowsWithWorkingSet(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	s0, _ := m.SampleSW(MetricMemUsed)
+	base := s0.Values[0].Value
+	spec := simpleSpec(1_000_000_000)
+	spec.WorkingSetBytes = 4 << 30
+	if _, err := m.Launch(spec, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := m.SampleSW(MetricMemUsed)
+	if s1.Values[0].Value <= base {
+		t.Error("memory usage should grow with an active working set")
+	}
+}
+
+func TestCompletedExecutionsOrdered(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	a, err := m.Launch(simpleSpec(1000), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Launch(simpleSpec(2_000_000), []int{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.AdvanceTo(math.Max(a.End(), b.End()) + 0.001); err != nil {
+		t.Fatal(err)
+	}
+	done := m.CompletedExecutions()
+	if len(done) != 2 {
+		t.Fatalf("want 2 completed, got %d", len(done))
+	}
+	if done[0].End() > done[1].End() {
+		t.Error("completed executions not in completion order")
+	}
+	if len(m.ActiveExecutions()) != 0 {
+		t.Error("no executions should remain active")
+	}
+}
+
+func TestRunToRunVariance(t *testing.T) {
+	// Two runs of the same spec on the same machine differ slightly (the
+	// Fig 5 negative-overhead mechanism) but by less than 1%.
+	m := newTestMachine(t, topo.PresetICL)
+	e1, err := m.Run(simpleSpec(10_000_000), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := m.Run(simpleSpec(10_000_000), []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(e1.Duration-e2.Duration) / e1.Duration
+	if rel == 0 {
+		t.Error("expected run-to-run variance")
+	}
+	if rel > 0.01 {
+		t.Errorf("variance %.4f too large", rel)
+	}
+}
+
+func TestLaunchSkewedImbalance(t *testing.T) {
+	m := newTestMachine(t, topo.PresetICL)
+	spec := simpleSpec(1_000_000)
+	factors := []float64{4, 1, 1, 1}
+	exec, err := m.LaunchSkewed(spec, []int{0, 1, 2, 3}, factors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Wait(exec); err != nil {
+		t.Fatal(err)
+	}
+	// The slowest thread sets the wall time: ~4x the uniform duration.
+	m2 := newTestMachine(t, topo.PresetICL)
+	uniform, err := m2.Run(spec, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := exec.Duration / uniform.Duration
+	if ratio < 3.8 || ratio > 4.2 {
+		t.Errorf("skewed duration ratio %.2f, want ~4", ratio)
+	}
+	// Per-thread event totals follow the factors.
+	truth := exec.TruthCounts()
+	heavy := truth[0].Events[pmu.IntelLoads]
+	light := truth[1].Events[pmu.IntelLoads]
+	if heavy < 3*light {
+		t.Errorf("heavy thread %d loads vs light %d — skew lost", heavy, light)
+	}
+	// Validation.
+	if _, err := m.LaunchSkewed(spec, []int{4, 5}, []float64{1}); err == nil {
+		t.Error("mismatched factor count accepted")
+	}
+	if _, err := m.LaunchSkewed(spec, []int{6}, []float64{-1}); err == nil {
+		t.Error("negative factor accepted")
+	}
+}

@@ -1,0 +1,135 @@
+package machine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pmove/internal/topo"
+)
+
+// Property tests on the execution engine's timing model.
+
+func TestDurationLinearInIterationsProperty(t *testing.T) {
+	// Doubling the iteration count doubles the duration (up to the ±0.3%
+	// run-to-run noise), for any reasonable kernel shape.
+	sys := topo.MustPreset(topo.PresetICL)
+	f := func(loads, fp uint8, wssExp uint8) bool {
+		spec := WorkloadSpec{
+			Name:  "prop",
+			Iters: 1_000_000,
+			FPInstr: map[topo.ISA]float64{
+				topo.ISAScalar: float64(fp%8) + 1,
+			},
+			Loads:           float64(loads%4) + 1,
+			MemISA:          topo.ISAScalar,
+			OtherInstr:      1,
+			WorkingSetBytes: 1 << (10 + wssExp%16), // 1KB .. 32MB
+		}
+		m1, err := New(sys, Config{Seed: 1, Noiseless: true})
+		if err != nil {
+			return false
+		}
+		e1, err := m1.Run(spec, []int{0})
+		if err != nil {
+			return false
+		}
+		spec2 := spec
+		spec2.Iters *= 2
+		m2, err := New(sys, Config{Seed: 1, Noiseless: true})
+		if err != nil {
+			return false
+		}
+		e2, err := m2.Run(spec2, []int{0})
+		if err != nil {
+			return false
+		}
+		ratio := e2.Duration / e1.Duration
+		return ratio > 1.98 && ratio < 2.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTruthNonNegativeAndFiniteProperty(t *testing.T) {
+	sys := topo.MustPreset(topo.PresetZEN3)
+	f := func(loads, stores, fp uint8) bool {
+		spec := WorkloadSpec{
+			Name:  "prop",
+			Iters: 100_000,
+			FPInstr: map[topo.ISA]float64{
+				topo.ISAAVX2: float64(fp % 4),
+			},
+			Loads:           float64(loads % 4),
+			Stores:          float64(stores % 3),
+			MemISA:          topo.ISAAVX2,
+			OtherInstr:      1,
+			WorkingSetBytes: 64 << 10,
+		}
+		m, err := New(sys, Config{Seed: 9, Noiseless: true})
+		if err != nil {
+			return false
+		}
+		exec, err := m.Run(spec, []int{0, 1})
+		if err != nil {
+			return false
+		}
+		for _, tc := range exec.TruthCounts() {
+			for _, v := range tc.Events {
+				// uint64: non-negative by construction; bound sanity.
+				if v > 1<<60 {
+					return false
+				}
+			}
+		}
+		return exec.Duration > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockSegmentationProperty(t *testing.T) {
+	// Advancing in arbitrary small steps deposits the same totals as one
+	// big jump (the fractional-remainder accounting must not drift).
+	sys := topo.MustPreset(topo.PresetICL)
+	mkExec := func(m *Machine) *Execution {
+		spec := WorkloadSpec{
+			Name: "seg", Iters: 10_000_000,
+			FPInstr: map[topo.ISA]float64{topo.ISAScalar: 1},
+			Loads:   1, MemISA: topo.ISAScalar, WorkingSetBytes: 16 << 10,
+		}
+		e, err := m.Launch(spec, []int{0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	mA, _ := New(sys, Config{Seed: 4, Noiseless: true})
+	eA := mkExec(mA)
+	if err := mA.AdvanceTo(eA.End() + 0.01); err != nil {
+		t.Fatal(err)
+	}
+	mB, _ := New(sys, Config{Seed: 4, Noiseless: true})
+	eB := mkExec(mB)
+	steps := 137
+	for i := 1; i <= steps; i++ {
+		target := (eB.End() + 0.01) * float64(i) / float64(steps)
+		if err := mB.AdvanceTo(target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tpA, _ := mA.ThreadPMU(0)
+	tpB, _ := mB.ThreadPMU(0)
+	for _, ev := range []string{"MEM_INST_RETIRED:ALL_LOADS", "FP_ARITH:SCALAR_DOUBLE"} {
+		a, b := tpA.Truth(ev), tpB.Truth(ev)
+		diff := int64(a) - int64(b)
+		if diff < 0 {
+			diff = -diff
+		}
+		// Within the integer rounding of the segment count.
+		if diff > int64(steps) {
+			t.Errorf("%s: one-jump %d vs segmented %d (diff %d)", ev, a, b, diff)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package machine
+
+import (
+	"fmt"
+
+	"pmove/internal/topo"
+)
+
+// WorkloadSpec describes the per-thread inner loop of a kernel in terms the
+// analytic execution model understands: instruction mix, memory traffic and
+// locality. The kernels and spmv packages construct these; the machine
+// turns them into time, PMU events and energy.
+type WorkloadSpec struct {
+	Name string
+	// Iters is the number of inner-loop iterations each thread executes.
+	Iters uint64
+	// FPInstr counts floating-point instructions per iteration per ISA
+	// class. An AVX-512 instruction performs 8 double-precision FLOPs
+	// (16 with FMA).
+	FPInstr map[topo.ISA]float64
+	// FMA marks the FP instructions as fused multiply-adds (2 FLOPs/lane).
+	FMA bool
+	// Loads and Stores are memory instructions per iteration.
+	Loads, Stores float64
+	// MemISA is the ISA class of the memory instructions; it determines
+	// bytes per memory instruction (scalar=8B, sse=16B, avx2=32B,
+	// avx512=64B).
+	MemISA topo.ISA
+	// OtherInstr is non-FP, non-memory instructions per iteration
+	// (address arithmetic, branches).
+	OtherInstr float64
+	// DivOps is FP divide operations per iteration (FP_DIV events).
+	DivOps float64
+	// ExtraBytesPerIter is memory traffic beyond the instruction-implied
+	// bytes: cache lines pulled for scattered (gather-style) accesses that
+	// use only part of each line. SpMV's x-vector gathers set this.
+	ExtraBytesPerIter float64
+	// WorkingSetBytes is the per-thread working set; unless HitOverride is
+	// given, cache residency (and therefore effective bandwidth) is derived
+	// from it.
+	WorkingSetBytes int64
+	// HitOverride, when non-nil, gives the fraction of memory traffic
+	// served by each level (must sum to ≈1). SpMV uses this to express the
+	// locality effect of reorderings.
+	HitOverride map[topo.CacheLevel]float64
+}
+
+// Validate checks internal consistency.
+func (w *WorkloadSpec) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("machine: workload has no name")
+	}
+	if w.Iters == 0 {
+		return fmt.Errorf("machine: workload %s has zero iterations", w.Name)
+	}
+	if w.Loads < 0 || w.Stores < 0 || w.OtherInstr < 0 || w.DivOps < 0 {
+		return fmt.Errorf("machine: workload %s has negative instruction counts", w.Name)
+	}
+	for isa, c := range w.FPInstr {
+		if c < 0 {
+			return fmt.Errorf("machine: workload %s has negative FP count for %s", w.Name, isa)
+		}
+	}
+	if w.HitOverride != nil {
+		sum := 0.0
+		for lvl, f := range w.HitOverride {
+			if f < 0 {
+				return fmt.Errorf("machine: workload %s hit fraction for %s is negative", w.Name, lvl)
+			}
+			sum += f
+		}
+		if sum < 0.99 || sum > 1.01 {
+			return fmt.Errorf("machine: workload %s hit fractions sum to %.3f, want 1", w.Name, sum)
+		}
+	}
+	if w.MemISA == "" {
+		return fmt.Errorf("machine: workload %s has no memory ISA", w.Name)
+	}
+	return nil
+}
+
+// memBytesPerInstr returns bytes moved per memory instruction.
+func memBytesPerInstr(isa topo.ISA) float64 { return 8 * float64(isa.VectorWidth()) }
+
+// FlopsPerIter returns double-precision FLOPs per iteration.
+func (w *WorkloadSpec) FlopsPerIter() float64 {
+	mult := 1.0
+	if w.FMA {
+		mult = 2.0
+	}
+	total := 0.0
+	for isa, instr := range w.FPInstr {
+		total += instr * float64(isa.VectorWidth()) * mult
+	}
+	return total
+}
+
+// BytesPerIter returns bytes of memory traffic per iteration, including
+// line-granularity gather waste.
+func (w *WorkloadSpec) BytesPerIter() float64 {
+	return (w.Loads+w.Stores)*memBytesPerInstr(w.MemISA) + w.ExtraBytesPerIter
+}
+
+// ArithmeticIntensity returns FLOPs per byte, the x-axis of a CARM plot.
+func (w *WorkloadSpec) ArithmeticIntensity() float64 {
+	b := w.BytesPerIter()
+	if b == 0 {
+		return 0
+	}
+	return w.FlopsPerIter() / b
+}
+
+// InstrPerIter returns total instructions per iteration.
+func (w *WorkloadSpec) InstrPerIter() float64 {
+	fp := 0.0
+	for _, c := range w.FPInstr {
+		fp += c
+	}
+	return fp + w.Loads + w.Stores + w.OtherInstr
+}
+
+// hitFractions returns the fraction of memory traffic served at each level,
+// either from the override or derived from the working set: traffic is
+// served by the innermost level that contains the working set, with small
+// leak fractions to outer levels modelling cold misses and conflict misses.
+func (w *WorkloadSpec) hitFractions(sys *topo.System) map[topo.CacheLevel]float64 {
+	if w.HitOverride != nil {
+		return w.HitOverride
+	}
+	lvl := sys.CacheLevelFor(w.WorkingSetBytes)
+	h := map[topo.CacheLevel]float64{}
+	const leak = 0.02 // cold/conflict leakage to the next level out
+	switch lvl {
+	case topo.L1:
+		h[topo.L1] = 1 - 2*leak
+		h[topo.L2] = leak
+		h[topo.L3] = leak / 2
+		h[topo.DRAM] = leak / 2
+	case topo.L2:
+		h[topo.L1] = 0 // streaming through L1
+		h[topo.L2] = 1 - leak
+		h[topo.L3] = leak / 2
+		h[topo.DRAM] = leak / 2
+	case topo.L3:
+		h[topo.L2] = 0
+		h[topo.L3] = 1 - leak
+		h[topo.DRAM] = leak
+	default:
+		h[topo.DRAM] = 1
+	}
+	return h
+}
+
+// ThreadCounts is the exact (ground-truth) event production of one thread
+// over a full execution, before PMU noise.
+type ThreadCounts struct {
+	HWThread int
+	Events   map[string]uint64
+}
+
+// Execution is a completed or in-flight run of a workload on a machine.
+type Execution struct {
+	Spec     WorkloadSpec
+	Pinning  []int   // hardware thread ids, one per software thread
+	Start    float64 // virtual seconds
+	Duration float64 // virtual seconds
+	// rates[i] is events/second produced on Pinning[i].
+	rates []map[string]float64
+	// socketPower[s] is the extra package power (W) this execution adds on
+	// socket s while running.
+	socketPower map[int]float64
+	// deposited tracks fractional event remainders during lazy accrual.
+	deposited []map[string]float64
+
+	// Derived performance summary.
+	GFLOPS          float64
+	GBps            float64
+	AI              float64
+	FreqGHz         float64
+	CyclesPerThread float64
+}
+
+// End returns the virtual end time.
+func (e *Execution) End() float64 { return e.Start + e.Duration }
+
+// TruthCounts returns the exact per-thread event totals for the whole
+// execution (what likwid-bench would report as ground truth).
+func (e *Execution) TruthCounts() []ThreadCounts {
+	out := make([]ThreadCounts, len(e.Pinning))
+	for i, hw := range e.Pinning {
+		ev := make(map[string]uint64, len(e.rates[i]))
+		for name, rate := range e.rates[i] {
+			ev[name] = uint64(rate*e.Duration + 0.5)
+		}
+		out[i] = ThreadCounts{HWThread: hw, Events: ev}
+	}
+	return out
+}
+
+// TotalTruth sums an event across all threads of the execution.
+func (e *Execution) TotalTruth(event string) uint64 {
+	var sum uint64
+	for _, tc := range e.TruthCounts() {
+		sum += tc.Events[event]
+	}
+	return sum
+}

@@ -1,0 +1,106 @@
+package ontology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ComponentKind enumerates the HPC-specific ontology's component classes —
+// "each hardware component that can be monitored, produce metrics or
+// affect the overall system performance" (paper §III-C).
+type ComponentKind string
+
+// Component kinds of the HPC ontology, ordered root to leaf.
+const (
+	KindSystem  ComponentKind = "system"
+	KindSocket  ComponentKind = "socket"
+	KindNUMA    ComponentKind = "numa"
+	KindCore    ComponentKind = "core"
+	KindThread  ComponentKind = "thread"
+	KindCache   ComponentKind = "cache"
+	KindMemory  ComponentKind = "memory"
+	KindDisk    ComponentKind = "disk"
+	KindNIC     ComponentKind = "nic"
+	KindGPU     ComponentKind = "gpu"
+	KindProcess ComponentKind = "process"
+)
+
+// Kinds returns all component kinds in hierarchy order.
+func Kinds() []ComponentKind {
+	return []ComponentKind{
+		KindSystem, KindSocket, KindNUMA, KindCore, KindThread, KindCache,
+		KindMemory, KindDisk, KindNIC, KindGPU, KindProcess,
+	}
+}
+
+// RelContains is the downward relationship name in the component tree.
+const RelContains = "contains"
+
+// RelRuns links a thread/core to a process observed on it.
+const RelRuns = "runs"
+
+// hierarchy encodes which kinds may contain which — the schema constraint
+// of the HPC ontology.
+var hierarchy = map[ComponentKind][]ComponentKind{
+	KindSystem:  {KindSocket, KindMemory, KindDisk, KindNIC, KindGPU, KindProcess},
+	KindSocket:  {KindNUMA, KindCore, KindCache},
+	KindNUMA:    {KindCore, KindMemory},
+	KindCore:    {KindThread, KindCache},
+	KindThread:  {},
+	KindCache:   {},
+	KindMemory:  {},
+	KindDisk:    {},
+	KindNIC:     {},
+	KindGPU:     {},
+	KindProcess: {},
+}
+
+// CanContain reports whether the ontology allows a `contains` edge from
+// parent kind to child kind.
+func CanContain(parent, child ComponentKind) bool {
+	for _, k := range hierarchy[parent] {
+		if k == child {
+			return true
+		}
+	}
+	return false
+}
+
+// ChildKinds lists the kinds a parent may contain, sorted.
+func ChildKinds(parent ComponentKind) []ComponentKind {
+	out := append([]ComponentKind(nil), hierarchy[parent]...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ValidKind reports whether k is part of the ontology.
+func ValidKind(k ComponentKind) bool {
+	_, ok := hierarchy[k]
+	return ok
+}
+
+// ComponentID builds the DTMI for a component instance:
+// dtmi:dt:<host>:<kind><ordinal>;1, matching Listing 4's
+// "dtmi:dt:cn1:gpu0;1".
+func ComponentID(host string, kind ComponentKind, ordinal int) (string, error) {
+	if !ValidKind(kind) {
+		return "", fmt.Errorf("ontology: unknown component kind %q", kind)
+	}
+	return DTMI(1, host, fmt.Sprintf("%s%d", kind, ordinal))
+}
+
+// EntryKind enumerates the live entry classes P-MoVE attaches to the KB
+// (paper §III-C): benchmark results and observations, plus the re-instantiated
+// process interface.
+type EntryKind string
+
+// Entry kinds.
+const (
+	EntryBenchmark   EntryKind = "BenchmarkInterface"
+	EntryBenchResult EntryKind = "BenchmarkResult"
+	EntryObservation EntryKind = "ObservationInterface"
+	EntryProcess     EntryKind = "ProcessInterface"
+	// SUPERDB variants (paper §III-E).
+	EntryTSObservation  EntryKind = "TSObservationInterface"
+	EntryAGGObservation EntryKind = "AGGObservationInterface"
+)

@@ -1,0 +1,288 @@
+package ontology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateDTMI(t *testing.T) {
+	good := []string{
+		"dtmi:dt:cn1:gpu0;1",
+		"dtmi:dtdl:context;2",
+		"dtmi:dt:skx:socket0:property0;1",
+		"dtmi:_x;10",
+	}
+	for _, id := range good {
+		if err := ValidateDTMI(id); err != nil {
+			t.Errorf("%q rejected: %v", id, err)
+		}
+	}
+	bad := []string{
+		"",
+		"dtmi:;1",
+		"dtmi:dt:cn1:gpu0",   // no version
+		"dtmi:dt:cn1:gpu0;0", // version must be >= 1
+		"dtmi:dt:1gpu;1",     // segment starts with digit
+		"dtmi:dt:gpu 0;1",    // whitespace
+		"dt:cn1:gpu0;1",      // missing scheme
+		"dtmi:dt:gpu-0;1",    // dash not allowed
+	}
+	for _, id := range bad {
+		if err := ValidateDTMI(id); err == nil {
+			t.Errorf("%q accepted", id)
+		}
+	}
+}
+
+func TestDTMIBuilder(t *testing.T) {
+	id, err := DTMI(1, "cn1", "gpu0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "dtmi:dt:cn1:gpu0;1" {
+		t.Errorf("id = %q", id)
+	}
+	if _, err := DTMI(1); err == nil {
+		t.Error("empty segments accepted")
+	}
+	if _, err := DTMI(1, "bad segment"); err == nil {
+		t.Error("invalid segment accepted")
+	}
+}
+
+func TestInterfaceBuilders(t *testing.T) {
+	i, err := NewInterface("dtmi:dt:cn1:gpu0;1", "NVIDIA Quadro GV100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	i.AddProperty("model", "NVIDIA Quadro GV100")
+	i.AddProperty("memory", "34359 Mb")
+	i.AddSWTelemetry("metric4", "nvidia.memused", "nvidia_memused", "_gpu0", "GPU memory in use")
+	i.AddHWTelemetry("metric137", "ncu", "gpu__compute_memory_access_throughput",
+		"ncu_gpu__compute_memory_access_throughput", "_gpu0", "Compute Memory Pipeline")
+	i.AddRelationship("contains", "dtmi:dt:cn1:gpu0:sm0;1")
+	if err := i.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := i.Property("model"); got != "NVIDIA Quadro GV100" {
+		t.Errorf("property model = %v", got)
+	}
+	if i.Property("nope") != nil {
+		t.Error("missing property should be nil")
+	}
+	if tels := i.Telemetries(""); len(tels) != 2 {
+		t.Errorf("telemetries = %d, want 2", len(tels))
+	}
+	if tels := i.Telemetries(ClassHWTelemetry); len(tels) != 1 || tels[0].PMUName != "ncu" {
+		t.Errorf("hw telemetries = %v", tels)
+	}
+	if rels := i.Relationships(); len(rels) != 1 || rels[0].Target != "dtmi:dt:cn1:gpu0:sm0;1" {
+		t.Errorf("relationships = %v", rels)
+	}
+	// Auto-derived content ids must be valid DTMIs.
+	for _, c := range i.Contents {
+		if c.ID != "" {
+			if err := ValidateDTMI(c.ID); err != nil {
+				t.Errorf("content id %q invalid: %v", c.ID, err)
+			}
+			if !strings.HasPrefix(c.ID, "dtmi:dt:cn1:gpu0:") {
+				t.Errorf("content id %q not under parent", c.ID)
+			}
+		}
+	}
+}
+
+func TestInterfaceValidation(t *testing.T) {
+	mk := func() *Interface {
+		i, _ := NewInterface("dtmi:dt:h:sys0;1", "sys")
+		i.AddProperty("p", 1)
+		return i
+	}
+	// Wrong @type.
+	i := mk()
+	i.Type = "Telemetry"
+	if err := i.Validate(); err == nil {
+		t.Error("wrong @type accepted")
+	}
+	// Wrong context.
+	i = mk()
+	i.Context = "dtmi:other;1"
+	if err := i.Validate(); err == nil {
+		t.Error("wrong @context accepted")
+	}
+	// Telemetry without sampler.
+	i = mk()
+	i.Contents = append(i.Contents, Content{Type: ClassSWTelemetry, Name: "t"})
+	if err := i.Validate(); err == nil {
+		t.Error("telemetry without SamplerName accepted")
+	}
+	// Relationship without target.
+	i = mk()
+	i.Contents = append(i.Contents, Content{Type: ClassRelationship, Name: "contains"})
+	if err := i.Validate(); err == nil {
+		t.Error("relationship without target accepted")
+	}
+	// Duplicate property name.
+	i = mk()
+	i.AddProperty("p", 2)
+	if err := i.Validate(); err == nil {
+		t.Error("duplicate property name accepted")
+	}
+	// Duplicate relationships with the same target.
+	i = mk()
+	i.AddRelationship("contains", "dtmi:dt:h:c0;1")
+	i.AddRelationship("contains", "dtmi:dt:h:c0;1")
+	if err := i.Validate(); err == nil {
+		t.Error("duplicate relationship target accepted")
+	}
+	// Same-name relationships with distinct targets are fine (the KB's
+	// "contains" edges).
+	i = mk()
+	i.AddRelationship("contains", "dtmi:dt:h:c0;1")
+	i.AddRelationship("contains", "dtmi:dt:h:c1;1")
+	if err := i.Validate(); err != nil {
+		t.Errorf("distinct-target contains rejected: %v", err)
+	}
+	// Unknown content class.
+	i = mk()
+	i.Contents = append(i.Contents, Content{Type: "Gadget", Name: "g"})
+	if err := i.Validate(); err == nil {
+		t.Error("unknown content class accepted")
+	}
+}
+
+func TestParseInterfaceListing4(t *testing.T) {
+	// A faithful subset of the paper's Listing 4.
+	src := `{
+		"@type": "Interface",
+		"@id": "dtmi:dt:cn1:gpu0;1",
+		"@context": "dtmi:dtdl:context;2",
+		"contents": [
+			{"@id": "dtmi:dt:cn1:gpu0:property0;1", "@type": "Property",
+			 "name": "model", "description": "NVIDIA Quadro GV100"},
+			{"@id": "dtmi:dt:cn1:gpu0:telemetry1404;1", "@type": "HWTelemetry",
+			 "name": "metric137", "PMUName": "ncu",
+			 "SamplerName": "gpu__compute_memory_access_throughput",
+			 "DBName": "ncu_gpu__compute_memory_access_throughput",
+			 "FieldName": "_gpu0",
+			 "description": "Compute Memory Pipeline: throughput of internal activity within caches and DRAM"}
+		]
+	}`
+	i, err := ParseInterface([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i.Property("model") != "NVIDIA Quadro GV100" {
+		t.Error("model property lost")
+	}
+	hw := i.Telemetries(ClassHWTelemetry)
+	if len(hw) != 1 || hw[0].FieldName != "_gpu0" {
+		t.Errorf("hw telemetry = %+v", hw)
+	}
+	// Round trip through JSON-LD.
+	doc, err := i.MarshalJSONLD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID() != i.ID {
+		t.Error("JSON-LD id mismatch")
+	}
+}
+
+func TestParseInterfaceRejectsInvalid(t *testing.T) {
+	if _, err := ParseInterface([]byte(`{"@type":"Interface"}`)); err == nil {
+		t.Error("interface without id/context accepted")
+	}
+	if _, err := ParseInterface([]byte(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestHierarchyRules(t *testing.T) {
+	if !CanContain(KindSystem, KindSocket) {
+		t.Error("system should contain sockets")
+	}
+	if !CanContain(KindCore, KindThread) {
+		t.Error("core should contain threads")
+	}
+	if CanContain(KindThread, KindSocket) {
+		t.Error("thread must not contain a socket")
+	}
+	if CanContain(KindGPU, KindGPU) {
+		t.Error("gpu must not contain a gpu")
+	}
+	for _, k := range Kinds() {
+		if !ValidKind(k) {
+			t.Errorf("kind %s not valid", k)
+		}
+		for _, c := range ChildKinds(k) {
+			if !CanContain(k, c) {
+				t.Errorf("ChildKinds(%s) includes non-containable %s", k, c)
+			}
+		}
+	}
+	if ValidKind("quantum_widget") {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestComponentID(t *testing.T) {
+	id, err := ComponentID("cn1", KindGPU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != "dtmi:dt:cn1:gpu0;1" {
+		t.Errorf("id = %q, want the Listing 4 form", id)
+	}
+	if _, err := ComponentID("cn1", "widget", 0); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestComponentIDProperty(t *testing.T) {
+	f := func(ord uint8, kindIdx uint8) bool {
+		kinds := Kinds()
+		k := kinds[int(kindIdx)%len(kinds)]
+		id, err := ComponentID("host1", k, int(ord))
+		if err != nil {
+			return false
+		}
+		return ValidateDTMI(id) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddCommand(t *testing.T) {
+	i, _ := NewInterface("dtmi:dt:h:sys0;1", "sys")
+	i.AddCommand("reboot", &CommandPayload{Name: "delay", Schema: "integer"}, nil)
+	i.AddCommand("ping", nil, &CommandPayload{Name: "rtt", Schema: "double"})
+	if err := i.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cmds := i.Commands()
+	if len(cmds) != 2 || cmds[0].Name != "reboot" {
+		t.Fatalf("commands: %+v", cmds)
+	}
+	// Round trip through JSON.
+	doc, err := i.MarshalJSONLD()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseInterface(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Commands()) != 2 {
+		t.Error("commands lost in round trip")
+	}
+	if got.Commands()[0].Request == nil || got.Commands()[0].Request.Schema != "integer" {
+		t.Error("request payload lost")
+	}
+}

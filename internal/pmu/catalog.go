@@ -1,0 +1,184 @@
+// Package pmu models hardware performance-monitoring units: per-vendor
+// event catalogs (the libpfm4 substitute), per-thread programmable counter
+// files with multiplexing, package-level RAPL energy counters, and the
+// non-determinism/overcount noise of real PMUs (paper §V-A, [28]).
+package pmu
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Canonical hardware event names used across the framework. Intel and AMD
+// expose different names for the same generic events (Table I); the
+// abstraction layer maps between them. The machine execution engine always
+// accounts events under the *architectural* names of the system it models.
+const (
+	// Intel-style events.
+	IntelCycles       = "UNHALTED_CORE_CYCLES"
+	IntelInstructions = "INSTRUCTION_RETIRED"
+	IntelUops         = "UOPS_DISPATCHED"
+	IntelLoads        = "MEM_INST_RETIRED:ALL_LOADS"
+	IntelStores       = "MEM_INST_RETIRED:ALL_STORES"
+	IntelScalarDouble = "FP_ARITH:SCALAR_DOUBLE"
+	IntelScalarSingle = "FP_ARITH:SCALAR_SINGLE"
+	Intel128PackedDbl = "FP_ARITH:128B_PACKED_DOUBLE"
+	Intel256PackedDbl = "FP_ARITH:256B_PACKED_DOUBLE"
+	Intel512PackedDbl = "FP_ARITH:512B_PACKED_DOUBLE"
+	IntelL1DMiss      = "L1D:REPLACEMENT"
+	IntelL2Miss       = "L2_RQSTS:MISS"
+	IntelLLCMiss      = "LONGEST_LAT_CACHE:MISS"
+	IntelLLCRef       = "LONGEST_LAT_CACHE:REFERENCE"
+	IntelFPDiv        = "ARITH:DIVIDER_ACTIVE"
+
+	// AMD-style events.
+	AMDCycles       = "CYCLES_NOT_IN_HALT"
+	AMDInstructions = "RETIRED_INSTRUCTIONS"
+	AMDUops         = "RETIRED_UOPS"
+	AMDLoads        = "LS_DISPATCH:LD_DISPATCH"
+	AMDStores       = "LS_DISPATCH:STORE_DISPATCH"
+	AMDFlopsAny     = "RETIRED_SSE_AVX_FLOPS:ANY"
+	AMDL1DMiss      = "L1_DC_MISSES"
+	AMDL2Miss       = "L2_CACHE_MISS"
+	AMDLLCMiss      = "LONGEST_LAT_CACHE:MISS"
+	AMDLLCRetired   = "LONGEST_LAT_CACHE:RETIRED"
+	AMDFPDiv        = "DIV_OP_COUNT"
+
+	// RAPL energy events (package scope, not per-thread).
+	RAPLEnergyPkg  = "RAPL_ENERGY_PKG"
+	RAPLEnergyDRAM = "RAPL_ENERGY_DRAM"
+)
+
+// EventDef describes one hardware event in a microarchitecture's catalog.
+type EventDef struct {
+	Name string
+	Desc string
+	// PMU is the unit exposing the event: "core" for per-thread counters,
+	// "rapl" for the package energy MSRs.
+	PMU string
+	// NeverZero marks events that are virtually never zero while the CPU is
+	// executing (cycles, instructions); Table III samples these so that
+	// inserted zeros can be attributed to transmission artefacts.
+	NeverZero bool
+}
+
+// Catalog is the set of events recognised for one microarchitecture,
+// together with its counter-file geometry.
+type Catalog struct {
+	Microarch string
+	Vendor    string
+	Events    []EventDef
+	// ProgCounters is the number of programmable per-thread counters
+	// (Intel: 4, or 8 with SMT off; AMD Zen3: 6). Programming more events
+	// than counters engages time multiplexing, which scales counts and
+	// adds error.
+	ProgCounters int
+	// ProgCountersNoSMT applies when the sibling thread is idle.
+	ProgCountersNoSMT int
+
+	byName map[string]EventDef
+}
+
+// Lookup returns the event definition, or false.
+func (c *Catalog) Lookup(name string) (EventDef, bool) {
+	d, ok := c.byName[name]
+	return d, ok
+}
+
+// Names returns all event names, sorted.
+func (c *Catalog) Names() []string {
+	names := make([]string, 0, len(c.Events))
+	for _, e := range c.Events {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NeverZeroEvents returns the names of events marked NeverZero.
+func (c *Catalog) NeverZeroEvents() []string {
+	var names []string
+	for _, e := range c.Events {
+		if e.NeverZero {
+			names = append(names, e.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func buildCatalog(microarch, vendor string, prog, progNoSMT int, events []EventDef) *Catalog {
+	c := &Catalog{
+		Microarch: microarch, Vendor: vendor, Events: events,
+		ProgCounters: prog, ProgCountersNoSMT: progNoSMT,
+		byName: make(map[string]EventDef, len(events)),
+	}
+	for _, e := range events {
+		c.byName[e.Name] = e
+	}
+	return c
+}
+
+var intelEvents = []EventDef{
+	{Name: IntelCycles, Desc: "Core cycles when the thread is not halted", PMU: "core", NeverZero: true},
+	{Name: IntelInstructions, Desc: "Instructions retired", PMU: "core", NeverZero: true},
+	{Name: IntelUops, Desc: "Micro-ops dispatched", PMU: "core", NeverZero: true},
+	{Name: IntelLoads, Desc: "Retired load instructions", PMU: "core"},
+	{Name: IntelStores, Desc: "Retired store instructions", PMU: "core"},
+	{Name: IntelScalarDouble, Desc: "Scalar double-precision FP instructions retired", PMU: "core"},
+	{Name: IntelScalarSingle, Desc: "Scalar single-precision FP instructions retired", PMU: "core"},
+	{Name: Intel128PackedDbl, Desc: "128-bit packed double FP instructions retired", PMU: "core"},
+	{Name: Intel256PackedDbl, Desc: "256-bit packed double FP instructions retired", PMU: "core"},
+	{Name: Intel512PackedDbl, Desc: "512-bit packed double FP instructions retired", PMU: "core"},
+	{Name: IntelL1DMiss, Desc: "L1 data cache line replacements", PMU: "core"},
+	{Name: IntelL2Miss, Desc: "L2 cache requests that missed", PMU: "core"},
+	{Name: IntelLLCMiss, Desc: "Last-level cache misses", PMU: "core"},
+	{Name: IntelLLCRef, Desc: "Last-level cache references", PMU: "core"},
+	{Name: IntelFPDiv, Desc: "Cycles the FP divider is active", PMU: "core"},
+	{Name: RAPLEnergyPkg, Desc: "Package energy in microjoules", PMU: "rapl"},
+}
+
+var amdEvents = []EventDef{
+	{Name: AMDCycles, Desc: "Cycles not in halt", PMU: "core", NeverZero: true},
+	{Name: AMDInstructions, Desc: "Retired instructions", PMU: "core", NeverZero: true},
+	{Name: AMDUops, Desc: "Retired micro-ops", PMU: "core", NeverZero: true},
+	{Name: AMDLoads, Desc: "Dispatched load operations", PMU: "core"},
+	{Name: AMDStores, Desc: "Dispatched store operations", PMU: "core"},
+	{Name: AMDFlopsAny, Desc: "All retired SSE/AVX FLOPs", PMU: "core"},
+	{Name: AMDL1DMiss, Desc: "L1 data cache misses", PMU: "core"},
+	{Name: AMDL2Miss, Desc: "L2 cache misses", PMU: "core"},
+	{Name: AMDLLCMiss, Desc: "L3 (longest latency cache) misses", PMU: "core"},
+	{Name: AMDLLCRetired, Desc: "L3 accesses retired", PMU: "core"},
+	{Name: AMDFPDiv, Desc: "Divide ops", PMU: "core"},
+	{Name: RAPLEnergyPkg, Desc: "Package energy in microjoules", PMU: "rapl"},
+	{Name: RAPLEnergyDRAM, Desc: "DRAM energy in microjoules", PMU: "rapl"},
+}
+
+var catalogs = map[string]*Catalog{
+	"skx":     buildCatalog("skx", "intel", 4, 8, intelEvents),
+	"icl":     buildCatalog("icl", "intel", 4, 8, intelEvents),
+	"cascade": buildCatalog("cascade", "intel", 4, 8, intelEvents),
+	"zen3":    buildCatalog("zen3", "amd", 6, 6, amdEvents),
+}
+
+// CatalogFor returns the event catalog for a microarchitecture. It is the
+// stand-in for libpfm4, "which can recognize model-specific registers (and
+// events) of virtually every x86 and ARM processor on the market".
+func CatalogFor(microarch string) (*Catalog, error) {
+	c, ok := catalogs[strings.ToLower(microarch)]
+	if !ok {
+		return nil, fmt.Errorf("pmu: no event catalog for microarchitecture %q", microarch)
+	}
+	return c, nil
+}
+
+// Microarchs returns the microarchitectures with built-in catalogs.
+func Microarchs() []string {
+	var out []string
+	for k := range catalogs {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

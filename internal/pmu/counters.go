@@ -1,0 +1,202 @@
+package pmu
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ThreadPMU is the counter file of one hardware thread. A fixed number of
+// programmable counters can each be bound to one event; programming more
+// events than counters engages round-robin multiplexing: each event is only
+// counted for a fraction of the time and the read value is scaled up, which
+// is one source of measurement error on real hardware.
+type ThreadPMU struct {
+	mu         sync.Mutex
+	catalog    *Catalog
+	slots      int
+	programmed []string
+	// truth holds exact event counts accumulated by the execution engine.
+	truth map[string]uint64
+	noise *NoiseModel
+}
+
+// NewThreadPMU creates a counter file with the catalog's programmable
+// counter budget. smtActive selects the shared-counter geometry (Intel
+// halves the budget when the sibling thread also counts).
+func NewThreadPMU(c *Catalog, smtActive bool, noise *NoiseModel) *ThreadPMU {
+	slots := c.ProgCountersNoSMT
+	if smtActive {
+		slots = c.ProgCounters
+	}
+	return &ThreadPMU{
+		catalog: c,
+		slots:   slots,
+		truth:   make(map[string]uint64),
+		noise:   noise,
+	}
+}
+
+// Program binds the listed events to the counter file, replacing any prior
+// programming. Unknown events are rejected. RAPL events are package-scoped
+// and cannot be programmed on a thread.
+func (t *ThreadPMU) Program(events []string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := map[string]bool{}
+	for _, e := range events {
+		def, ok := t.catalog.Lookup(e)
+		if !ok {
+			return fmt.Errorf("pmu: event %q not in %s catalog", e, t.catalog.Microarch)
+		}
+		if def.PMU != "core" {
+			return fmt.Errorf("pmu: event %q is %s-scoped, not programmable on a thread", e, def.PMU)
+		}
+		if seen[e] {
+			return fmt.Errorf("pmu: event %q programmed twice", e)
+		}
+		seen[e] = true
+	}
+	t.programmed = append([]string(nil), events...)
+	return nil
+}
+
+// Programmed returns the currently programmed events.
+func (t *ThreadPMU) Programmed() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.programmed...)
+}
+
+// Slots returns the number of programmable counters.
+func (t *ThreadPMU) Slots() int { return t.slots }
+
+// Multiplexed reports whether more events are programmed than counters
+// exist, so reads are scaled estimates rather than exact counts.
+func (t *ThreadPMU) Multiplexed() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.programmed) > t.slots
+}
+
+// Add accumulates ground-truth occurrences of an event. The execution
+// engine calls this; events need not be programmed to accumulate (the
+// silicon counts regardless; programming only selects what is readable).
+func (t *ThreadPMU) Add(event string, delta uint64) {
+	t.mu.Lock()
+	t.truth[event] += delta
+	t.mu.Unlock()
+}
+
+// Truth returns the exact accumulated count for an event (the
+// likwid-bench-style ground truth used by the Fig 4 accuracy experiment).
+func (t *ThreadPMU) Truth(event string) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.truth[event]
+}
+
+// Read samples a programmed event. The value is the exact count distorted
+// by the noise model and, when multiplexing is engaged, by an additional
+// scaling estimate error. Reading an unprogrammed event errors, mirroring
+// perf's behaviour.
+func (t *ThreadPMU) Read(event string) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	idx := -1
+	for i, e := range t.programmed {
+		if e == event {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return 0, fmt.Errorf("pmu: event %q not programmed", event)
+	}
+	v := t.truth[event]
+	if t.noise != nil {
+		mux := len(t.programmed) > t.slots
+		v = t.noise.Distort(event, v, mux)
+	}
+	return v, nil
+}
+
+// ReadAll samples every programmed event.
+func (t *ThreadPMU) ReadAll() (map[string]uint64, error) {
+	out := make(map[string]uint64, len(t.Programmed()))
+	for _, e := range t.Programmed() {
+		v, err := t.Read(e)
+		if err != nil {
+			return nil, err
+		}
+		out[e] = v
+	}
+	return out, nil
+}
+
+// Reset zeroes all accumulated counts (a new observation window).
+func (t *ThreadPMU) Reset() {
+	t.mu.Lock()
+	t.truth = make(map[string]uint64)
+	t.mu.Unlock()
+}
+
+// RAPL models the package-scope energy MSRs. Energy is accumulated in
+// microjoules; domains are "pkg" and, on AMD, "dram".
+type RAPL struct {
+	mu     sync.Mutex
+	energy map[string]uint64 // domain -> microjoules
+	noise  *NoiseModel
+}
+
+// NewRAPL returns an empty energy counter bank.
+func NewRAPL(noise *NoiseModel) *RAPL {
+	return &RAPL{energy: make(map[string]uint64), noise: noise}
+}
+
+// AddMicrojoules accumulates energy into a domain ("pkg" or "dram").
+func (r *RAPL) AddMicrojoules(domain string, uj uint64) {
+	r.mu.Lock()
+	r.energy[domain] += uj
+	r.mu.Unlock()
+}
+
+// Read samples a domain's accumulated microjoules.
+func (r *RAPL) Read(domain string) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	v, ok := r.energy[domain]
+	if !ok {
+		return 0, fmt.Errorf("pmu: rapl domain %q not present", domain)
+	}
+	if r.noise != nil {
+		v = r.noise.Distort("RAPL_"+domain, v, false)
+	}
+	return v, nil
+}
+
+// Truth returns the exact accumulated microjoules.
+func (r *RAPL) Truth(domain string) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.energy[domain]
+}
+
+// Domains lists the domains with accumulated energy, sorted.
+func (r *RAPL) Domains() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []string
+	for d := range r.energy {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset zeroes all domains.
+func (r *RAPL) Reset() {
+	r.mu.Lock()
+	r.energy = make(map[string]uint64)
+	r.mu.Unlock()
+}

@@ -1,0 +1,247 @@
+package pmu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCatalogsExist(t *testing.T) {
+	for _, arch := range []string{"skx", "icl", "cascade", "zen3"} {
+		c, err := CatalogFor(arch)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		if len(c.Events) == 0 {
+			t.Errorf("%s: empty catalog", arch)
+		}
+	}
+	if _, err := CatalogFor("m68k"); err == nil {
+		t.Error("expected error for unknown microarchitecture")
+	}
+}
+
+func TestCatalogCaseInsensitive(t *testing.T) {
+	if _, err := CatalogFor("ZEN3"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterGeometry(t *testing.T) {
+	intel, _ := CatalogFor("skx")
+	if intel.ProgCounters != 4 || intel.ProgCountersNoSMT != 8 {
+		t.Errorf("Intel counters: got %d/%d, want 4/8 (paper §IV-A)", intel.ProgCounters, intel.ProgCountersNoSMT)
+	}
+	amd, _ := CatalogFor("zen3")
+	if amd.ProgCounters != 6 {
+		t.Errorf("Zen3 counters: got %d, want 6", amd.ProgCounters)
+	}
+}
+
+func TestNeverZeroEvents(t *testing.T) {
+	c, _ := CatalogFor("skx")
+	nz := c.NeverZeroEvents()
+	want := map[string]bool{IntelCycles: true, IntelInstructions: true, IntelUops: true}
+	if len(nz) != len(want) {
+		t.Fatalf("never-zero events: %v", nz)
+	}
+	for _, ev := range nz {
+		if !want[ev] {
+			t.Errorf("unexpected never-zero event %s", ev)
+		}
+	}
+}
+
+func TestTableIVendorSpecificNames(t *testing.T) {
+	intel, _ := CatalogFor("cascade")
+	amd, _ := CatalogFor("zen3")
+	// Same name across vendors: RAPL_ENERGY_PKG.
+	if _, ok := intel.Lookup(RAPLEnergyPkg); !ok {
+		t.Error("Intel missing RAPL_ENERGY_PKG")
+	}
+	if _, ok := amd.Lookup(RAPLEnergyPkg); !ok {
+		t.Error("AMD missing RAPL_ENERGY_PKG")
+	}
+	// Exclusive: DRAM energy only on AMD; LLC hit composition only on AMD.
+	if _, ok := intel.Lookup(RAPLEnergyDRAM); ok {
+		t.Error("Intel should not expose RAPL_ENERGY_DRAM (Table I)")
+	}
+	if _, ok := amd.Lookup(AMDLLCRetired); !ok {
+		t.Error("AMD missing LONGEST_LAT_CACHE:RETIRED")
+	}
+	// Different names for the same generic event.
+	if _, ok := intel.Lookup(IntelLoads); !ok {
+		t.Error("Intel missing MEM_INST_RETIRED:ALL_LOADS")
+	}
+	if _, ok := amd.Lookup(AMDLoads); !ok {
+		t.Error("AMD missing LS_DISPATCH:LD_DISPATCH")
+	}
+}
+
+func TestProgramRejectsBadEvents(t *testing.T) {
+	c, _ := CatalogFor("skx")
+	tp := NewThreadPMU(c, true, Noiseless())
+	if err := tp.Program([]string{"NO_SUCH_EVENT"}); err == nil {
+		t.Error("expected error for unknown event")
+	}
+	if err := tp.Program([]string{RAPLEnergyPkg}); err == nil {
+		t.Error("expected error for package-scoped event on a thread")
+	}
+	if err := tp.Program([]string{IntelCycles, IntelCycles}); err == nil {
+		t.Error("expected error for duplicate programming")
+	}
+}
+
+func TestReadRequiresProgramming(t *testing.T) {
+	c, _ := CatalogFor("skx")
+	tp := NewThreadPMU(c, true, Noiseless())
+	tp.Add(IntelCycles, 100)
+	if _, err := tp.Read(IntelCycles); err == nil {
+		t.Error("reading an unprogrammed event should error (perf semantics)")
+	}
+	if err := tp.Program([]string{IntelCycles}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := tp.Read(IntelCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 100 {
+		t.Errorf("noiseless read = %d, want 100", v)
+	}
+}
+
+func TestMultiplexingDetection(t *testing.T) {
+	c, _ := CatalogFor("skx")
+	tp := NewThreadPMU(c, true, Noiseless()) // 4 slots
+	events := []string{IntelCycles, IntelInstructions, IntelUops, IntelLoads}
+	if err := tp.Program(events); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Multiplexed() {
+		t.Error("4 events on 4 counters should not multiplex")
+	}
+	events = append(events, IntelStores)
+	if err := tp.Program(events); err != nil {
+		t.Fatal(err)
+	}
+	if !tp.Multiplexed() {
+		t.Error("5 events on 4 counters should multiplex")
+	}
+}
+
+func TestResetClearsCounts(t *testing.T) {
+	c, _ := CatalogFor("zen3")
+	tp := NewThreadPMU(c, true, Noiseless())
+	tp.Add(AMDCycles, 42)
+	tp.Reset()
+	if tp.Truth(AMDCycles) != 0 {
+		t.Error("reset did not clear counts")
+	}
+}
+
+func TestNoiseWithinBounds(t *testing.T) {
+	nm := NewNoiseModel(7)
+	truth := uint64(1_000_000_000)
+	for i := 0; i < 200; i++ {
+		read := nm.Distort(IntelCycles, truth, false)
+		relErr := math.Abs(RelativeError(read, truth))
+		// bias 0.2% + jitter 0.5% => within 0.7%.
+		if relErr > 0.008 {
+			t.Fatalf("read %d: relative error %.4f exceeds bound", i, relErr)
+		}
+	}
+}
+
+func TestNoiseMultiplexedLarger(t *testing.T) {
+	nm := NewNoiseModel(9)
+	truth := uint64(1_000_000_000)
+	var sumPlain, sumMux float64
+	for i := 0; i < 500; i++ {
+		sumPlain += math.Abs(RelativeError(nm.Distort("EV_PLAIN", truth, false), truth))
+		sumMux += math.Abs(RelativeError(nm.Distort("EV_MUX", truth, true), truth))
+	}
+	if sumMux <= sumPlain {
+		t.Errorf("multiplexed noise (%.4f) should exceed plain noise (%.4f)", sumMux, sumPlain)
+	}
+}
+
+func TestNoiseDeterministic(t *testing.T) {
+	a := NewNoiseModel(3)
+	b := NewNoiseModel(3)
+	for i := 0; i < 50; i++ {
+		if a.Distort(IntelLoads, 12345678, false) != b.Distort(IntelLoads, 12345678, false) {
+			t.Fatal("same seed should reproduce identical noise sequences")
+		}
+	}
+}
+
+func TestNoiseBiasStablePerEvent(t *testing.T) {
+	nm := NewNoiseModel(5)
+	nm.JitterPPM = 0
+	nm.MuxExtraPPM = 0
+	r1 := nm.Distort("SOME_EVENT", 1e9, false)
+	r2 := nm.Distort("SOME_EVENT", 1e9, false)
+	if r1 != r2 {
+		t.Error("with jitter disabled the bias must be stable per event")
+	}
+}
+
+func TestNoiselessPassthroughProperty(t *testing.T) {
+	nm := Noiseless()
+	f := func(v uint64) bool {
+		return nm.Distort("X", v, false) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroStaysZero(t *testing.T) {
+	nm := NewNoiseModel(1)
+	if nm.Distort("X", 0, false) != 0 {
+		t.Fatal("a zero count must read as zero")
+	}
+}
+
+func TestRAPLDomains(t *testing.T) {
+	r := NewRAPL(Noiseless())
+	r.AddMicrojoules("pkg", 1000)
+	r.AddMicrojoules("pkg", 500)
+	r.AddMicrojoules("dram", 10)
+	v, err := r.Read("pkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1500 {
+		t.Errorf("pkg energy = %d, want 1500", v)
+	}
+	if _, err := r.Read("psys"); err == nil {
+		t.Error("expected error for unknown domain")
+	}
+	if d := r.Domains(); len(d) != 2 || d[0] != "dram" || d[1] != "pkg" {
+		t.Errorf("domains = %v", d)
+	}
+	r.Reset()
+	if r.Truth("pkg") != 0 {
+		t.Error("reset did not clear energy")
+	}
+}
+
+func TestReadAllMatchesIndividualReads(t *testing.T) {
+	c, _ := CatalogFor("icl")
+	tp := NewThreadPMU(c, true, Noiseless())
+	events := []string{IntelCycles, IntelLoads}
+	if err := tp.Program(events); err != nil {
+		t.Fatal(err)
+	}
+	tp.Add(IntelCycles, 7)
+	tp.Add(IntelLoads, 9)
+	all, err := tp.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all[IntelCycles] != 7 || all[IntelLoads] != 9 {
+		t.Errorf("ReadAll = %v", all)
+	}
+}

@@ -1,0 +1,288 @@
+package spmv
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MatrixInfo describes one of the Table IV matrices. Generators produce
+// scaled-down synthetic matrices with the same structural character
+// (relative size, average degree, pattern class), which is what drives the
+// locality and vectorisation effects of Figs 7 and 8.
+type MatrixInfo struct {
+	Name  string
+	Group string
+	Kind  string // "mesh", "fem", "gene"
+	Rows  int    // paper dimensions
+	NNZ   int64  // paper nonzeros
+}
+
+// PaperMatrices returns the Table IV matrices.
+func PaperMatrices() []MatrixInfo {
+	return []MatrixInfo{
+		{Name: "adaptive", Group: "DIMACS10", Kind: "mesh", Rows: 6815744, NNZ: 27200000},
+		{Name: "audikw_1", Group: "GHS_psdef", Kind: "fem", Rows: 943695, NNZ: 77700000},
+		{Name: "dielFilterV3real", Group: "Dziekonski", Kind: "fem", Rows: 1102824, NNZ: 89300000},
+		{Name: "hugetrace-00020", Group: "DIMACS10", Kind: "mesh", Rows: 16002413, NNZ: 48000000},
+		{Name: "human_gene1", Group: "Belcastro", Kind: "gene", Rows: 22283, NNZ: 24700000},
+	}
+}
+
+// xorshift is a tiny deterministic PRNG for generators.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := uint64(*x)
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = xorshift(v)
+	return v
+}
+
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+func (x *xorshift) float() float64 { return float64(x.next()>>11) / float64(1<<53) }
+
+// Generate builds a synthetic matrix with the structural character of the
+// named Table IV matrix, scaled so it has roughly targetRows rows (degree
+// is preserved, so nnz scales with rows). Seed fixes the instance.
+// Construction is O(nnz log deg): edges are bucketed into rows by a
+// counting sort, then each row is sorted and duplicate-summed.
+func Generate(name string, targetRows int, seed uint64) (*CSR, error) {
+	var info *MatrixInfo
+	for _, mi := range PaperMatrices() {
+		if mi.Name == name {
+			m := mi
+			info = &m
+			break
+		}
+	}
+	if info == nil {
+		return nil, fmt.Errorf("spmv: unknown paper matrix %q", name)
+	}
+	if targetRows <= 0 {
+		return nil, fmt.Errorf("spmv: target rows must be positive")
+	}
+	avgDeg := float64(info.NNZ) / float64(info.Rows)
+	rng := xorshift(seed | 1)
+	switch info.Kind {
+	case "mesh":
+		return genMesh(info.Name, targetRows, avgDeg, &rng)
+	case "fem":
+		return genFEM(info.Name, targetRows, avgDeg, &rng)
+	case "gene":
+		return genGene(info.Name, targetRows, avgDeg, &rng)
+	}
+	return nil, fmt.Errorf("spmv: unknown matrix kind %q", info.Kind)
+}
+
+// edgeBuf accumulates coordinate entries for fast CSR assembly.
+type edgeBuf struct {
+	ri, ci []int32
+	vs     []float64
+}
+
+func (e *edgeBuf) add(i, j int, v float64) {
+	e.ri = append(e.ri, int32(i))
+	e.ci = append(e.ci, int32(j))
+	e.vs = append(e.vs, v)
+}
+
+func (e *edgeBuf) addSym(i, j int, v float64) {
+	e.add(i, j, v)
+	e.add(j, i, v)
+}
+
+// toCSR assembles the buffer into canonical CSR: counting-sort by row,
+// in-row sort, duplicate coalescing.
+func (e *edgeBuf) toCSR(name string, n int) (*CSR, error) {
+	counts := make([]int, n+1)
+	for _, r := range e.ri {
+		if int(r) < 0 || int(r) >= n {
+			return nil, fmt.Errorf("spmv: generator produced row %d out of %d", r, n)
+		}
+		counts[r+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	colIdx := make([]int, len(e.ci))
+	vals := make([]float64, len(e.vs))
+	pos := make([]int, n)
+	copy(pos, counts[:n])
+	for k, r := range e.ri {
+		p := pos[r]
+		colIdx[p] = int(e.ci[k])
+		vals[p] = e.vs[k]
+		pos[r]++
+	}
+	// Sort each row and coalesce duplicates in place.
+	outPtr := make([]int, n+1)
+	w := 0
+	type pair struct {
+		c int
+		v float64
+	}
+	var scratch []pair
+	for i := 0; i < n; i++ {
+		lo, hi := counts[i], counts[i+1]
+		scratch = scratch[:0]
+		for k := lo; k < hi; k++ {
+			scratch = append(scratch, pair{colIdx[k], vals[k]})
+		}
+		sort.Slice(scratch, func(a, b int) bool { return scratch[a].c < scratch[b].c })
+		for k := 0; k < len(scratch); k++ {
+			if w > outPtr[i] && colIdx[w-1] == scratch[k].c {
+				vals[w-1] += scratch[k].v
+				continue
+			}
+			colIdx[w] = scratch[k].c
+			vals[w] = scratch[k].v
+			w++
+		}
+		outPtr[i+1] = w
+	}
+	m := &CSR{Name: name, Rows: n, Cols: n, RowPtr: outPtr, ColIdx: colIdx[:w], Vals: vals[:w]}
+	return m, m.Validate()
+}
+
+// genMesh builds a 2-D grid graph (DIMACS10 meshes are near-planar with
+// degree ≈4-7) whose rows are scattered by a pseudo-random relabeling so
+// the natural ordering has poor locality — RCM then recovers it, as in the
+// paper.
+func genMesh(name string, targetRows int, avgDeg float64, rng *xorshift) (*CSR, error) {
+	side := int(math.Sqrt(float64(targetRows)))
+	if side < 2 {
+		side = 2
+	}
+	n := side * side
+	perm := scatterPerm(n, rng)
+	var e edgeBuf
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			v := y*side + x
+			if x+1 < side {
+				e.addSym(perm[v], perm[v+1], 1)
+			}
+			if y+1 < side {
+				e.addSym(perm[v], perm[v+side], 1)
+			}
+			if avgDeg > 4 && x+1 < side && y+1 < side && rng.float() < (avgDeg-4)/2 {
+				e.addSym(perm[v], perm[v+side+1], 1)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		e.add(perm[v], perm[v], 4)
+	}
+	return e.toCSR(name, n)
+}
+
+// genFEM builds a block-banded matrix (finite-element matrices like
+// audikw_1 have dense node blocks along a band) with moderate natural
+// bandwidth and high average degree.
+func genFEM(name string, targetRows int, avgDeg float64, rng *xorshift) (*CSR, error) {
+	n := targetRows
+	block := 3 // 3 dof per node
+	half := int(avgDeg / 2)
+	if half < 2 {
+		half = 2
+	}
+	perm := scatterPermPartial(n, rng, 0.15) // FEM inputs are mostly banded already
+	var e edgeBuf
+	for i := 0; i < n; i++ {
+		base := (i / block) * block
+		for d := 0; d < half; d++ {
+			j := base + d*block/2 + rng.intn(block)
+			if j >= n {
+				j = n - 1
+			}
+			e.addSym(perm[i], perm[j], rng.float())
+		}
+		e.add(perm[i], perm[i], float64(half)*2)
+	}
+	return e.toCSR(name, n)
+}
+
+// genGene builds a small, very dense matrix (human_gene1: 22k rows, ~1100
+// nnz/row) with heavy-tailed row degrees, as in gene co-expression
+// networks.
+func genGene(name string, targetRows int, avgDeg float64, rng *xorshift) (*CSR, error) {
+	n := targetRows
+	if avgDeg > float64(n)/2 {
+		avgDeg = float64(n) / 2
+	}
+	var e edgeBuf
+	for i := 0; i < n; i++ {
+		deg := int(avgDeg * (0.3 + 1.4*rng.float()))
+		if rng.float() < 0.02 {
+			deg *= 4
+		}
+		if deg >= n {
+			deg = n - 1
+		}
+		for d := 0; d < deg; d++ {
+			e.add(i, rng.intn(n), rng.float()*2-1)
+		}
+		e.add(i, i, 1)
+	}
+	return e.toCSR(name, n)
+}
+
+// scatterPerm returns a pseudo-random bijection on [0,n) that destroys
+// locality.
+func scatterPerm(n int, rng *xorshift) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := rng.intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// scatterPermPartial shuffles only a fraction of positions, modelling a
+// mostly-ordered input.
+func scatterPermPartial(n int, rng *xorshift, frac float64) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	swaps := int(float64(n) * frac)
+	for s := 0; s < swaps; s++ {
+		i, j := rng.intn(n), rng.intn(n)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// DegreeStats summarises a matrix's row-degree distribution.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	P50, P99 int
+}
+
+// Degrees computes the degree statistics of a matrix.
+func Degrees(m *CSR) DegreeStats {
+	if m.Rows == 0 {
+		return DegreeStats{}
+	}
+	ds := make([]int, m.Rows)
+	sum := 0
+	for i := 0; i < m.Rows; i++ {
+		ds[i] = m.RowNNZ(i)
+		sum += ds[i]
+	}
+	sort.Ints(ds)
+	return DegreeStats{
+		Min: ds[0], Max: ds[len(ds)-1],
+		Mean: float64(sum) / float64(m.Rows),
+		P50:  ds[len(ds)/2],
+		P99:  ds[len(ds)*99/100],
+	}
+}

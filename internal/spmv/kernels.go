@@ -1,0 +1,401 @@
+package spmv
+
+import (
+	"fmt"
+	"sync"
+
+	"pmove/internal/machine"
+	"pmove/internal/topo"
+)
+
+// Algorithm names the SpMV implementations of §V-D: a vectorised kernel
+// standing in for Intel MKL, and the merge-path kernel of Merrill &
+// Garland.
+type Algorithm string
+
+// Supported algorithms.
+const (
+	AlgoMKL   Algorithm = "mkl"
+	AlgoMerge Algorithm = "merge"
+)
+
+// Algorithms lists the supported algorithms in the paper's order.
+func Algorithms() []Algorithm { return []Algorithm{AlgoMKL, AlgoMerge} }
+
+// MultiplyParallel computes y = A*x with the selected algorithm across
+// nthreads goroutines. Both algorithms produce exactly the same y (up to
+// floating-point association) and are verified against MultiplyRef in
+// tests.
+func MultiplyParallel(m *CSR, algo Algorithm, x, y []float64, nthreads int) error {
+	if len(x) != m.Cols || len(y) != m.Rows {
+		return fmt.Errorf("spmv: %s: dimension mismatch (x=%d want %d, y=%d want %d)", m.Name, len(x), m.Cols, len(y), m.Rows)
+	}
+	if nthreads <= 0 {
+		nthreads = 1
+	}
+	switch algo {
+	case AlgoMKL:
+		multiplyRowSplit(m, x, y, nthreads)
+		return nil
+	case AlgoMerge:
+		multiplyMerge(m, x, y, nthreads)
+		return nil
+	}
+	return fmt.Errorf("spmv: unknown algorithm %q", algo)
+}
+
+// multiplyRowSplit is the row-partitioned kernel: rows are divided evenly
+// across threads (the MKL-style strategy; vulnerable to row-length
+// imbalance but enjoys wide vectorisation within long rows).
+func multiplyRowSplit(m *CSR, x, y []float64, nthreads int) {
+	var wg sync.WaitGroup
+	chunk := (m.Rows + nthreads - 1) / nthreads
+	for t := 0; t < nthreads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				var sum float64
+				for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+					sum += m.Vals[k] * x[m.ColIdx[k]]
+				}
+				y[i] = sum
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MergeCoordinate is a position on the merge path: a (row, nonzero) pair.
+type MergeCoordinate struct {
+	Row int
+	NNZ int
+}
+
+// MergePathSearch finds the merge-path split point for a given diagonal:
+// the coordinate (i, j) with i+j = diagonal where the "merge" of the row
+// pointer list and the natural numbers balances. This is the core of
+// Merrill & Garland's merge-based SpMV.
+func MergePathSearch(diagonal int, rowPtr []int, rows, nnz int) MergeCoordinate {
+	lo := diagonal - nnz
+	if lo < 0 {
+		lo = 0
+	}
+	hi := diagonal
+	if hi > rows {
+		hi = rows
+	}
+	// Binary search over row index i; j = diagonal - i.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rowPtr[mid+1] <= diagonal-mid-1 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return MergeCoordinate{Row: lo, NNZ: diagonal - lo}
+}
+
+// multiplyMerge is the merge-path kernel: the combined work of consuming
+// rows and nonzeros is divided exactly evenly across threads, so heavily
+// imbalanced matrices (human_gene1) still load-balance. Each thread walks
+// its merge-path segment accumulating partial row sums; partial rows that
+// span thread boundaries are fixed up after the parallel phase.
+func multiplyMerge(m *CSR, x, y []float64, nthreads int) {
+	rows, nnz := m.Rows, m.NNZ()
+	totalWork := rows + nnz
+	if totalWork == 0 {
+		return
+	}
+	if nthreads > totalWork {
+		nthreads = totalWork
+	}
+	carryRow := make([]int, nthreads)
+	var wg sync.WaitGroup
+	per := (totalWork + nthreads - 1) / nthreads
+	for t := 0; t < nthreads; t++ {
+		dlo := t * per
+		dhi := dlo + per
+		if dhi > totalWork {
+			dhi = totalWork
+		}
+		if dlo >= dhi {
+			carryRow[t] = -1
+			continue
+		}
+		wg.Add(1)
+		go func(t, dlo, dhi int) {
+			defer wg.Done()
+			start := MergePathSearch(dlo, m.RowPtr, rows, nnz)
+			end := MergePathSearch(dhi, m.RowPtr, rows, nnz)
+			i, k := start.Row, start.NNZ
+			var sum float64
+			for i < end.Row {
+				for ; k < m.RowPtr[i+1]; k++ {
+					sum += m.Vals[k] * x[m.ColIdx[k]]
+				}
+				y[i] = sum
+				sum = 0
+				i++
+			}
+			// The last row of the segment may continue into the next
+			// thread's segment; mark it for the sequential fix-up.
+			if i < rows && k < end.NNZ {
+				carryRow[t] = i
+			} else {
+				carryRow[t] = -1
+			}
+		}(t, dlo, dhi)
+	}
+	wg.Wait()
+	// Sequential fix-up: rows that straddle segment boundaries were only
+	// partially summed by the threads involved; recompute each such row
+	// (at most one per thread) so y is exact.
+	for t := 0; t < nthreads; t++ {
+		r := carryRow[t]
+		if r < 0 {
+			continue
+		}
+		var sum float64
+		for k := m.RowPtr[r]; k < m.RowPtr[r+1]; k++ {
+			sum += m.Vals[k] * x[m.ColIdx[k]]
+		}
+		y[r] = sum
+	}
+}
+
+// DeriveWorkload translates an SpMV execution into a machine.WorkloadSpec
+// so the analytic engine can replay it with live telemetry. The derivation
+// captures the effects the paper observes:
+//
+//   - The MKL-class kernel uses AVX-512 on Intel systems: FP and memory
+//     instruction counts shrink by the vector width ("codes using higher
+//     SIMD ISA may provoke reduced instruction counts"), and AVX512 FP
+//     events appear instead of scalar ones.
+//   - The merge kernel "only exercised the scalar units".
+//   - Locality: matrix values/indices always stream from DRAM; x-vector
+//     accesses hit the level whose size covers the reordered bandwidth
+//     window (RCM shrinks it, lifting L1/L2 hit fractions — the mechanism
+//     behind its ≈22% speedup).
+func DeriveWorkload(sys *topo.System, m *CSR, algo Algorithm, nthreads int) (machine.WorkloadSpec, error) {
+	if err := m.Validate(); err != nil {
+		return machine.WorkloadSpec{}, err
+	}
+	nnz := float64(m.NNZ())
+	if nnz == 0 {
+		return machine.WorkloadSpec{}, fmt.Errorf("spmv: %s is empty", m.Name)
+	}
+	rowsPerThread := float64(m.Rows) / float64(nthreads)
+	nnzPerThread := nnz / float64(nthreads)
+
+	isa := topo.ISAScalar
+	if algo == AlgoMKL {
+		isa = sys.CPU.WidestISA()
+	}
+	w := float64(isa.VectorWidth())
+
+	// Per-"iteration" = per vector-width group of nonzeros on one thread.
+	itersPerThread := nnzPerThread / w
+	if itersPerThread < 1 {
+		itersPerThread = 1
+	}
+
+	// Memory instructions per group: 1 matrix-value load + 1 x gather
+	// (counted as one wide load under SIMD) + amortised index load and y
+	// store.
+	avgRowNNZ := nnz / float64(m.Rows)
+	// One scalar 8-byte y store per row; expressed in units of the
+	// kernel's (wide) memory instructions so byte accounting stays exact.
+	storesPerIter := 1 / avgRowNNZ
+	loadsPerIter := 2.0 + 0.5 // vals + x + packed colidx
+	other := 3.0              // pointer chasing, loop control
+	if algo == AlgoMerge {
+		other += 1.5 // merge-path bookkeeping
+	}
+
+	// x-vector locality from the bandwidth window, with cache-line waste
+	// for scattered gathers.
+	loc := xLocality(sys, m)
+	xBaseBytes := 8 * w // one x element per nonzero
+	xBytes := xBaseBytes * loc.Waste
+	instrBytes := (loadsPerIter + storesPerIter) * 8 * w
+	totalBytes := instrBytes + (xBytes - xBaseBytes)
+	hits := map[topo.CacheLevel]float64{}
+	hits[loc.StreamLevel] += (totalBytes - xBytes) / totalBytes
+	hits[loc.XLevel] += xBytes / totalBytes
+
+	spec := machine.WorkloadSpec{
+		Name:              fmt.Sprintf("spmv_%s_%s", algo, m.Name),
+		Iters:             uint64(itersPerThread + 0.5),
+		FPInstr:           map[topo.ISA]float64{isa: 1},
+		FMA:               true,
+		Loads:             loadsPerIter,
+		Stores:            storesPerIter,
+		MemISA:            isa,
+		OtherInstr:        other,
+		DivOps:            0,
+		ExtraBytesPerIter: xBytes - xBaseBytes,
+		WorkingSetBytes:   int64(12 * nnzPerThread), // vals 8B + idx 4B per nnz
+		HitOverride:       hits,
+	}
+	_ = rowsPerThread
+	return spec, nil
+}
+
+// ThreadWorkFactors computes each thread's share of the SpMV work under
+// an algorithm's partitioning, normalised so the mean is 1. The row-split
+// (MKL-style) kernel divides rows evenly, so heavy-tailed matrices like
+// human_gene1 skew badly; the merge-path kernel divides rows+nonzeros
+// exactly evenly by construction. These factors drive the engine's
+// LaunchSkewed so per-thread PMU counters show the real imbalance.
+func ThreadWorkFactors(m *CSR, algo Algorithm, nthreads int) ([]float64, error) {
+	if nthreads <= 0 {
+		return nil, fmt.Errorf("spmv: thread count must be positive")
+	}
+	nnzOf := make([]float64, nthreads)
+	switch algo {
+	case AlgoMKL:
+		chunk := (m.Rows + nthreads - 1) / nthreads
+		for t := 0; t < nthreads; t++ {
+			lo := t * chunk
+			hi := lo + chunk
+			if hi > m.Rows {
+				hi = m.Rows
+			}
+			if lo >= hi {
+				continue
+			}
+			nnzOf[t] = float64(m.RowPtr[hi] - m.RowPtr[lo])
+		}
+	case AlgoMerge:
+		totalWork := m.Rows + m.NNZ()
+		per := (totalWork + nthreads - 1) / nthreads
+		for t := 0; t < nthreads; t++ {
+			dlo := t * per
+			dhi := dlo + per
+			if dhi > totalWork {
+				dhi = totalWork
+			}
+			if dlo >= dhi {
+				continue
+			}
+			start := MergePathSearch(dlo, m.RowPtr, m.Rows, m.NNZ())
+			end := MergePathSearch(dhi, m.RowPtr, m.Rows, m.NNZ())
+			nnzOf[t] = float64(end.NNZ - start.NNZ)
+		}
+	default:
+		return nil, fmt.Errorf("spmv: unknown algorithm %q", algo)
+	}
+	mean := 0.0
+	for _, v := range nnzOf {
+		mean += v
+	}
+	mean /= float64(nthreads)
+	if mean == 0 {
+		return nil, fmt.Errorf("spmv: %s has no work to partition", m.Name)
+	}
+	out := make([]float64, nthreads)
+	for i, v := range nnzOf {
+		f := v / mean
+		if f < 1e-3 {
+			f = 1e-3 // idle threads still spin on the barrier
+		}
+		out[i] = f
+	}
+	return out, nil
+}
+
+// DeriveWorkloadRepeated derives a workload for `repeats` back-to-back
+// SpMV invocations (benchmark loops run the kernel many times; Fig 7's
+// phases are such loops). Locality is unchanged: the x window and matrix
+// stream repeat identically each iteration.
+func DeriveWorkloadRepeated(sys *topo.System, m *CSR, algo Algorithm, nthreads, repeats int) (machine.WorkloadSpec, error) {
+	if repeats <= 0 {
+		return machine.WorkloadSpec{}, fmt.Errorf("spmv: repeats must be positive, got %d", repeats)
+	}
+	spec, err := DeriveWorkload(sys, m, algo, nthreads)
+	if err != nil {
+		return machine.WorkloadSpec{}, err
+	}
+	spec.Iters *= uint64(repeats)
+	return spec, nil
+}
+
+// Locality describes where SpMV's two traffic streams are served and how
+// wasteful the x-vector gathers are.
+type Locality struct {
+	// StreamLevel serves the matrix values/indices stream: DRAM unless the
+	// whole matrix fits in L3.
+	StreamLevel topo.CacheLevel
+	// XLevel serves the x-vector gathers: the level whose capacity covers
+	// the reordered bandwidth window.
+	XLevel topo.CacheLevel
+	// Waste is the line-granularity amplification of the gathers: accesses
+	// landing beyond L2 pull whole 64-byte lines for 8 useful bytes, with
+	// partial neighbour reuse in L3.
+	Waste float64
+}
+
+// xLocality estimates the memory behaviour of SpMV on a system. The
+// matrix data (vals+colidx) streams sequentially; the x accesses jump
+// within a window set by the matrix bandwidth, which reordering shrinks —
+// the mechanism behind RCM's Fig 7 speedup.
+func xLocality(sys *topo.System, m *CSR) Locality {
+	matBytes := int64(m.NNZ() * 12)
+	streamLvl := topo.DRAM
+	if l3, ok := sys.Cache(topo.L3); ok && matBytes <= l3.SizeBytes {
+		streamLvl = topo.L3
+	}
+	window := int64(m.AvgBandwidth()*2*8) + 64
+	xLvl := sys.CacheLevelFor(window)
+	waste := 1.0
+	switch xLvl {
+	case topo.L3:
+		waste = 4
+	case topo.DRAM:
+		waste = 8
+	}
+	return Locality{StreamLevel: streamLvl, XLevel: xLvl, Waste: waste}
+}
+
+// RunInfo summarises a real (computed) SpMV run for verification and the
+// observation metadata attached to the KB.
+type RunInfo struct {
+	Matrix    string
+	Algorithm Algorithm
+	Ordering  Ordering
+	Threads   int
+	Rows      int
+	NNZ       int
+	Checksum  float64 // sum of y, to compare algorithms
+}
+
+// Execute computes y = A*x with the algorithm, returning a summary. x is
+// filled with a deterministic pattern.
+func Execute(m *CSR, algo Algorithm, ord Ordering, nthreads int) (RunInfo, []float64, error) {
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = 1.0 + float64(i%7)*0.25
+	}
+	y := make([]float64, m.Rows)
+	if err := MultiplyParallel(m, algo, x, y, nthreads); err != nil {
+		return RunInfo{}, nil, err
+	}
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	return RunInfo{
+		Matrix: m.Name, Algorithm: algo, Ordering: ord, Threads: nthreads,
+		Rows: m.Rows, NNZ: m.NNZ(), Checksum: sum,
+	}, y, nil
+}

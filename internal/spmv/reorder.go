@@ -1,0 +1,193 @@
+package spmv
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ordering names the reordering strategies exercised in Fig 2(c)/(d) and
+// §V-D: none, rcm, degree, random.
+type Ordering string
+
+// Supported orderings.
+const (
+	OrderNone   Ordering = "none"
+	OrderRCM    Ordering = "rcm"
+	OrderDegree Ordering = "degree"
+	OrderRandom Ordering = "random"
+)
+
+// Orderings lists all supported orderings.
+func Orderings() []Ordering {
+	return []Ordering{OrderNone, OrderRCM, OrderDegree, OrderRandom}
+}
+
+// Reorder returns the matrix symmetrically permuted by the named ordering
+// together with the permutation used (perm[old] = new). OrderNone returns
+// the input unchanged with the identity permutation.
+func Reorder(m *CSR, ord Ordering, seed uint64) (*CSR, []int, error) {
+	switch ord {
+	case OrderNone:
+		perm := make([]int, m.Rows)
+		for i := range perm {
+			perm[i] = i
+		}
+		return m, perm, nil
+	case OrderRCM:
+		perm := RCM(m)
+		out, err := m.Permute(perm)
+		return out, perm, err
+	case OrderDegree:
+		perm := DegreeOrder(m)
+		out, err := m.Permute(perm)
+		return out, perm, err
+	case OrderRandom:
+		rng := xorshift(seed | 1)
+		perm := scatterPerm(m.Rows, &rng)
+		out, err := m.Permute(perm)
+		return out, perm, err
+	}
+	return nil, nil, fmt.Errorf("spmv: unknown ordering %q", ord)
+}
+
+// RCM computes the Reverse Cuthill-McKee permutation of a square matrix,
+// treating the sparsity pattern as an undirected graph (the pattern is
+// symmetrised implicitly by following both directions). The returned slice
+// maps old index -> new index. Disconnected components are each seeded
+// from a pseudo-peripheral vertex of minimum degree.
+func RCM(m *CSR) []int {
+	n := m.Rows
+	// Build symmetrised adjacency once (excluding self loops).
+	adj := buildAdjacency(m)
+	deg := make([]int, n)
+	for i := range adj {
+		deg[i] = len(adj[i])
+	}
+	visited := make([]bool, n)
+	order := make([]int, 0, n) // Cuthill-McKee order (reversed at the end)
+	// Process vertices in ascending degree for component seeds.
+	seeds := make([]int, n)
+	for i := range seeds {
+		seeds[i] = i
+	}
+	sort.Slice(seeds, func(a, b int) bool { return deg[seeds[a]] < deg[seeds[b]] })
+	queue := make([]int, 0, n)
+	for _, s := range seeds {
+		if visited[s] {
+			continue
+		}
+		start := pseudoPeripheral(s, adj)
+		visited[start] = true
+		queue = append(queue[:0], start)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			// Enqueue unvisited neighbours by ascending degree.
+			var nbrs []int
+			for _, w := range adj[v] {
+				if !visited[w] {
+					visited[w] = true
+					nbrs = append(nbrs, w)
+				}
+			}
+			sort.Slice(nbrs, func(a, b int) bool { return deg[nbrs[a]] < deg[nbrs[b]] })
+			queue = append(queue, nbrs...)
+		}
+	}
+	// Reverse: perm[old] = new position.
+	perm := make([]int, n)
+	for pos, v := range order {
+		perm[v] = n - 1 - pos
+	}
+	return perm
+}
+
+// pseudoPeripheral finds an approximately peripheral vertex by repeated
+// BFS to the farthest minimum-degree vertex (George & Liu's heuristic).
+func pseudoPeripheral(start int, adj [][]int) int {
+	n := len(adj)
+	dist := make([]int, n)
+	cur := start
+	lastEcc := -1
+	for iter := 0; iter < 8; iter++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[cur] = 0
+		q := []int{cur}
+		far := cur
+		for len(q) > 0 {
+			v := q[0]
+			q = q[1:]
+			for _, w := range adj[v] {
+				if dist[w] < 0 {
+					dist[w] = dist[v] + 1
+					q = append(q, w)
+					if dist[w] > dist[far] || (dist[w] == dist[far] && len(adj[w]) < len(adj[far])) {
+						far = w
+					}
+				}
+			}
+		}
+		if dist[far] <= lastEcc {
+			break
+		}
+		lastEcc = dist[far]
+		cur = far
+	}
+	return cur
+}
+
+// DegreeOrder sorts vertices by ascending degree (ties by index) and
+// returns perm[old] = new.
+func DegreeOrder(m *CSR) []int {
+	n := m.Rows
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		da, db := m.RowNNZ(idx[a]), m.RowNNZ(idx[b])
+		if da != db {
+			return da < db
+		}
+		return idx[a] < idx[b]
+	})
+	perm := make([]int, n)
+	for pos, v := range idx {
+		perm[v] = pos
+	}
+	return perm
+}
+
+// buildAdjacency returns the symmetrised adjacency lists of the pattern,
+// excluding self loops, each list sorted and deduplicated.
+func buildAdjacency(m *CSR) [][]int {
+	n := m.Rows
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			j := m.ColIdx[k]
+			if j == i || j >= n {
+				continue
+			}
+			adj[i] = append(adj[i], j)
+			adj[j] = append(adj[j], i)
+		}
+	}
+	for i := range adj {
+		sort.Ints(adj[i])
+		// Deduplicate in place.
+		out := adj[i][:0]
+		prev := -1
+		for _, v := range adj[i] {
+			if v != prev {
+				out = append(out, v)
+				prev = v
+			}
+		}
+		adj[i] = out
+	}
+	return adj
+}

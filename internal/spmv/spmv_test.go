@@ -1,0 +1,465 @@
+package spmv
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmove/internal/topo"
+)
+
+// randomCSR builds a random square matrix for property tests.
+func randomCSR(n int, density float64, seed uint64) *CSR {
+	rng := xorshift(seed | 1)
+	var ri, ci []int
+	var vs []float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.float() < density {
+				ri = append(ri, i)
+				ci = append(ci, j)
+				vs = append(vs, rng.float()*4-2)
+			}
+		}
+	}
+	// Guarantee at least the diagonal so no row is empty... rows may still
+	// be empty; that is a case the kernels must handle, so only add some.
+	for i := 0; i < n; i += 3 {
+		ri = append(ri, i)
+		ci = append(ci, i)
+		vs = append(vs, 1)
+	}
+	m, err := FromTriplets("rand", n, n, ri, ci, vs)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func vecsClose(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol*(1+math.Abs(a[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFromTripletsValidate(t *testing.T) {
+	m, err := FromTriplets("t", 3, 3, []int{0, 1, 2, 0}, []int{0, 1, 2, 0}, []float64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NNZ() != 3 {
+		t.Fatalf("duplicates not coalesced: nnz=%d want 3", m.NNZ())
+	}
+	if m.Vals[0] != 5 { // 1+4 summed
+		t.Fatalf("duplicate sum: got %v want 5", m.Vals[0])
+	}
+}
+
+func TestFromTripletsRejectsOutOfRange(t *testing.T) {
+	if _, err := FromTriplets("t", 2, 2, []int{5}, []int{0}, []float64{1}); err == nil {
+		t.Fatal("expected error for out-of-range row")
+	}
+}
+
+func TestMultiplyRefDimensions(t *testing.T) {
+	m := randomCSR(8, 0.3, 7)
+	if err := m.MultiplyRef(make([]float64, 3), make([]float64, 8)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+	if err := m.MultiplyRef(make([]float64, 8), make([]float64, 3)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestParallelKernelsMatchReference(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 64, 301} {
+		for _, density := range []float64{0.02, 0.2, 0.7} {
+			m := randomCSR(n, density, uint64(n)*31+uint64(density*100))
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = float64(i%11) - 5
+			}
+			want := make([]float64, n)
+			if err := m.MultiplyRef(x, want); err != nil {
+				t.Fatal(err)
+			}
+			for _, algo := range Algorithms() {
+				for _, threads := range []int{1, 2, 3, 8, 33} {
+					got := make([]float64, n)
+					if err := MultiplyParallel(m, algo, x, got, threads); err != nil {
+						t.Fatalf("%s/%d: %v", algo, threads, err)
+					}
+					if !vecsClose(got, want, 1e-9) {
+						t.Fatalf("%s with %d threads on n=%d density=%.2f: mismatch", algo, threads, n, density)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMergeHandlesEmptyRows(t *testing.T) {
+	// Matrix with long empty stretches stresses the merge-path row
+	// consumption.
+	ri := []int{0, 0, 99}
+	ci := []int{0, 50, 99}
+	vs := []float64{1, 2, 3}
+	m, err := FromTriplets("sparse", 100, 100, ri, ci, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 100)
+	for i := range x {
+		x[i] = 1
+	}
+	want := make([]float64, 100)
+	if err := m.MultiplyRef(x, want); err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4, 16} {
+		got := make([]float64, 100)
+		if err := MultiplyParallel(m, AlgoMerge, x, got, threads); err != nil {
+			t.Fatal(err)
+		}
+		if !vecsClose(got, want, 1e-12) {
+			t.Fatalf("merge/%d threads: mismatch", threads)
+		}
+	}
+}
+
+func TestMergePathSearchInvariants(t *testing.T) {
+	m := randomCSR(50, 0.1, 123)
+	nnz := m.NNZ()
+	prev := MergeCoordinate{}
+	for d := 0; d <= m.Rows+nnz; d++ {
+		c := MergePathSearch(d, m.RowPtr, m.Rows, nnz)
+		if c.Row+c.NNZ != d {
+			t.Fatalf("diagonal %d: %d+%d != d", d, c.Row, c.NNZ)
+		}
+		if c.Row < prev.Row || c.NNZ < prev.NNZ {
+			t.Fatalf("merge path not monotone at diagonal %d", d)
+		}
+		if c.Row < 0 || c.Row > m.Rows || c.NNZ < 0 || c.NNZ > nnz {
+			t.Fatalf("diagonal %d out of range: %+v", d, c)
+		}
+		prev = c
+	}
+	last := MergePathSearch(m.Rows+nnz, m.RowPtr, m.Rows, nnz)
+	if last.Row != m.Rows || last.NNZ != nnz {
+		t.Fatalf("final diagonal should consume everything, got %+v", last)
+	}
+}
+
+func TestPermutePreservesSpectrumProxy(t *testing.T) {
+	// A symmetric permutation preserves nnz, row-degree multiset and the
+	// multiset of values.
+	m := randomCSR(40, 0.15, 99)
+	perm := RCM(m)
+	p, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NNZ() != m.NNZ() {
+		t.Fatalf("permute changed nnz: %d -> %d", m.NNZ(), p.NNZ())
+	}
+	var sumM, sumP float64
+	for _, v := range m.Vals {
+		sumM += v
+	}
+	for _, v := range p.Vals {
+		sumP += v
+	}
+	if math.Abs(sumM-sumP) > 1e-9 {
+		t.Fatalf("permute changed value sum: %v -> %v", sumM, sumP)
+	}
+	// SpMV result must be the permuted SpMV of the permuted input.
+	x := make([]float64, m.Cols)
+	for i := range x {
+		x[i] = float64(i)*0.5 - 3
+	}
+	yOrig := make([]float64, m.Rows)
+	if err := m.MultiplyRef(x, yOrig); err != nil {
+		t.Fatal(err)
+	}
+	xp := make([]float64, m.Cols)
+	for old, nw := range perm {
+		xp[nw] = x[old]
+	}
+	yp := make([]float64, m.Rows)
+	if err := p.MultiplyRef(xp, yp); err != nil {
+		t.Fatal(err)
+	}
+	for old, nw := range perm {
+		if math.Abs(yOrig[old]-yp[nw]) > 1e-9 {
+			t.Fatalf("permuted SpMV differs at row %d", old)
+		}
+	}
+}
+
+func TestRCMIsPermutation(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := 5 + int(seed%60)
+		m := randomCSR(n, 0.1, seed)
+		perm := RCM(m)
+		if len(perm) != n {
+			return false
+		}
+		seen := make([]bool, n)
+		for _, p := range perm {
+			if p < 0 || p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRCMReducesMeshBandwidth(t *testing.T) {
+	m, err := Generate("adaptive", 4000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := m.AvgBandwidth()
+	r, _, err := Reorder(m, OrderRCM, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := r.AvgBandwidth()
+	if after >= before*0.5 {
+		t.Fatalf("RCM should at least halve avg bandwidth of a scattered mesh: before=%.1f after=%.1f", before, after)
+	}
+}
+
+func TestDegreeOrderSortsDegrees(t *testing.T) {
+	m := randomCSR(60, 0.2, 5)
+	perm := DegreeOrder(m)
+	p, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < p.Rows; i++ {
+		if p.RowNNZ(i) < p.RowNNZ(i-1) {
+			t.Fatalf("degree order violated at row %d: %d < %d", i, p.RowNNZ(i), p.RowNNZ(i-1))
+		}
+	}
+}
+
+func TestReorderRandomIsValidPermutation(t *testing.T) {
+	m := randomCSR(30, 0.2, 77)
+	r, perm, err := Reorder(m, OrderRandom, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NNZ() != m.NNZ() {
+		t.Fatalf("random reorder changed nnz")
+	}
+	seen := make([]bool, m.Rows)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("random perm not a bijection")
+		}
+		seen[p] = true
+	}
+}
+
+func TestGenerateAllPaperMatrices(t *testing.T) {
+	for _, mi := range PaperMatrices() {
+		m, err := Generate(mi.Name, 2000, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", mi.Name, err)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("%s: %v", mi.Name, err)
+		}
+		paperDeg := float64(mi.NNZ) / float64(mi.Rows)
+		gotDeg := Degrees(m).Mean
+		// Degree should be within 3x of the paper matrix's (structure
+		// class match, not exact replication).
+		if gotDeg < paperDeg/3 || gotDeg > paperDeg*3 {
+			t.Errorf("%s: mean degree %.1f too far from paper %.1f", mi.Name, gotDeg, paperDeg)
+		}
+	}
+}
+
+func TestGenerateUnknownMatrix(t *testing.T) {
+	if _, err := Generate("nope", 100, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDeriveWorkloadShapes(t *testing.T) {
+	sys := topo.MustPreset(topo.PresetCSL)
+	m, err := Generate("hugetrace-00020", 5000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkl, err := DeriveWorkload(sys, m, AlgoMKL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge, err := DeriveWorkload(sys, m, AlgoMerge, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MKL uses the widest ISA; merge is scalar.
+	if _, ok := mkl.FPInstr[topo.ISAAVX512]; !ok {
+		t.Errorf("mkl workload should use AVX-512 on CSL, got %v", mkl.FPInstr)
+	}
+	if _, ok := merge.FPInstr[topo.ISAScalar]; !ok {
+		t.Errorf("merge workload should be scalar, got %v", merge.FPInstr)
+	}
+	// SIMD reduces instruction count: fewer iterations for same nnz.
+	if mkl.Iters >= merge.Iters {
+		t.Errorf("mkl should need fewer wide iterations: %d vs %d", mkl.Iters, merge.Iters)
+	}
+}
+
+func TestXLocalityImprovesWithRCM(t *testing.T) {
+	sys := topo.MustPreset(topo.PresetCSL)
+	m, err := Generate("adaptive", 20000, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := Reorder(m, OrderRCM, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := xLocality(sys, m)
+	after := xLocality(sys, r)
+	// After RCM the x-vector traffic should be served closer to the core
+	// with less line waste.
+	if after.XLevel > before.XLevel {
+		t.Errorf("RCM should not push the x window outward: before=%v after=%v", before, after)
+	}
+	if after.Waste > before.Waste {
+		t.Errorf("RCM should not increase gather waste: before=%v after=%v", before, after)
+	}
+	if before.XLevel == after.XLevel && before.XLevel == topo.L1 {
+		t.Skip("matrix too small to exercise the locality window")
+	}
+}
+
+func TestExecuteChecksumsAgree(t *testing.T) {
+	m, err := Generate("human_gene1", 800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoMKL, _, err := Execute(m, AlgoMKL, OrderNone, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	infoMerge, _, err := Execute(m, AlgoMerge, OrderNone, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(infoMKL.Checksum-infoMerge.Checksum) > 1e-6*math.Abs(infoMKL.Checksum) {
+		t.Fatalf("algorithms disagree: %v vs %v", infoMKL.Checksum, infoMerge.Checksum)
+	}
+}
+
+func TestBandwidthOfBandedMatrix(t *testing.T) {
+	// Tridiagonal matrix has bandwidth 1.
+	n := 50
+	var ri, ci []int
+	var vs []float64
+	for i := 0; i < n; i++ {
+		ri = append(ri, i)
+		ci = append(ci, i)
+		vs = append(vs, 2)
+		if i+1 < n {
+			ri = append(ri, i, i+1)
+			ci = append(ci, i+1, i)
+			vs = append(vs, -1, -1)
+		}
+	}
+	m, err := FromTriplets("tri", n, n, ri, ci, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bw := m.Bandwidth(); bw != 1 {
+		t.Fatalf("tridiagonal bandwidth = %d, want 1", bw)
+	}
+}
+
+func TestThreadWorkFactors(t *testing.T) {
+	// Arrowhead: first eighth of the rows are dense.
+	n := 800
+	var ri, ci []int
+	var vs []float64
+	for i := 0; i < n; i++ {
+		deg := 4
+		if i < n/8 {
+			deg = n / 4
+		}
+		for d := 0; d < deg; d++ {
+			ri = append(ri, i)
+			ci = append(ci, (i+d+1)%n)
+			vs = append(vs, 1)
+		}
+	}
+	m, err := FromTriplets("arrow", n, n, ri, ci, vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkl, err := ThreadWorkFactors(m, AlgoMKL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge, err := ThreadWorkFactors(m, AlgoMerge, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanOf := func(fs []float64) float64 {
+		s := 0.0
+		for _, f := range fs {
+			s += f
+		}
+		return s / float64(len(fs))
+	}
+	// Factors are normalised to mean 1.
+	if math.Abs(meanOf(mkl)-1) > 0.01 || math.Abs(meanOf(merge)-1) > 0.01 {
+		t.Errorf("means: mkl %.3f merge %.3f, want 1", meanOf(mkl), meanOf(merge))
+	}
+	spreadOf := func(fs []float64) float64 {
+		min, max := fs[0], fs[0]
+		for _, f := range fs {
+			if f < min {
+				min = f
+			}
+			if f > max {
+				max = f
+			}
+		}
+		return max - min
+	}
+	// Row-split concentrates the dense rows on thread 0; merge splits the
+	// nonzeros almost perfectly.
+	if mkl[0] < 3 {
+		t.Errorf("row-split thread 0 factor %.2f, want the arrow head", mkl[0])
+	}
+	// Merge-path balances rows+nonzeros, so nnz-only spread is small but
+	// not zero (row-consumption counts as work too).
+	if spreadOf(merge) > 0.35 {
+		t.Errorf("merge-path spread %.3f, should be small", spreadOf(merge))
+	}
+	if spreadOf(mkl) < 5*spreadOf(merge) {
+		t.Errorf("row-split spread %.3f should dwarf merge %.3f", spreadOf(mkl), spreadOf(merge))
+	}
+	// Validation.
+	if _, err := ThreadWorkFactors(m, AlgoMKL, 0); err == nil {
+		t.Error("zero threads accepted")
+	}
+	if _, err := ThreadWorkFactors(m, Algorithm("gpu"), 4); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}

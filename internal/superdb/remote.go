@@ -1,0 +1,164 @@
+package superdb
+
+import (
+	"fmt"
+	"sort"
+
+	"pmove/internal/docdb"
+	"pmove/internal/kb"
+	"pmove/internal/ontology"
+	"pmove/internal/tsdb"
+)
+
+// Remote is a SUPERDB client over the network: the paper's deployment has
+// "cloud instances of MongoDB and InfluxDB"; here the docdb and tsdb TCP
+// servers (see cmd/superdb) play those roles. Local P-MoVE instances use
+// a Remote to report their KBs and observations.
+type Remote struct {
+	Docs *docdb.Client
+	TS   *tsdb.Client
+}
+
+// DialRemote connects to a running cmd/superdb instance.
+func DialRemote(docAddr, tsAddr string) (*Remote, error) {
+	dc, err := docdb.Dial(docAddr)
+	if err != nil {
+		return nil, fmt.Errorf("superdb: documents: %w", err)
+	}
+	tc, err := tsdb.Dial(tsAddr)
+	if err != nil {
+		dc.Close()
+		return nil, fmt.Errorf("superdb: time series: %w", err)
+	}
+	return &Remote{Docs: dc, TS: tc}, nil
+}
+
+// Close releases both connections.
+func (r *Remote) Close() error {
+	err1 := r.Docs.Close()
+	err2 := r.TS.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// ReportKB uploads a system's KB summary, replacing any prior upload for
+// the same host.
+func (r *Remote) ReportKB(k *kb.KB) error {
+	doc, err := docdb.FromValue(map[string]any{
+		"_id":       "kb:" + k.Host,
+		"host":      k.Host,
+		"nodes":     k.Len(),
+		"microarch": k.Probe.System.CPU.Microarch,
+		"vendor":    string(k.Probe.System.CPU.Vendor),
+		"threads":   k.Probe.System.NumThreads(),
+	})
+	if err != nil {
+		return err
+	}
+	_, err = r.Docs.Upsert(CollKBs, doc)
+	return err
+}
+
+// ReportObservation uploads one observation over the wire, with the same
+// TS/AGG split as the embedded SuperDB.
+func (r *Remote) ReportObservation(o *kb.Observation, local *tsdb.DB, mode ReportMode) error {
+	kind := ontology.EntryTSObservation
+	if mode == ModeAGG {
+		kind = ontology.EntryAGGObservation
+	}
+	var aggs []Aggregates
+	rawPoints := 0
+	for _, m := range o.Metrics {
+		res, err := local.Execute(&tsdb.Query{
+			Fields:      m.Fields,
+			Measurement: m.Measurement,
+			TagFilter:   map[string]string{"tag": o.Tag},
+		})
+		if err != nil {
+			return fmt.Errorf("superdb: fetch %s: %w", m.Measurement, err)
+		}
+		switch mode {
+		case ModeTS:
+			for _, row := range res.Rows {
+				if len(row.Values) == 0 {
+					continue
+				}
+				p := tsdb.Point{
+					Measurement: m.Measurement,
+					Tags:        map[string]string{"tag": o.Tag, "host": o.Host},
+					Fields:      row.Values,
+					Time:        row.Time,
+				}
+				if err := r.TS.Write(p); err != nil {
+					return err
+				}
+				rawPoints++
+			}
+		case ModeAGG:
+			byField := map[string][]float64{}
+			for _, row := range res.Rows {
+				for f, v := range row.Values {
+					byField[f] = append(byField[f], v)
+				}
+			}
+			var fields []string
+			for f := range byField {
+				fields = append(fields, f)
+			}
+			sort.Strings(fields)
+			for _, f := range fields {
+				aggs = append(aggs, aggregate(m.Measurement, f, byField[f]))
+			}
+		default:
+			return fmt.Errorf("superdb: unknown report mode %q", mode)
+		}
+	}
+	doc, err := docdb.FromValue(map[string]any{
+		"_id":     fmt.Sprintf("obs:%s:%s", o.Host, o.Tag),
+		"kind":    string(kind),
+		"host":    o.Host,
+		"tag":     o.Tag,
+		"command": o.Command,
+		"metrics": o.Metrics,
+		"aggs":    aggs,
+		"points":  rawPoints,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = r.Docs.Upsert(CollObservations, doc)
+	return err
+}
+
+// Hosts lists systems with uploaded KBs on the remote instance.
+func (r *Remote) Hosts() ([]string, error) {
+	docs, err := r.Docs.Find(CollKBs, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, d := range docs {
+		if h, ok := d["host"].(string); ok {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// QueryObservation recalls one uploaded observation's series for a
+// measurement, using the same Listing 3 query shape against the global
+// time-series store.
+func (r *Remote) QueryObservation(host, tag, measurement string, fields []string) (*tsdb.Result, error) {
+	q := &tsdb.Query{
+		Fields:      fields,
+		Measurement: measurement,
+		TagFilter:   map[string]string{"tag": tag, "host": host},
+	}
+	if len(fields) == 0 {
+		q.Fields = []string{"*"}
+	}
+	return r.TS.Query(q.String())
+}

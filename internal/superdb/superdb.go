@@ -1,0 +1,258 @@
+// Package superdb implements P-MoVE's global performance database
+// (§III-E): a long-term store accumulating Knowledge Bases and performance
+// telemetry "from a wide array of systems to enhance architectural
+// research and train robust machine learning models". Observations evolve
+// into two variants here: TSObservationInterface carries the raw
+// time-series rows; AGGObservationInterface statistically summarises them
+// (min, max, mean, percentiles) to manage high data volumes.
+package superdb
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pmove/internal/docdb"
+	"pmove/internal/kb"
+	"pmove/internal/ontology"
+	"pmove/internal/tsdb"
+)
+
+// Collection names in the global document store.
+const (
+	CollKBs          = "super_kbs"
+	CollObservations = "super_observations"
+)
+
+// SuperDB is the global instance: in the paper cloud-hosted MongoDB and
+// InfluxDB; here embeddable (and servable through the docdb/tsdb TCP
+// servers).
+type SuperDB struct {
+	Docs *docdb.DB
+	TS   *tsdb.DB
+}
+
+// New creates an empty global database.
+func New() *SuperDB {
+	return &SuperDB{Docs: docdb.New(), TS: tsdb.New()}
+}
+
+// Aggregates summarises one field of one measurement.
+type Aggregates struct {
+	Measurement string  `json:"measurement"`
+	Field       string  `json:"field"`
+	Count       int     `json:"count"`
+	Min         float64 `json:"min"`
+	Max         float64 `json:"max"`
+	Mean        float64 `json:"mean"`
+	P50         float64 `json:"p50"`
+	P99         float64 `json:"p99"`
+}
+
+// aggregate computes summary statistics of a value series.
+func aggregate(measurement, field string, vs []float64) Aggregates {
+	a := Aggregates{Measurement: measurement, Field: field, Count: len(vs)}
+	if len(vs) == 0 {
+		return a
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	a.Min = sorted[0]
+	a.Max = sorted[len(sorted)-1]
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	a.Mean = sum / float64(len(sorted))
+	a.P50 = quantile(sorted, 0.50)
+	a.P99 = quantile(sorted, 0.99)
+	return a
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// ReportKB uploads a system's knowledge base to the global store ("The
+// users have the option to report their performance telemetry readings and
+// the system's KB to SUPERDB").
+func (s *SuperDB) ReportKB(k *kb.KB) error {
+	doc, err := docdb.FromValue(map[string]any{
+		"_id":       "kb:" + k.Host,
+		"host":      k.Host,
+		"nodes":     k.Len(),
+		"microarch": k.Probe.System.CPU.Microarch,
+		"vendor":    string(k.Probe.System.CPU.Vendor),
+		"threads":   k.Probe.System.NumThreads(),
+	})
+	if err != nil {
+		return err
+	}
+	coll := s.Docs.Collection(CollKBs)
+	if _, err := coll.Upsert(doc); err != nil {
+		return fmt.Errorf("superdb: report KB for %s: %w", k.Host, err)
+	}
+	return nil
+}
+
+// ReportMode selects how an observation's telemetry is uploaded.
+type ReportMode string
+
+// Report modes.
+const (
+	ModeTS  ReportMode = "ts"  // raw time-series rows
+	ModeAGG ReportMode = "agg" // statistical summary only
+)
+
+// ReportObservation uploads one observation: its metadata document plus
+// either the raw series (ModeTS) or aggregates (ModeAGG) pulled from the
+// local time-series database.
+func (s *SuperDB) ReportObservation(o *kb.Observation, local *tsdb.DB, mode ReportMode) error {
+	kind := ontology.EntryTSObservation
+	if mode == ModeAGG {
+		kind = ontology.EntryAGGObservation
+	}
+	var aggs []Aggregates
+	rawPoints := 0
+	for _, m := range o.Metrics {
+		q := &tsdb.Query{
+			Fields:      m.Fields,
+			Measurement: m.Measurement,
+			TagFilter:   map[string]string{"tag": o.Tag},
+		}
+		res, err := local.Execute(q)
+		if err != nil {
+			return fmt.Errorf("superdb: fetch %s: %w", m.Measurement, err)
+		}
+		switch mode {
+		case ModeTS:
+			for _, row := range res.Rows {
+				p := tsdb.Point{
+					Measurement: m.Measurement,
+					Tags:        map[string]string{"tag": o.Tag, "host": o.Host},
+					Fields:      row.Values,
+					Time:        row.Time,
+				}
+				if len(p.Fields) == 0 {
+					continue
+				}
+				if err := s.TS.WritePoint(p); err != nil {
+					return err
+				}
+				rawPoints++
+			}
+		case ModeAGG:
+			byField := map[string][]float64{}
+			for _, row := range res.Rows {
+				for f, v := range row.Values {
+					byField[f] = append(byField[f], v)
+				}
+			}
+			var fields []string
+			for f := range byField {
+				fields = append(fields, f)
+			}
+			sort.Strings(fields)
+			for _, f := range fields {
+				aggs = append(aggs, aggregate(m.Measurement, f, byField[f]))
+			}
+		default:
+			return fmt.Errorf("superdb: unknown report mode %q", mode)
+		}
+	}
+	doc, err := docdb.FromValue(map[string]any{
+		"_id":     fmt.Sprintf("obs:%s:%s", o.Host, o.Tag),
+		"kind":    string(kind),
+		"host":    o.Host,
+		"tag":     o.Tag,
+		"command": o.Command,
+		"metrics": o.Metrics,
+		"aggs":    aggs,
+		"points":  rawPoints,
+	})
+	if err != nil {
+		return err
+	}
+	if _, err := s.Docs.Collection(CollObservations).Upsert(doc); err != nil {
+		return fmt.Errorf("superdb: report observation %s: %w", o.Tag, err)
+	}
+	return nil
+}
+
+// Hosts lists systems with uploaded KBs, sorted.
+func (s *SuperDB) Hosts() []string {
+	var out []string
+	for _, d := range s.Docs.Collection(CollKBs).Find(nil) {
+		if h, ok := d["host"].(string); ok {
+			out = append(out, h)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Observations returns the uploaded observation documents for a host (""
+// for all).
+func (s *SuperDB) Observations(host string) []docdb.Doc {
+	var f *docdb.Filter
+	if host != "" {
+		f = &docdb.Filter{Eq: map[string]any{"host": host}}
+	}
+	return s.Docs.Collection(CollObservations).Find(f)
+}
+
+// MLRow is one exported training sample: observation metadata joined with
+// its aggregates — the "download selected data for ML training" path.
+type MLRow struct {
+	Host    string       `json:"host"`
+	Tag     string       `json:"tag"`
+	Command string       `json:"command"`
+	Aggs    []Aggregates `json:"aggs"`
+}
+
+// ExportML flattens all aggregated observations into training rows.
+func (s *SuperDB) ExportML() ([]MLRow, error) {
+	var out []MLRow
+	for _, d := range s.Observations("") {
+		kind, _ := d["kind"].(string)
+		if kind != string(ontology.EntryAGGObservation) {
+			continue
+		}
+		row := MLRow{}
+		row.Host, _ = d["host"].(string)
+		row.Tag, _ = d["tag"].(string)
+		row.Command, _ = d["command"].(string)
+		if raw, ok := d["aggs"].([]any); ok {
+			for _, ra := range raw {
+				m, ok := ra.(map[string]any)
+				if !ok {
+					continue
+				}
+				ag := Aggregates{}
+				ag.Measurement, _ = m["measurement"].(string)
+				ag.Field, _ = m["field"].(string)
+				if v, ok := m["count"].(float64); ok {
+					ag.Count = int(v)
+				}
+				ag.Min, _ = m["min"].(float64)
+				ag.Max, _ = m["max"].(float64)
+				ag.Mean, _ = m["mean"].(float64)
+				ag.P50, _ = m["p50"].(float64)
+				ag.P99, _ = m["p99"].(float64)
+				row.Aggs = append(row.Aggs, ag)
+			}
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}

@@ -1,0 +1,203 @@
+package superdb
+
+import (
+	"math"
+	"testing"
+
+	"pmove/internal/kb"
+	"pmove/internal/ontology"
+	"pmove/internal/topo"
+	"pmove/internal/tsdb"
+)
+
+func testKB(t *testing.T, preset string) *kb.KB {
+	t.Helper()
+	doc, err := topo.NewProber().Probe(topo.MustPreset(preset))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := kb.Generate(doc, kb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// seedObservation writes a small series and returns the matching entry.
+func seedObservation(t *testing.T, local *tsdb.DB, host, tag string) *kb.Observation {
+	t.Helper()
+	for i := int64(0); i < 10; i++ {
+		if err := local.WritePoint(tsdb.Point{
+			Measurement: "perfevent_hwcounters_X",
+			Tags:        map[string]string{"tag": tag},
+			Fields:      map[string]float64{"_cpu0": float64(i), "_cpu1": float64(i * 2)},
+			Time:        i * 1e9,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &kb.Observation{
+		ID: "obs:" + tag, Type: "ObservationInterface", Tag: tag, Host: host,
+		Command: "spmv",
+		Metrics: []kb.MetricRef{{Measurement: "perfevent_hwcounters_X", Fields: []string{"_cpu0", "_cpu1"}}},
+	}
+}
+
+func TestReportKBAndHosts(t *testing.T) {
+	s := New()
+	if err := s.ReportKB(testKB(t, topo.PresetSKX)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReportKB(testKB(t, topo.PresetICL)); err != nil {
+		t.Fatal(err)
+	}
+	// Re-reporting is an upsert, not a duplicate.
+	if err := s.ReportKB(testKB(t, topo.PresetSKX)); err != nil {
+		t.Fatal(err)
+	}
+	hosts := s.Hosts()
+	if len(hosts) != 2 || hosts[0] != "icl" || hosts[1] != "skx" {
+		t.Errorf("hosts = %v", hosts)
+	}
+}
+
+func TestReportObservationTS(t *testing.T) {
+	s := New()
+	local := tsdb.New()
+	obs := seedObservation(t, local, "skx", "t-ts")
+	if err := s.ReportObservation(obs, local, ModeTS); err != nil {
+		t.Fatal(err)
+	}
+	// Raw rows are in the global TSDB, tagged with the host.
+	res, err := s.TS.QueryString(`SELECT "_cpu0" FROM "perfevent_hwcounters_X" WHERE tag="t-ts" AND host="skx"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Errorf("global rows = %d, want 10", len(res.Rows))
+	}
+	docs := s.Observations("skx")
+	if len(docs) != 1 {
+		t.Fatalf("observation docs = %d", len(docs))
+	}
+	if docs[0]["kind"] != string(ontology.EntryTSObservation) {
+		t.Errorf("kind = %v", docs[0]["kind"])
+	}
+}
+
+func TestReportObservationAGG(t *testing.T) {
+	s := New()
+	local := tsdb.New()
+	obs := seedObservation(t, local, "icl", "t-agg")
+	if err := s.ReportObservation(obs, local, ModeAGG); err != nil {
+		t.Fatal(err)
+	}
+	// No raw rows shipped.
+	res, _ := s.TS.QueryString(`SELECT "_cpu0" FROM "perfevent_hwcounters_X"`)
+	if len(res.Rows) != 0 {
+		t.Error("AGG mode should not ship raw rows")
+	}
+	docs := s.Observations("icl")
+	if len(docs) != 1 || docs[0]["kind"] != string(ontology.EntryAGGObservation) {
+		t.Fatalf("docs = %+v", docs)
+	}
+	rows, err := s.ExportML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0].Aggs) != 2 {
+		t.Fatalf("ML export: %+v", rows)
+	}
+	// _cpu0 carries 0..9: mean 4.5, min 0, max 9, p50 4.5.
+	var cpu0 *Aggregates
+	for i := range rows[0].Aggs {
+		if rows[0].Aggs[i].Field == "_cpu0" {
+			cpu0 = &rows[0].Aggs[i]
+		}
+	}
+	if cpu0 == nil {
+		t.Fatal("_cpu0 aggregate missing")
+	}
+	if cpu0.Count != 10 || cpu0.Min != 0 || cpu0.Max != 9 || math.Abs(cpu0.Mean-4.5) > 1e-9 {
+		t.Errorf("aggregates: %+v", cpu0)
+	}
+}
+
+func TestReportObservationBadMode(t *testing.T) {
+	s := New()
+	local := tsdb.New()
+	obs := seedObservation(t, local, "h", "t")
+	if err := s.ReportObservation(obs, local, ReportMode("raw")); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestTSObservationsExcludedFromML(t *testing.T) {
+	s := New()
+	local := tsdb.New()
+	if err := s.ReportObservation(seedObservation(t, local, "h", "t1"), local, ModeTS); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.ExportML()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Error("TS observations should not appear in the ML export")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if q := quantile(sorted, 0.5); q != 3 {
+		t.Errorf("p50 = %f", q)
+	}
+	if q := quantile(sorted, 0); q != 1 {
+		t.Errorf("p0 = %f", q)
+	}
+	if q := quantile(sorted, 1); q != 5 {
+		t.Errorf("p100 = %f", q)
+	}
+	if q := quantile([]float64{}, 0.5); q != 0 {
+		t.Errorf("empty quantile = %f", q)
+	}
+	// Interpolation between ranks.
+	if q := quantile([]float64{0, 10}, 0.25); math.Abs(q-2.5) > 1e-9 {
+		t.Errorf("interpolated quantile = %f", q)
+	}
+}
+
+func TestAggregateStats(t *testing.T) {
+	a := aggregate("m", "f", []float64{5, 1, 3})
+	if a.Min != 1 || a.Max != 5 || math.Abs(a.Mean-3) > 1e-9 || a.P50 != 3 || a.Count != 3 {
+		t.Errorf("aggregate: %+v", a)
+	}
+	empty := aggregate("m", "f", nil)
+	if empty.Count != 0 {
+		t.Error("empty aggregate")
+	}
+}
+
+func TestMultiInstanceGlobalView(t *testing.T) {
+	// Two instances report; the global store can answer cross-machine
+	// queries — the SUPERDB promise of §III-E.
+	s := New()
+	for _, host := range []string{"skx", "icl"} {
+		k := testKB(t, host)
+		if err := s.ReportKB(k); err != nil {
+			t.Fatal(err)
+		}
+		local := tsdb.New()
+		obs := seedObservation(t, local, host, "tag-"+host)
+		if err := s.ReportObservation(obs, local, ModeAGG); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(s.Observations("")); n != 2 {
+		t.Errorf("global observations = %d", n)
+	}
+	rows, _ := s.ExportML()
+	if len(rows) != 2 {
+		t.Errorf("ML rows = %d", len(rows))
+	}
+}

@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+
+	"pmove/internal/tsdb"
+)
+
+// PipelineConfig models the host-side shipment path: the network link
+// between target and host and the database insertion cost. PCP "performs
+// sampling instead of recording performance events over time" with no
+// buffering, so a report that arrives while the previous one is still
+// being inserted is lost — the Table III mechanism.
+type PipelineConfig struct {
+	// LinkMbps is the host-target link (the paper's testbed used a 100
+	// Mbit cabled connection).
+	LinkMbps float64
+	// InsertBaseSeconds is the fixed per-report DB insertion cost.
+	InsertBaseSeconds float64
+	// InsertPerValueSeconds is the marginal insertion cost per data point.
+	InsertPerValueSeconds float64
+	// StallProb is the probability a report hits a transient stall
+	// (writeback, GC) multiplying its cost by StallFactor.
+	StallProb   float64
+	StallFactor float64
+	// CounterRefreshSeconds is the PMU readout refresh period: polling
+	// faster than this returns batched zeros ("we observed batched zero
+	// values with high frequency").
+	CounterRefreshSeconds float64
+	// Buffered enables a hypothetical report queue in front of the DB:
+	// reports arriving while the previous insert is in flight are queued
+	// instead of dropped. PCP has no such buffer — this switch exists for
+	// the ablation study isolating that design choice (Table III's losses
+	// vanish with it; latency grows instead).
+	Buffered bool
+	// Seed drives the deterministic jitter.
+	Seed uint64
+}
+
+// DefaultPipeline returns the configuration calibrated against the
+// paper's testbed (100 Mbit link, spinning-disk-backed InfluxDB on the
+// host).
+func DefaultPipeline() PipelineConfig {
+	return PipelineConfig{
+		LinkMbps:              100,
+		InsertBaseSeconds:     3e-3,
+		InsertPerValueSeconds: 75e-6,
+		StallProb:             0.04,
+		StallFactor:           4,
+		CounterRefreshSeconds: 0.048,
+		Seed:                  1,
+	}
+}
+
+// Collector is the host-side sink: it owns the tsdb handle and the
+// busy-until state of the unbuffered pipeline.
+type Collector struct {
+	DB  *tsdb.DB
+	Cfg PipelineConfig
+
+	busyUntil float64
+	seq       uint64
+
+	// Cumulative statistics.
+	Expected  uint64 // data points the sampler should have produced
+	Inserted  uint64 // data points actually written
+	Zeros     uint64 // inserted points whose value was a batched zero
+	Lost      uint64 // data points dropped because the pipeline was busy
+	NetBytes  int64
+	DiskBytes int64
+	// QueuedDelay is the backlog the most recent report waited behind
+	// (buffered mode only); MaxLagSeconds the worst insertion lag seen.
+	QueuedDelay   float64
+	MaxLagSeconds float64
+}
+
+// NewCollector builds a collector over a tsdb.
+func NewCollector(db *tsdb.DB, cfg PipelineConfig) *Collector {
+	return &Collector{DB: db, Cfg: cfg, seq: cfg.Seed}
+}
+
+func (c *Collector) jitter() float64 {
+	c.seq++
+	x := c.seq * 0x9e3779b97f4a7c15
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	return float64(x>>11) / float64(1<<53)
+}
+
+// reportCost returns the wall time one report of nValues/nBytes occupies
+// the pipeline.
+func (c *Collector) reportCost(nValues int, nBytes int64) float64 {
+	cost := c.Cfg.InsertBaseSeconds + float64(nValues)*c.Cfg.InsertPerValueSeconds
+	if c.Cfg.LinkMbps > 0 {
+		cost += float64(nBytes) * 8 / (c.Cfg.LinkMbps * 1e6)
+	}
+	// Deterministic jitter: ±30% plus occasional stalls.
+	u := c.jitter()
+	cost *= 0.85 + 0.3*u
+	if c.Cfg.StallProb > 0 && c.jitter() < c.Cfg.StallProb {
+		cost *= c.Cfg.StallFactor
+	}
+	return cost
+}
+
+// Offer presents one report (all samples of one tick) to the pipeline at
+// virtual time now. If the pipeline is still busy with the previous
+// report, the whole report is dropped (no buffer). Otherwise the samples
+// are written with the tick's timestamp and the pipeline is busy for the
+// report's cost. zeroBatch marks the PMU-sourced values as a batched-zero
+// readout: they are inserted with value 0.
+func (c *Collector) Offer(now float64, samples []Sample, tag string, zeroBatch bool) error {
+	nValues := 0
+	var nBytes int64
+	for _, s := range samples {
+		nValues += len(s.Values)
+		nBytes += wireBytes(s)
+	}
+	c.Expected += uint64(nValues)
+	if now < c.busyUntil {
+		if !c.Cfg.Buffered {
+			c.Lost += uint64(nValues)
+			return nil
+		}
+		// Buffered ablation: the report queues behind the in-flight one;
+		// insertion latency accumulates instead of data being lost.
+		c.QueuedDelay = c.busyUntil - now
+	} else {
+		c.QueuedDelay = 0
+	}
+	ts := int64(now * 1e9)
+	for _, s := range samples {
+		if zeroBatch {
+			zeroed := Sample{Metric: s.Metric, Values: map[string]float64{}}
+			for f := range s.Values {
+				zeroed.Values[f] = 0
+			}
+			s = zeroed
+		}
+		p := ToPoint(s, tag, ts)
+		if err := c.DB.WritePoint(p); err != nil {
+			return fmt.Errorf("telemetry: insert %s: %w", s.Metric, err)
+		}
+		c.Inserted += uint64(len(s.Values))
+		if zeroBatch {
+			c.Zeros += uint64(len(s.Values))
+		}
+	}
+	c.NetBytes += nBytes
+	c.DiskBytes += int64(nValues) * 48 // stored point footprint
+	start := now
+	if c.Cfg.Buffered && c.busyUntil > now {
+		start = c.busyUntil
+	}
+	c.busyUntil = start + c.reportCost(nValues, nBytes)
+	if lag := c.busyUntil - now; lag > c.MaxLagSeconds {
+		c.MaxLagSeconds = lag
+	}
+	return nil
+}
+
+// LossRate returns the fraction of expected points lost in transmission.
+func (c *Collector) LossRate() float64 {
+	if c.Expected == 0 {
+		return 0
+	}
+	return float64(c.Lost) / float64(c.Expected)
+}
+
+// LossPlusZeroRate returns the Table III "L+Z%" column: the fraction of
+// expected data points that were either lost or inserted as zeros.
+func (c *Collector) LossPlusZeroRate() float64 {
+	if c.Expected == 0 {
+		return 0
+	}
+	return float64(c.Lost+c.Zeros) / float64(c.Expected)
+}
+
+// ZeroBatchProbability returns the probability a readout at the given
+// sampling interval returns batched zeros: polling faster than the
+// counter refresh leaves a fraction 1-interval/refresh of polls without
+// fresh data.
+func (cfg *PipelineConfig) ZeroBatchProbability(intervalSeconds float64) float64 {
+	if cfg.CounterRefreshSeconds <= 0 || intervalSeconds >= cfg.CounterRefreshSeconds {
+		return 0
+	}
+	return math.Min(0.9, 1-intervalSeconds/cfg.CounterRefreshSeconds)
+}

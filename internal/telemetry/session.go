@@ -1,0 +1,125 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SessionConfig describes one sampling session: which metrics to sample at
+// what frequency for how long, shipping to which collector.
+type SessionConfig struct {
+	Metrics []string
+	FreqHz  float64
+	Tag     string // observation tag written to every point
+	// DurationSeconds bounds the session; 0 requires Stop conditions from
+	// the caller via RunUntil.
+	DurationSeconds float64
+}
+
+// SessionStats summarises a finished session — one Table III row.
+type SessionStats struct {
+	Host     string
+	FreqHz   float64
+	NMetrics int
+	Ticks    uint64
+	Expected uint64
+	Inserted uint64
+	Zeros    uint64
+	Lost     uint64
+	// Tput is inserted data points per second; ATput excludes zeros
+	// (Table III's "actual" throughput).
+	Tput         float64
+	ATput        float64
+	LossPct      float64
+	LossPlusZPct float64
+}
+
+// Session is a sampling run binding a target's PMCD to a host collector.
+type Session struct {
+	PMCD      *PMCD
+	Collector *Collector
+	Cfg       SessionConfig
+}
+
+// NewSession validates the configuration and builds a session.
+func NewSession(p *PMCD, c *Collector, cfg SessionConfig) (*Session, error) {
+	if cfg.FreqHz <= 0 {
+		return nil, fmt.Errorf("telemetry: sampling frequency must be positive, got %g", cfg.FreqHz)
+	}
+	if len(cfg.Metrics) == 0 {
+		return nil, fmt.Errorf("telemetry: session has no metrics")
+	}
+	route := map[string]bool{}
+	for _, m := range p.Metrics() {
+		route[m] = true
+	}
+	for _, m := range cfg.Metrics {
+		if !route[m] {
+			return nil, fmt.Errorf("telemetry: no agent serves metric %q", m)
+		}
+	}
+	return &Session{PMCD: p, Collector: c, Cfg: cfg}, nil
+}
+
+// Run executes the session for its configured duration, driving the
+// machine's virtual clock tick by tick, and returns the statistics.
+func (s *Session) Run() (SessionStats, error) {
+	if s.Cfg.DurationSeconds <= 0 {
+		return SessionStats{}, fmt.Errorf("telemetry: session duration must be positive")
+	}
+	ticks := uint64(s.Cfg.DurationSeconds * s.Cfg.FreqHz)
+	return s.RunTicks(ticks)
+}
+
+// RunTicks executes exactly n sampling ticks.
+func (s *Session) RunTicks(n uint64) (SessionStats, error) {
+	m := s.PMCD.Machine()
+	interval := 1 / s.Cfg.FreqHz
+	start := m.Now()
+	zeroProb := s.Collector.Cfg.ZeroBatchProbability(interval)
+	metrics := append([]string(nil), s.Cfg.Metrics...)
+	sort.Strings(metrics)
+
+	startExpected, startInserted := s.Collector.Expected, s.Collector.Inserted
+	startZeros, startLost := s.Collector.Zeros, s.Collector.Lost
+
+	for tick := uint64(1); tick <= n; tick++ {
+		t := start + float64(tick)*interval
+		if err := m.AdvanceTo(t); err != nil {
+			return SessionStats{}, err
+		}
+		samples := make([]Sample, 0, len(metrics))
+		for _, metric := range metrics {
+			sm, err := s.PMCD.Sample(metric)
+			if err != nil {
+				return SessionStats{}, err
+			}
+			samples = append(samples, sm)
+		}
+		zeroBatch := zeroProb > 0 && s.Collector.jitter() < zeroProb
+		if err := s.Collector.Offer(t, samples, s.Cfg.Tag, zeroBatch); err != nil {
+			return SessionStats{}, err
+		}
+	}
+
+	st := SessionStats{
+		Host:     m.System().Hostname,
+		FreqHz:   s.Cfg.FreqHz,
+		NMetrics: len(metrics),
+		Ticks:    n,
+		Expected: s.Collector.Expected - startExpected,
+		Inserted: s.Collector.Inserted - startInserted,
+		Zeros:    s.Collector.Zeros - startZeros,
+		Lost:     s.Collector.Lost - startLost,
+	}
+	dur := float64(n) * interval
+	if dur > 0 {
+		st.Tput = float64(st.Inserted) / dur
+		st.ATput = float64(st.Inserted-st.Zeros) / dur
+	}
+	if st.Expected > 0 {
+		st.LossPct = 100 * float64(st.Lost) / float64(st.Expected)
+		st.LossPlusZPct = 100 * float64(st.Lost+st.Zeros) / float64(st.Expected)
+	}
+	return st, nil
+}

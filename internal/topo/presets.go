@@ -1,0 +1,200 @@
+package topo
+
+import "fmt"
+
+// Preset names for the evaluation platforms of Table II.
+const (
+	PresetSKX  = "skx"  // 2x Intel Xeon Gold 6152, Skylake-X, 44c/88t, 1 TB
+	PresetICL  = "icl"  // Intel i9-11900K, Ice Lake (Rocket Lake-class), 8c/16t
+	PresetCSL  = "csl"  // Intel Xeon Gold 6258R, Cascade Lake, 28c/56t
+	PresetZEN3 = "zen3" // AMD EPYC 7313, Zen3, 16c/32t
+)
+
+// Presets returns the names of all built-in systems.
+func Presets() []string { return []string{PresetSKX, PresetICL, PresetCSL, PresetZEN3} }
+
+// NewPreset builds one of the Table II systems. Unknown names error.
+func NewPreset(name string) (*System, error) {
+	switch name {
+	case PresetSKX:
+		return newSKX(), nil
+	case PresetICL:
+		return newICL(), nil
+	case PresetCSL:
+		return newCSL(), nil
+	case PresetZEN3:
+		return newZEN3(), nil
+	}
+	return nil, fmt.Errorf("topo: unknown preset %q (have %v)", name, Presets())
+}
+
+// MustPreset is NewPreset that panics on unknown names; for tests and
+// examples where the name is a compile-time constant.
+func MustPreset(name string) *System {
+	s, err := NewPreset(name)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// buildLayout populates sockets/NUMA with a regular layout: threadsPerCore
+// SMT siblings per core, coresPerSocket cores per socket, one NUMA node per
+// socket. Thread ids follow the Linux convention where sibling threads are
+// offset by the total core count (cpu0 and cpu<N> share core 0).
+func buildLayout(sockets, coresPerSocket, threadsPerCore int, memPerNUMA int64) ([]Socket, []NUMANode) {
+	totalCores := sockets * coresPerSocket
+	var sks []Socket
+	var numa []NUMANode
+	for s := 0; s < sockets; s++ {
+		sk := Socket{ID: s}
+		nn := NUMANode{ID: s, MemoryBytes: memPerNUMA}
+		for c := 0; c < coresPerSocket; c++ {
+			coreID := s*coresPerSocket + c
+			core := Core{ID: coreID, SocketID: s, NUMAID: s}
+			for t := 0; t < threadsPerCore; t++ {
+				core.Threads = append(core.Threads, Thread{ID: coreID + t*totalCores, CoreID: coreID})
+			}
+			sk.Cores = append(sk.Cores, core)
+			nn.CoreIDs = append(nn.CoreIDs, coreID)
+		}
+		sks = append(sks, sk)
+		numa = append(numa, nn)
+	}
+	return sks, numa
+}
+
+const (
+	kib = int64(1) << 10
+	mib = int64(1) << 20
+	gib = int64(1) << 30
+)
+
+func newSKX() *System {
+	sks, numa := buildLayout(2, 22, 2, 512*gib)
+	return &System{
+		Hostname: "skx",
+		OS:       OSInfo{Name: "Ubuntu 20.04.3 LTS", Kernel: "5.15.0-73-generic", Arch: "x86_64"},
+		CPU: CPUSpec{
+			Model: "Intel Xeon Gold 6152", Vendor: VendorIntel, Microarch: "skx",
+			BaseGHz: 2.1, TurboGHz: 3.7, CoresPerSocket: 22, ThreadsPerCore: 2,
+			ISAs:     []ISA{ISAScalar, ISASSE, ISAAVX2, ISAAVX512},
+			FMAUnits: 2, TDPWatts: 140, IdleWatts: 38,
+		},
+		Memory: MemSpec{
+			TotalBytes: 1024 * gib, Type: "DDR4", MHz: 2666, Channels: 6,
+			BWBytesPerCycPerCore: 4.0, SocketBWGBs: 110,
+		},
+		Sockets: sks,
+		NUMA:    numa,
+		Caches: []Cache{
+			{Level: L1, SizeBytes: 32 * kib, LineBytes: 64, Assoc: 8, LatencyCyc: 4, BWBytesPerCycPerCore: 128},
+			{Level: L2, SizeBytes: 1024 * kib, LineBytes: 64, Assoc: 16, LatencyCyc: 14, BWBytesPerCycPerCore: 48},
+			{Level: L3, SizeBytes: 30976 * kib, LineBytes: 64, Shared: true, Assoc: 11, LatencyCyc: 50, BWBytesPerCycPerCore: 16},
+		},
+		Disks: []Disk{
+			{Name: "sda", Model: "INTEL SSDSC2KB96", SizeBytes: 960 * gib, SMARTOK: true},
+			{Name: "sdb", Model: "ST4000NM0035", SizeBytes: 4000 * gib, Rotational: true, SMARTOK: true},
+			{Name: "sdc", Model: "ST4000NM0035", SizeBytes: 4000 * gib, Rotational: true, SMARTOK: true},
+			{Name: "sdd", Model: "ST4000NM0035", SizeBytes: 4000 * gib, Rotational: true, SMARTOK: true},
+		},
+		NICs: []NIC{{Name: "eno1", SpeedMbps: 100, Address: "10.0.0.11"}},
+		Env:  map[string]string{"pcp": "5.3.6-1"},
+	}
+}
+
+func newICL() *System {
+	sks, numa := buildLayout(1, 8, 2, 64*gib)
+	return &System{
+		Hostname: "icl",
+		OS:       OSInfo{Name: "Linux Mint 21.1", Kernel: "5.15.0-56-generic", Arch: "x86_64"},
+		CPU: CPUSpec{
+			Model: "Intel i9-11900K", Vendor: VendorIntel, Microarch: "icl",
+			BaseGHz: 3.5, TurboGHz: 5.1, CoresPerSocket: 8, ThreadsPerCore: 2,
+			ISAs:     []ISA{ISAScalar, ISASSE, ISAAVX2, ISAAVX512},
+			FMAUnits: 2, TDPWatts: 125, IdleWatts: 18,
+		},
+		Memory: MemSpec{
+			TotalBytes: 64 * gib, Type: "DDR4", MHz: 2133, Channels: 2,
+			BWBytesPerCycPerCore: 3.0, SocketBWGBs: 34,
+		},
+		Sockets: sks,
+		NUMA:    numa,
+		Caches: []Cache{
+			{Level: L1, SizeBytes: 48 * kib, LineBytes: 64, Assoc: 12, LatencyCyc: 5, BWBytesPerCycPerCore: 128},
+			{Level: L2, SizeBytes: 512 * kib, LineBytes: 64, Assoc: 8, LatencyCyc: 13, BWBytesPerCycPerCore: 48},
+			{Level: L3, SizeBytes: 16384 * kib, LineBytes: 64, Shared: true, Assoc: 16, LatencyCyc: 42, BWBytesPerCycPerCore: 18},
+		},
+		Disks: []Disk{{Name: "nvme0n1", Model: "Samsung SSD 980", SizeBytes: 1000 * gib, SMARTOK: true}},
+		NICs:  []NIC{{Name: "enp3s0", SpeedMbps: 1000, Address: "10.0.0.12"}},
+		Env:   map[string]string{"pcp": "5.3.6-1"},
+	}
+}
+
+func newCSL() *System {
+	sks, numa := buildLayout(1, 28, 2, 64*gib)
+	return &System{
+		Hostname: "csl",
+		OS:       OSInfo{Name: "CentOS Linux release 7.9.2009", Kernel: "3.10.0-1160.90.1.el7.x86_64", Arch: "x86_64"},
+		CPU: CPUSpec{
+			Model: "Intel Xeon Gold 6258R", Vendor: VendorIntel, Microarch: "cascade",
+			BaseGHz: 2.7, TurboGHz: 4.0, CoresPerSocket: 28, ThreadsPerCore: 2,
+			ISAs:     []ISA{ISAScalar, ISASSE, ISAAVX2, ISAAVX512},
+			FMAUnits: 2, TDPWatts: 205, IdleWatts: 42,
+		},
+		Memory: MemSpec{
+			TotalBytes: 64 * gib, Type: "DDR4", MHz: 3200, Channels: 6,
+			BWBytesPerCycPerCore: 3.6, SocketBWGBs: 131,
+		},
+		Sockets: sks,
+		NUMA:    numa,
+		Caches: []Cache{
+			{Level: L1, SizeBytes: 32 * kib, LineBytes: 64, Assoc: 8, LatencyCyc: 4, BWBytesPerCycPerCore: 128},
+			{Level: L2, SizeBytes: 1024 * kib, LineBytes: 64, Assoc: 16, LatencyCyc: 14, BWBytesPerCycPerCore: 48},
+			{Level: L3, SizeBytes: 39424 * kib, LineBytes: 64, Shared: true, Assoc: 11, LatencyCyc: 50, BWBytesPerCycPerCore: 16},
+		},
+		Disks: []Disk{{Name: "sda", Model: "MZ7LH960HAJR", SizeBytes: 960 * gib, SMARTOK: true}},
+		NICs:  []NIC{{Name: "em1", SpeedMbps: 10000, Address: "10.0.0.13"}},
+		Env:   map[string]string{"pcp": "5.3.6-1", "mkl": "2021.4", "icc": "2021.4"},
+	}
+}
+
+func newZEN3() *System {
+	sks, numa := buildLayout(1, 16, 2, 128*gib)
+	return &System{
+		Hostname: "zen3",
+		OS:       OSInfo{Name: "Ubuntu 22.04.3 LTS", Kernel: "6.2.0-33-generic", Arch: "x86_64"},
+		CPU: CPUSpec{
+			Model: "AMD EPYC 7313", Vendor: VendorAMD, Microarch: "zen3",
+			BaseGHz: 3.0, TurboGHz: 3.7, CoresPerSocket: 16, ThreadsPerCore: 2,
+			ISAs:     []ISA{ISAScalar, ISASSE, ISAAVX2},
+			FMAUnits: 2, TDPWatts: 155, IdleWatts: 30,
+		},
+		Memory: MemSpec{
+			TotalBytes: 128 * gib, Type: "DDR4", MHz: 2933, Channels: 8,
+			BWBytesPerCycPerCore: 4.2, SocketBWGBs: 150,
+		},
+		Sockets: sks,
+		NUMA:    numa,
+		Caches: []Cache{
+			{Level: L1, SizeBytes: 32 * kib, LineBytes: 64, Assoc: 8, LatencyCyc: 4, BWBytesPerCycPerCore: 96},
+			{Level: L2, SizeBytes: 512 * kib, LineBytes: 64, Assoc: 8, LatencyCyc: 12, BWBytesPerCycPerCore: 40},
+			{Level: L3, SizeBytes: 128 * 1024 * kib, LineBytes: 64, Shared: true, Assoc: 16, LatencyCyc: 46, BWBytesPerCycPerCore: 20},
+		},
+		Disks: []Disk{{Name: "nvme0n1", Model: "SAMSUNG MZQL2960", SizeBytes: 960 * gib, SMARTOK: true}},
+		NICs:  []NIC{{Name: "enp65s0", SpeedMbps: 25000, Address: "10.0.0.14"}},
+		Env:   map[string]string{"pcp": "5.3.6-1"},
+	}
+}
+
+// WithGPU returns a copy of the system with an attached NVIDIA-class GPU,
+// mirroring the Listing 4 device (Quadro GV100). Used to exercise the
+// compute-device integration path of §III-D.
+func WithGPU(s *System) *System {
+	cp := *s
+	cp.GPUs = append(append([]GPU{}, s.GPUs...), GPU{
+		ID: 0, Model: "NVIDIA Quadro GV100", MemoryMB: 34359, SMs: 80,
+		SharedKBPerSM: 96, L2KB: 6144, NUMANode: 0, BusID: "0000:3b:00.0",
+	})
+	return &cp
+}

@@ -1,0 +1,215 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ProbeSource names the (simulated) tool a section of the probe document
+// was collected from, mirroring §III-C of the paper.
+type ProbeSource string
+
+// Probe sources used in the real system.
+const (
+	SourceLSHW   ProbeSource = "lshw"
+	SourceLikwid ProbeSource = "likwid-topology"
+	SourceCPUID  ProbeSource = "cpuid"
+	SourceSysfs  ProbeSource = "/sys/block"
+	SourceSMART  ProbeSource = "smartctl"
+	SourceLibpfm ProbeSource = "libpfm4"
+	SourceNVSMI  ProbeSource = "nvidia-smi"
+)
+
+// ProbeDoc is the JSON document the probing module produces on the target
+// and copies back to the host (Figure 3 step ②). Besides the raw topology
+// it records the provenance of each section and the PMU/software metric
+// inventories discovered on the target.
+type ProbeDoc struct {
+	Version   int                    `json:"version"`
+	Hostname  string                 `json:"hostname"`
+	Timestamp time.Time              `json:"timestamp"`
+	Sources   map[string]ProbeSource `json:"sources"`
+	System    *System                `json:"system"`
+	// PMUEvents lists hardware events recognised for the target's
+	// microarchitecture (libpfm4 equivalent); filled in by the prober from
+	// the pmu package's catalog.
+	PMUEvents []string `json:"pmu_events"`
+	// SWMetrics lists software metric names exported by the telemetry
+	// agents (PCP equivalent).
+	SWMetrics []string `json:"sw_metrics"`
+}
+
+// Prober gathers the probe document for a system. In this reproduction it
+// reads from the in-memory System; the EventLister/MetricLister hooks stand
+// in for libpfm4 and the PCP namespace walk.
+type Prober struct {
+	// EventLister returns the PMU event names for a microarchitecture.
+	EventLister func(microarch string) []string
+	// MetricLister returns the software telemetry metric names available
+	// on the system.
+	MetricLister func(s *System) []string
+	// Now supplies timestamps (injectable for determinism).
+	Now func() time.Time
+}
+
+// NewProber returns a Prober with default hooks (empty inventories, wall
+// clock). Callers wire the pmu and telemetry packages in.
+func NewProber() *Prober {
+	return &Prober{
+		EventLister:  func(string) []string { return nil },
+		MetricLister: func(*System) []string { return nil },
+		Now:          time.Now,
+	}
+}
+
+// Probe runs the in-depth probing of the target system and returns the
+// probe document.
+func (p *Prober) Probe(s *System) (*ProbeDoc, error) {
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("topo: probe: %w", err)
+	}
+	doc := &ProbeDoc{
+		Version:   1,
+		Hostname:  s.Hostname,
+		Timestamp: p.Now(),
+		Sources: map[string]ProbeSource{
+			"system": SourceLSHW,
+			"cpu":    SourceCPUID,
+			"caches": SourceLikwid,
+			"numa":   SourceLikwid,
+			"disks":  SourceSysfs,
+			"smart":  SourceSMART,
+			"pmu":    SourceLibpfm,
+		},
+		System:    s,
+		PMUEvents: p.EventLister(s.CPU.Microarch),
+		SWMetrics: p.MetricLister(s),
+	}
+	if len(s.GPUs) > 0 {
+		doc.Sources["gpus"] = SourceNVSMI
+	}
+	return doc, nil
+}
+
+// Encode writes the probe document as JSON.
+func (d *ProbeDoc) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// DecodeProbeDoc parses a probe document produced by Encode.
+func DecodeProbeDoc(r io.Reader) (*ProbeDoc, error) {
+	var d ProbeDoc
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("topo: decode probe doc: %w", err)
+	}
+	if d.System == nil {
+		return nil, fmt.Errorf("topo: probe doc has no system section")
+	}
+	if err := d.System.Validate(); err != nil {
+		return nil, fmt.Errorf("topo: probe doc: %w", err)
+	}
+	return &d, nil
+}
+
+// PinStrategy selects how threads are bound to cores for an observed
+// execution (Figure 3, Scenario B: "balanced, compact, numa balanced,
+// numa compact").
+type PinStrategy string
+
+// Pinning strategies.
+const (
+	PinBalanced     PinStrategy = "balanced"
+	PinCompact      PinStrategy = "compact"
+	PinNUMABalanced PinStrategy = "numa_balanced"
+	PinNUMACompact  PinStrategy = "numa_compact"
+)
+
+// PinStrategies lists all supported strategies.
+func PinStrategies() []PinStrategy {
+	return []PinStrategy{PinBalanced, PinCompact, PinNUMABalanced, PinNUMACompact}
+}
+
+// Pin computes the hardware-thread affinity for n software threads using
+// the strategy and the probed topology. It returns one hardware thread id
+// per software thread.
+//
+//   - compact: fill SMT siblings core by core, socket by socket.
+//   - balanced: round-robin across cores first (one thread per core before
+//     using SMT siblings).
+//   - numa_compact: like compact but alternating NUMA nodes are exhausted
+//     one at a time (identical to compact for per-socket NUMA, but kept
+//     distinct for sub-NUMA systems).
+//   - numa_balanced: round-robin across NUMA nodes, then across the cores
+//     inside each node.
+func Pin(s *System, strategy PinStrategy, n int) ([]int, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topo: pin: thread count %d must be positive", n)
+	}
+	total := s.NumThreads()
+	if n > total {
+		return nil, fmt.Errorf("topo: pin: %d threads requested but system has %d hardware threads", n, total)
+	}
+	cores := s.AllCores()
+	var order []int
+	switch strategy {
+	case PinCompact, PinNUMACompact:
+		for _, c := range cores {
+			for _, t := range c.Threads {
+				order = append(order, t.ID)
+			}
+		}
+	case PinBalanced:
+		maxSMT := 0
+		for _, c := range cores {
+			if len(c.Threads) > maxSMT {
+				maxSMT = len(c.Threads)
+			}
+		}
+		for smt := 0; smt < maxSMT; smt++ {
+			for _, c := range cores {
+				if smt < len(c.Threads) {
+					order = append(order, c.Threads[smt].ID)
+				}
+			}
+		}
+	case PinNUMABalanced:
+		byNUMA := map[int][]Core{}
+		var nodes []int
+		for _, c := range cores {
+			if _, seen := byNUMA[c.NUMAID]; !seen {
+				nodes = append(nodes, c.NUMAID)
+			}
+			byNUMA[c.NUMAID] = append(byNUMA[c.NUMAID], c)
+		}
+		// Interleave: node0.core0, node1.core0, node0.core1, ... then SMT.
+		maxSMT := 0
+		for _, c := range cores {
+			if len(c.Threads) > maxSMT {
+				maxSMT = len(c.Threads)
+			}
+		}
+		for smt := 0; smt < maxSMT; smt++ {
+			maxCores := 0
+			for _, n := range nodes {
+				if len(byNUMA[n]) > maxCores {
+					maxCores = len(byNUMA[n])
+				}
+			}
+			for ci := 0; ci < maxCores; ci++ {
+				for _, nd := range nodes {
+					cs := byNUMA[nd]
+					if ci < len(cs) && smt < len(cs[ci].Threads) {
+						order = append(order, cs[ci].Threads[smt].ID)
+					}
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("topo: pin: unknown strategy %q", strategy)
+	}
+	return order[:n], nil
+}

@@ -1,0 +1,122 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// EncodeLine renders a point in the InfluxDB line protocol:
+//
+//	measurement[,tag=value...] field=value[,field=value...] timestamp
+//
+// Tag and field keys are sorted for a canonical form. Spaces, commas and
+// equals signs in names are escaped with a backslash as in the real
+// protocol.
+func EncodeLine(p Point) (string, error) {
+	if err := p.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString(escapeLP(p.Measurement))
+	tagKeys := make([]string, 0, len(p.Tags))
+	for k := range p.Tags {
+		tagKeys = append(tagKeys, k)
+	}
+	sort.Strings(tagKeys)
+	for _, k := range tagKeys {
+		b.WriteByte(',')
+		b.WriteString(escapeLP(k))
+		b.WriteByte('=')
+		b.WriteString(escapeLP(p.Tags[k]))
+	}
+	b.WriteByte(' ')
+	fieldKeys := make([]string, 0, len(p.Fields))
+	for k := range p.Fields {
+		fieldKeys = append(fieldKeys, k)
+	}
+	sort.Strings(fieldKeys)
+	for i, k := range fieldKeys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(escapeLP(k))
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(p.Fields[k], 'g', -1, 64))
+	}
+	fmt.Fprintf(&b, " %d", p.Time)
+	return b.String(), nil
+}
+
+// DecodeLine parses one line-protocol line.
+func DecodeLine(line string) (Point, error) {
+	parts := splitUnescaped(line, ' ')
+	if len(parts) != 3 {
+		return Point{}, fmt.Errorf("tsdb: line protocol needs 3 sections, got %d in %q", len(parts), line)
+	}
+	p := Point{Tags: map[string]string{}, Fields: map[string]float64{}}
+	// Section 1: measurement and tags.
+	head := splitUnescaped(parts[0], ',')
+	p.Measurement = unescapeLP(head[0])
+	for _, kv := range head[1:] {
+		pair := splitUnescaped(kv, '=')
+		if len(pair) != 2 {
+			return Point{}, fmt.Errorf("tsdb: bad tag %q", kv)
+		}
+		p.Tags[unescapeLP(pair[0])] = unescapeLP(pair[1])
+	}
+	// Section 2: fields.
+	for _, kv := range splitUnescaped(parts[1], ',') {
+		pair := splitUnescaped(kv, '=')
+		if len(pair) != 2 {
+			return Point{}, fmt.Errorf("tsdb: bad field %q", kv)
+		}
+		v, err := strconv.ParseFloat(pair[1], 64)
+		if err != nil {
+			return Point{}, fmt.Errorf("tsdb: bad field value %q: %v", pair[1], err)
+		}
+		p.Fields[unescapeLP(pair[0])] = v
+	}
+	// Section 3: timestamp.
+	ts, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return Point{}, fmt.Errorf("tsdb: bad timestamp %q: %v", parts[2], err)
+	}
+	p.Time = ts
+	return p, p.Validate()
+}
+
+func escapeLP(s string) string {
+	r := strings.NewReplacer(",", `\,`, " ", `\ `, "=", `\=`)
+	return r.Replace(s)
+}
+
+func unescapeLP(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// splitUnescaped splits on sep, honouring backslash escapes.
+func splitUnescaped(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == sep {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}

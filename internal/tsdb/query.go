@@ -1,0 +1,203 @@
+package tsdb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Query is the SELECT subset P-MoVE auto-generates (Listing 3):
+//
+//	SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle"
+//	    WHERE tag="278e26c2-..." [AND time >= <ns> AND time <= <ns>]
+//
+// Fields may be "*". Tag comparisons are equality only.
+type Query struct {
+	Fields      []string
+	Measurement string
+	TagFilter   map[string]string
+	From, To    int64 // ns bounds; 0 = unbounded
+}
+
+// String renders the query back to its canonical text form.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	for i, f := range q.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if f == "*" {
+			b.WriteString("*")
+		} else {
+			fmt.Fprintf(&b, "%q", f)
+		}
+	}
+	fmt.Fprintf(&b, " FROM %q", q.Measurement)
+	var conds []string
+	for k, v := range q.TagFilter {
+		conds = append(conds, fmt.Sprintf("%s=%q", k, v))
+	}
+	if q.From != 0 {
+		conds = append(conds, fmt.Sprintf("time >= %d", q.From))
+	}
+	if q.To != 0 {
+		conds = append(conds, fmt.Sprintf("time <= %d", q.To))
+	}
+	if len(conds) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+	return b.String()
+}
+
+// tokenizer for the query text.
+type tokenizer struct {
+	s   string
+	pos int
+}
+
+func (t *tokenizer) skipSpace() {
+	for t.pos < len(t.s) && (t.s[t.pos] == ' ' || t.s[t.pos] == '\t' || t.s[t.pos] == '\n') {
+		t.pos++
+	}
+}
+
+// next returns the next token: a quoted string (unquoted), a symbol
+// (, = < > ), or a bare word.
+func (t *tokenizer) next() (string, bool, error) {
+	t.skipSpace()
+	if t.pos >= len(t.s) {
+		return "", false, nil
+	}
+	c := t.s[t.pos]
+	switch c {
+	case '"', '\'':
+		quote := c
+		end := t.pos + 1
+		for end < len(t.s) && t.s[end] != quote {
+			end++
+		}
+		if end >= len(t.s) {
+			return "", false, fmt.Errorf("tsdb: unterminated quote at %d", t.pos)
+		}
+		tok := t.s[t.pos+1 : end]
+		t.pos = end + 1
+		return tok, true, nil
+	case ',', '=', '*':
+		t.pos++
+		return string(c), false, nil
+	case '<', '>':
+		if t.pos+1 < len(t.s) && t.s[t.pos+1] == '=' {
+			t.pos += 2
+			return string(c) + "=", false, nil
+		}
+		t.pos++
+		return string(c), false, nil
+	}
+	end := t.pos
+	for end < len(t.s) && !strings.ContainsRune(" \t\n,=<>*\"'", rune(t.s[end])) {
+		end++
+	}
+	tok := t.s[t.pos:end]
+	t.pos = end
+	return tok, false, nil
+}
+
+// ParseQuery parses the SELECT subset.
+func ParseQuery(stmt string) (*Query, error) {
+	tz := &tokenizer{s: stmt}
+	word, _, err := tz.next()
+	if err != nil {
+		return nil, err
+	}
+	if !strings.EqualFold(word, "select") {
+		return nil, fmt.Errorf("tsdb: expected SELECT, got %q", word)
+	}
+	q := &Query{TagFilter: map[string]string{}}
+	// Field list.
+	for {
+		tok, quoted, err := tz.next()
+		if err != nil {
+			return nil, err
+		}
+		if tok == "" {
+			return nil, fmt.Errorf("tsdb: unexpected end of query in field list")
+		}
+		if !quoted && strings.EqualFold(tok, "from") {
+			break
+		}
+		if tok == "," {
+			continue
+		}
+		q.Fields = append(q.Fields, tok)
+	}
+	if len(q.Fields) == 0 {
+		return nil, fmt.Errorf("tsdb: empty field list")
+	}
+	// Measurement.
+	meas, _, err := tz.next()
+	if err != nil {
+		return nil, err
+	}
+	if meas == "" {
+		return nil, fmt.Errorf("tsdb: missing measurement after FROM")
+	}
+	q.Measurement = meas
+	// Optional WHERE.
+	tok, _, err := tz.next()
+	if err != nil {
+		return nil, err
+	}
+	if tok == "" {
+		return q, nil
+	}
+	if !strings.EqualFold(tok, "where") {
+		return nil, fmt.Errorf("tsdb: expected WHERE, got %q", tok)
+	}
+	for {
+		key, _, err := tz.next()
+		if err != nil {
+			return nil, err
+		}
+		if key == "" {
+			break
+		}
+		if strings.EqualFold(key, "and") {
+			continue
+		}
+		op, _, err := tz.next()
+		if err != nil {
+			return nil, err
+		}
+		val, _, err := tz.next()
+		if err != nil {
+			return nil, err
+		}
+		if val == "" {
+			return nil, fmt.Errorf("tsdb: condition on %q has no value", key)
+		}
+		if strings.EqualFold(key, "time") {
+			ns, perr := strconv.ParseInt(val, 10, 64)
+			if perr != nil {
+				return nil, fmt.Errorf("tsdb: bad time literal %q: %v", val, perr)
+			}
+			switch op {
+			case ">", ">=":
+				q.From = ns
+			case "<", "<=":
+				q.To = ns
+			case "=":
+				q.From, q.To = ns, ns
+			default:
+				return nil, fmt.Errorf("tsdb: unsupported time operator %q", op)
+			}
+			continue
+		}
+		if op != "=" {
+			return nil, fmt.Errorf("tsdb: tag conditions support only '=', got %q", op)
+		}
+		q.TagFilter[key] = val
+	}
+	return q, nil
+}

@@ -1,0 +1,208 @@
+package tsdb
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+)
+
+// Server exposes a DB over TCP with a line-oriented protocol:
+//
+//	WRITE <line protocol>     -> "OK" | "ERR <msg>"
+//	QUERY <select statement>  -> one JSON document with the Result | "ERR"
+//	PING                      -> "PONG"
+//
+// The host runs one of these for the target's telemetry shippers (Figure
+// 3: "the host runs ... InfluxDB").
+type Server struct {
+	db *DB
+
+	mu    sync.Mutex
+	ln    net.Listener
+	done  chan struct{}
+	conns map[net.Conn]bool
+	wg    sync.WaitGroup
+}
+
+// NewServer wraps a DB.
+func NewServer(db *DB) *Server {
+	return &Server{db: db, conns: map[net.Conn]bool{}}
+}
+
+// Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("tsdb: listen: %w", err)
+	}
+	s.mu.Lock()
+	s.ln = ln
+	s.done = make(chan struct{})
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		cmd, rest, _ := strings.Cut(line, " ")
+		switch strings.ToUpper(cmd) {
+		case "PING":
+			fmt.Fprintln(w, "PONG")
+		case "WRITE":
+			p, err := DecodeLine(rest)
+			if err == nil {
+				err = s.db.WritePoint(p)
+			}
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+			} else {
+				fmt.Fprintln(w, "OK")
+			}
+		case "QUERY":
+			res, err := s.db.QueryString(rest)
+			if err != nil {
+				fmt.Fprintf(w, "ERR %v\n", err)
+			} else {
+				b, merr := json.Marshal(res)
+				if merr != nil {
+					fmt.Fprintf(w, "ERR %v\n", merr)
+				} else {
+					w.Write(b)
+					w.WriteByte('\n')
+				}
+			}
+		default:
+			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops the server and waits for connections to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+		s.ln = nil
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// Client is a minimal client for the Server protocol.
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	r    *bufio.Reader
+}
+
+// Dial connects to a Server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tsdb: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+}
+
+// Write ships one point.
+func (c *Client) Write(p Point) error {
+	line, err := EncodeLine(p)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "WRITE %s\n", line); err != nil {
+		return err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	resp = strings.TrimSpace(resp)
+	if resp != "OK" {
+		return fmt.Errorf("tsdb: write rejected: %s", resp)
+	}
+	return nil
+}
+
+// Query runs a SELECT statement remotely.
+func (c *Client) Query(stmt string) (*Result, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintf(c.conn, "QUERY %s\n", stmt); err != nil {
+		return nil, err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return nil, err
+	}
+	resp = strings.TrimSpace(resp)
+	if strings.HasPrefix(resp, "ERR") {
+		return nil, fmt.Errorf("tsdb: query rejected: %s", resp)
+	}
+	var res Result
+	if err := json.Unmarshal([]byte(resp), &res); err != nil {
+		return nil, fmt.Errorf("tsdb: bad query response: %w", err)
+	}
+	return &res, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := fmt.Fprintln(c.conn, "PING"); err != nil {
+		return err
+	}
+	resp, err := c.r.ReadString('\n')
+	if err != nil {
+		return err
+	}
+	if strings.TrimSpace(resp) != "PONG" {
+		return fmt.Errorf("tsdb: unexpected ping response %q", resp)
+	}
+	return nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,282 @@
+// Package tsdb is the time-series database substrate standing in for
+// InfluxDB 1.8: measurements hold rows of (timestamp, tag set, field
+// values), writes arrive through an API or the line protocol, queries use
+// the SELECT subset P-MoVE generates (Listing 3), and retention policies
+// bound storage as discussed in §V-B.
+//
+// Field names carry the instance domain, mirroring how PCP exports
+// per-instance metrics to InfluxDB: a per-CPU metric has fields "_cpu0",
+// "_cpu1", …, and a per-NUMA-node metric "_node0", "_node1" (see the
+// paper's Listing 3 queries).
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Point is one row of a measurement.
+type Point struct {
+	Measurement string
+	Tags        map[string]string
+	Fields      map[string]float64
+	// Time is nanoseconds since the epoch of the virtual clock.
+	Time int64
+}
+
+// Validate checks the point is storable.
+func (p *Point) Validate() error {
+	if p.Measurement == "" {
+		return fmt.Errorf("tsdb: point has no measurement")
+	}
+	if len(p.Fields) == 0 {
+		return fmt.Errorf("tsdb: point in %q has no fields", p.Measurement)
+	}
+	for k := range p.Fields {
+		if k == "" {
+			return fmt.Errorf("tsdb: point in %q has an empty field name", p.Measurement)
+		}
+	}
+	return nil
+}
+
+// series is the rows of one measurement, kept sorted by time.
+type series struct {
+	points []Point
+}
+
+// RetentionPolicy bounds how long data is kept (paper: "we rely on the
+// retention policy of InfluxDB which describes for how long the DB keeps
+// data").
+type RetentionPolicy struct {
+	Name     string
+	Duration int64 // nanoseconds; 0 = keep forever
+}
+
+// DB is an in-memory time-series database.
+type DB struct {
+	mu           sync.RWMutex
+	measurements map[string]*series
+	retention    RetentionPolicy
+	// stats
+	pointsWritten uint64
+	valuesWritten uint64
+}
+
+// New creates an empty database with an infinite retention policy.
+func New() *DB {
+	return &DB{
+		measurements: make(map[string]*series),
+		retention:    RetentionPolicy{Name: "autogen"},
+	}
+}
+
+// SetRetention installs a retention policy; EnforceRetention applies it.
+func (db *DB) SetRetention(rp RetentionPolicy) {
+	db.mu.Lock()
+	db.retention = rp
+	db.mu.Unlock()
+}
+
+// Retention returns the current policy.
+func (db *DB) Retention() RetentionPolicy {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.retention
+}
+
+// WritePoint inserts one point.
+func (db *DB) WritePoint(p Point) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := db.measurements[p.Measurement]
+	if s == nil {
+		s = &series{}
+		db.measurements[p.Measurement] = s
+	}
+	// Fast path: append if in time order (the common telemetry case).
+	if n := len(s.points); n == 0 || s.points[n-1].Time <= p.Time {
+		s.points = append(s.points, p)
+	} else {
+		i := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time > p.Time })
+		s.points = append(s.points, Point{})
+		copy(s.points[i+1:], s.points[i:])
+		s.points[i] = p
+	}
+	db.pointsWritten++
+	db.valuesWritten += uint64(len(p.Fields))
+	return nil
+}
+
+// WriteBatch inserts points, stopping at the first error.
+func (db *DB) WriteBatch(ps []Point) error {
+	for i := range ps {
+		if err := db.WritePoint(ps[i]); err != nil {
+			return fmt.Errorf("tsdb: batch point %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Measurements lists all measurement names, sorted.
+func (db *DB) Measurements() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]string, 0, len(db.measurements))
+	for m := range db.measurements {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats reports cumulative write counts: rows and individual field values.
+func (db *DB) Stats() (points, values uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.pointsWritten, db.valuesWritten
+}
+
+// CountValues returns the number of stored field values in a measurement,
+// and how many of them are zero — the accounting Table III reports
+// ("Inserted" and "Zeros" columns).
+func (db *DB) CountValues(measurement string) (total, zeros uint64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.measurements[measurement]
+	if s == nil {
+		return 0, 0
+	}
+	for _, p := range s.points {
+		for _, v := range p.Fields {
+			total++
+			if v == 0 {
+				zeros++
+			}
+		}
+	}
+	return total, zeros
+}
+
+// EnforceRetention drops points older than now-Duration. Returns the
+// number of points dropped.
+func (db *DB) EnforceRetention(now int64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.retention.Duration <= 0 {
+		return 0
+	}
+	cutoff := now - db.retention.Duration
+	dropped := 0
+	for name, s := range db.measurements {
+		i := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time >= cutoff })
+		if i > 0 {
+			dropped += i
+			s.points = append([]Point(nil), s.points[i:]...)
+		}
+		if len(s.points) == 0 {
+			delete(db.measurements, name)
+		}
+	}
+	return dropped
+}
+
+// Row is one result row of a query.
+type Row struct {
+	Time   int64
+	Values map[string]float64
+}
+
+// Result is a query result: the selected field columns and the rows.
+type Result struct {
+	Measurement string
+	Columns     []string
+	Rows        []Row
+}
+
+// Execute runs a parsed query.
+func (db *DB) Execute(q *Query) (*Result, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s := db.measurements[q.Measurement]
+	res := &Result{Measurement: q.Measurement, Columns: q.Fields}
+	if s == nil {
+		return res, nil
+	}
+	selectAll := len(q.Fields) == 1 && q.Fields[0] == "*"
+	for _, p := range s.points {
+		if q.From != 0 && p.Time < q.From {
+			continue
+		}
+		if q.To != 0 && p.Time > q.To {
+			continue
+		}
+		match := true
+		for k, v := range q.TagFilter {
+			if p.Tags[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		row := Row{Time: p.Time, Values: map[string]float64{}}
+		if selectAll {
+			for f, v := range p.Fields {
+				row.Values[f] = v
+			}
+		} else {
+			any := false
+			for _, f := range q.Fields {
+				if v, ok := p.Fields[f]; ok {
+					row.Values[f] = v
+					any = true
+				}
+			}
+			if !any {
+				continue
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	if selectAll {
+		// Stabilise the column list.
+		cols := map[string]bool{}
+		for _, r := range res.Rows {
+			for f := range r.Values {
+				cols[f] = true
+			}
+		}
+		res.Columns = res.Columns[:0]
+		for f := range cols {
+			res.Columns = append(res.Columns, f)
+		}
+		sort.Strings(res.Columns)
+	}
+	return res, nil
+}
+
+// QueryString parses and executes a SELECT statement.
+func (db *DB) QueryString(stmt string) (*Result, error) {
+	q, err := ParseQuery(stmt)
+	if err != nil {
+		return nil, err
+	}
+	return db.Execute(q)
+}
+
+// MeasurementName converts a PCP metric name to the measurement naming
+// InfluxDB exports use: dots become underscores, e.g.
+// "kernel.percpu.cpu.idle" -> "kernel_percpu_cpu_idle" and
+// "perfevent.hwcounters.FP_ARITH:SCALAR_DOUBLE" ->
+// "perfevent_hwcounters_FP_ARITH_SCALAR_DOUBLE" (Listing 1).
+func MeasurementName(metric string) string {
+	r := strings.NewReplacer(".", "_", ":", "_", "-", "_")
+	return r.Replace(metric)
+}

@@ -1,0 +1,178 @@
+// Package whatif implements the replay/prediction capability the paper
+// motivates for its digital twin (§I: the KB "can be leveraged to replay
+// or simulate various configurations to identify bottlenecks and propose
+// potential hardware or software configurations", including "predictive
+// performance modelling on a candidate architecture, suggesting hardware
+// upgrades"). A recorded workload replays on any candidate system through
+// the analytic engine; the comparison report names the bottleneck that
+// moves.
+package whatif
+
+import (
+	"fmt"
+	"sort"
+
+	"pmove/internal/machine"
+	"pmove/internal/topo"
+)
+
+// Outcome is the predicted behaviour of a workload on one system.
+type Outcome struct {
+	Host    string
+	Threads int
+	Seconds float64
+	GFLOPS  float64
+	GBps    float64
+	FreqGHz float64
+	// Bottleneck is "compute" or "memory:<level>" — which term of the
+	// roofline model bound the execution.
+	Bottleneck string
+}
+
+// Predict replays a workload specification on a candidate system with the
+// given thread count and pinning, returning the predicted outcome. The
+// candidate machine is fresh (noiseless, empty), so predictions are
+// deterministic up to the engine's run-to-run model.
+func Predict(sys *topo.System, spec machine.WorkloadSpec, threads int, pin topo.PinStrategy) (Outcome, error) {
+	m, err := machine.New(sys, machine.Config{Seed: 1, Noiseless: true})
+	if err != nil {
+		return Outcome{}, err
+	}
+	if threads > sys.NumThreads() {
+		threads = sys.NumThreads()
+	}
+	pinning, err := topo.Pin(sys, pin, threads)
+	if err != nil {
+		return Outcome{}, err
+	}
+	exec, err := m.Run(spec, pinning)
+	if err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{
+		Host: sys.Hostname, Threads: threads,
+		Seconds: exec.Duration, GFLOPS: exec.GFLOPS, GBps: exec.GBps,
+		FreqGHz:    exec.FreqGHz,
+		Bottleneck: bottleneck(sys, spec),
+	}, nil
+}
+
+// bottleneck classifies which roofline term dominates the workload on a
+// system, mirroring the engine's timing model.
+func bottleneck(sys *topo.System, spec machine.WorkloadSpec) string {
+	computeCyc := 0.0
+	fp := 0.0
+	for _, c := range spec.FPInstr {
+		fp += c
+	}
+	if sys.CPU.FMAUnits > 0 {
+		computeCyc = fp / float64(sys.CPU.FMAUnits)
+	}
+	computeCyc += spec.OtherInstr/4 + spec.DivOps*4
+
+	bytes := spec.BytesPerIter()
+	lvl := sys.CacheLevelFor(spec.WorkingSetBytes)
+	var bw float64
+	if lvl == topo.DRAM {
+		bw = sys.Memory.BWBytesPerCycPerCore
+	} else if c, ok := sys.Cache(lvl); ok {
+		bw = c.BWBytesPerCycPerCore
+	}
+	if bw <= 0 {
+		return "compute"
+	}
+	memCyc := bytes / bw
+	if memCyc > computeCyc {
+		return fmt.Sprintf("memory:%s", lvl)
+	}
+	return "compute"
+}
+
+// Comparison relates a candidate to the baseline.
+type Comparison struct {
+	Outcome
+	// Speedup is baseline time / candidate time (>1 means faster).
+	Speedup float64
+}
+
+// Compare predicts the workload on a baseline and a list of candidates,
+// returning the candidates ranked fastest first.
+func Compare(baseline *topo.System, candidates []*topo.System, spec machine.WorkloadSpec, threads int, pin topo.PinStrategy) (Outcome, []Comparison, error) {
+	base, err := Predict(baseline, spec, threads, pin)
+	if err != nil {
+		return Outcome{}, nil, fmt.Errorf("whatif: baseline %s: %w", baseline.Hostname, err)
+	}
+	var out []Comparison
+	for _, c := range candidates {
+		o, err := Predict(c, spec, threads, pin)
+		if err != nil {
+			return Outcome{}, nil, fmt.Errorf("whatif: candidate %s: %w", c.Hostname, err)
+		}
+		out = append(out, Comparison{Outcome: o, Speedup: base.Seconds / o.Seconds})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Speedup > out[j].Speedup })
+	return base, out, nil
+}
+
+// SweepThreads predicts the workload at each thread count, exposing the
+// scaling curve (and its saturation point) on one system.
+func SweepThreads(sys *topo.System, spec machine.WorkloadSpec, counts []int, pin topo.PinStrategy) ([]Outcome, error) {
+	if len(counts) == 0 {
+		return nil, fmt.Errorf("whatif: no thread counts")
+	}
+	var out []Outcome
+	for _, n := range counts {
+		if n <= 0 || n > sys.NumThreads() {
+			continue
+		}
+		o, err := Predict(sys, spec, n, pin)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("whatif: no feasible thread counts for %s", sys.Hostname)
+	}
+	return out, nil
+}
+
+// Recommendation is the outcome of an upgrade analysis.
+type Recommendation struct {
+	Baseline Outcome
+	Ranked   []Comparison
+	// Suggestion is a human-readable summary of the best candidate.
+	Suggestion string
+}
+
+// Recommend runs Compare over all built-in presets (except the baseline)
+// and phrases a suggestion — the "suggesting hardware upgrades" use case.
+func Recommend(baselineName string, spec machine.WorkloadSpec, threads int) (*Recommendation, error) {
+	baseline, err := topo.NewPreset(baselineName)
+	if err != nil {
+		return nil, err
+	}
+	var candidates []*topo.System
+	for _, name := range topo.Presets() {
+		if name == baselineName {
+			continue
+		}
+		candidates = append(candidates, topo.MustPreset(name))
+	}
+	base, ranked, err := Compare(baseline, candidates, spec, threads, topo.PinBalanced)
+	if err != nil {
+		return nil, err
+	}
+	r := &Recommendation{Baseline: base, Ranked: ranked}
+	best := ranked[0]
+	if best.Speedup <= 1.02 {
+		r.Suggestion = fmt.Sprintf(
+			"keep %s: no candidate improves on %.4fs (best alternative %s at %.2fx)",
+			baselineName, base.Seconds, best.Host, best.Speedup)
+	} else {
+		r.Suggestion = fmt.Sprintf(
+			"move to %s: predicted %.2fx faster (%.4fs -> %.4fs); workload is %s-bound there",
+			best.Host, best.Speedup, base.Seconds, best.Seconds, best.Bottleneck)
+	}
+	return r, nil
+}

@@ -1,0 +1,312 @@
+// Package pmove is the public facade of the P-MoVE reproduction: a
+// performance monitoring and visualization framework with encoded
+// knowledge (Taşyaran et al., SC 2024). It re-exports the user-facing
+// surface of the internal packages so applications can drive the full
+// pipeline — probe a (simulated) system, generate its Knowledge Base,
+// monitor software telemetry, observe kernel executions with PMU
+// sampling, construct cache-aware roofline models, and generate
+// dashboards — from a single import.
+//
+//	d, _ := pmove.NewDaemon(pmove.EnvFromOS())
+//	sys := pmove.MustPreset(pmove.PresetSKX)
+//	d.AttachTarget(sys, pmove.MachineConfig{Seed: 1}, pmove.DefaultPipeline())
+//	kb, _ := d.Probe(sys.Hostname)
+package pmove
+
+import (
+	"pmove/internal/abst"
+	"pmove/internal/anomaly"
+	"pmove/internal/carm"
+	"pmove/internal/cluster"
+	"pmove/internal/core"
+	"pmove/internal/dashboard"
+	"pmove/internal/docdb"
+	"pmove/internal/kb"
+	"pmove/internal/kernels"
+	"pmove/internal/machine"
+	"pmove/internal/ontology"
+	"pmove/internal/spmv"
+	"pmove/internal/superdb"
+	"pmove/internal/telemetry"
+	"pmove/internal/topo"
+	"pmove/internal/tsdb"
+	"pmove/internal/whatif"
+)
+
+// Daemon orchestration (internal/core).
+type (
+	// Daemon is the P-MoVE host process.
+	Daemon = core.Daemon
+	// Env is the daemon's environment configuration.
+	Env = core.Env
+	// Target is one attached system.
+	Target = core.Target
+	// ObserveRequest configures a Scenario B observation.
+	ObserveRequest = core.ObserveRequest
+	// ObserveResult is a completed observation.
+	ObserveResult = core.ObserveResult
+	// MonitorResult is a completed Scenario A run.
+	MonitorResult = core.MonitorResult
+	// LiveCARMPhase labels one kernel for live-CARM profiling.
+	LiveCARMPhase = core.LiveCARMPhase
+	// LiveCARMResult carries the live panel and phase summaries.
+	LiveCARMResult = core.LiveCARMResult
+)
+
+// NewDaemon creates a daemon with embedded databases.
+func NewDaemon(env Env) (*Daemon, error) { return core.New(env) }
+
+// EnvFromOS reads the daemon configuration from the environment.
+func EnvFromOS() Env { return core.EnvFromOS() }
+
+// Topology and machine simulation.
+type (
+	// System describes one target machine.
+	System = topo.System
+	// MachineConfig tunes the execution engine.
+	MachineConfig = machine.Config
+	// Machine is the analytic execution engine.
+	Machine = machine.Machine
+	// WorkloadSpec describes a kernel for the engine.
+	WorkloadSpec = machine.WorkloadSpec
+	// Execution is a (completed) kernel run.
+	Execution = machine.Execution
+	// ISA is a vector instruction-set extension.
+	ISA = topo.ISA
+	// PinStrategy selects thread-to-core binding.
+	PinStrategy = topo.PinStrategy
+	// CacheLevel identifies a memory-hierarchy level.
+	CacheLevel = topo.CacheLevel
+)
+
+// Preset hosts of Table II.
+const (
+	PresetSKX  = topo.PresetSKX
+	PresetICL  = topo.PresetICL
+	PresetCSL  = topo.PresetCSL
+	PresetZEN3 = topo.PresetZEN3
+)
+
+// ISA extensions.
+const (
+	ISAScalar = topo.ISAScalar
+	ISASSE    = topo.ISASSE
+	ISAAVX2   = topo.ISAAVX2
+	ISAAVX512 = topo.ISAAVX512
+)
+
+// Pinning strategies (Figure 3, Scenario B).
+const (
+	PinBalanced     = topo.PinBalanced
+	PinCompact      = topo.PinCompact
+	PinNUMABalanced = topo.PinNUMABalanced
+	PinNUMACompact  = topo.PinNUMACompact
+)
+
+// Memory levels.
+const (
+	L1   = topo.L1
+	L2   = topo.L2
+	L3   = topo.L3
+	DRAM = topo.DRAM
+)
+
+// NewPreset builds one of the Table II systems.
+func NewPreset(name string) (*System, error) { return topo.NewPreset(name) }
+
+// MustPreset is NewPreset panicking on unknown names.
+func MustPreset(name string) *System { return topo.MustPreset(name) }
+
+// WithGPU attaches a Listing-4-style GPU to a system.
+func WithGPU(s *System) *System { return topo.WithGPU(s) }
+
+// NewMachine builds an execution engine for a system.
+func NewMachine(sys *System, cfg MachineConfig) (*Machine, error) { return machine.New(sys, cfg) }
+
+// Pin computes a thread affinity for a strategy.
+func Pin(sys *System, strategy PinStrategy, n int) ([]int, error) {
+	return topo.Pin(sys, strategy, n)
+}
+
+// Knowledge base.
+type (
+	// KB is the knowledge base of one system.
+	KB = kb.KB
+	// KBNode is one component twin.
+	KBNode = kb.Node
+	// Observation is an ObservationInterface entry.
+	Observation = kb.Observation
+	// Benchmark is a BenchmarkInterface entry.
+	Benchmark = kb.Benchmark
+	// View is a focus/subtree/level selection of the KB.
+	View = kb.View
+	// ComponentKind is an HPC-ontology component class.
+	ComponentKind = ontology.ComponentKind
+	// Interface is a DTDL interface (one (sub)twin).
+	Interface = ontology.Interface
+)
+
+// Component kinds of the HPC ontology.
+const (
+	KindSystem  = ontology.KindSystem
+	KindSocket  = ontology.KindSocket
+	KindNUMA    = ontology.KindNUMA
+	KindCore    = ontology.KindCore
+	KindThread  = ontology.KindThread
+	KindCache   = ontology.KindCache
+	KindMemory  = ontology.KindMemory
+	KindDisk    = ontology.KindDisk
+	KindNIC     = ontology.KindNIC
+	KindGPU     = ontology.KindGPU
+	KindProcess = ontology.KindProcess
+)
+
+// CrossLevelView merges level views across systems (Fig 2d).
+func CrossLevelView(kind ComponentKind, kbs ...*KB) (*View, error) {
+	return kb.CrossLevelView(kind, kbs...)
+}
+
+// Telemetry pipeline.
+type (
+	// PipelineConfig models the host-target shipment path.
+	PipelineConfig = telemetry.PipelineConfig
+	// SessionStats summarises a sampling session (one Table III row).
+	SessionStats = telemetry.SessionStats
+)
+
+// DefaultPipeline is the paper-calibrated shipment configuration.
+func DefaultPipeline() PipelineConfig { return telemetry.DefaultPipeline() }
+
+// Databases.
+type (
+	// TSDB is the embedded time-series database (InfluxDB substitute).
+	TSDB = tsdb.DB
+	// DocDB is the embedded document database (MongoDB substitute).
+	DocDB = docdb.DB
+	// SuperDB is the global performance database (§III-E).
+	SuperDB = superdb.SuperDB
+)
+
+// NewSuperDB creates an empty global performance database.
+func NewSuperDB() *SuperDB { return superdb.New() }
+
+// CARM.
+type (
+	// CARMModel is a constructed cache-aware roofline model.
+	CARMModel = carm.Model
+	// CARMPoint is a live application point.
+	CARMPoint = carm.Point
+	// CARMSummary aggregates live points per phase.
+	CARMSummary = carm.Summary
+)
+
+// RenderCARM draws a CARM plot with points as terminal text.
+func RenderCARM(m *CARMModel, points []CARMPoint, width, height int) string {
+	return carm.RenderASCII(m, points, width, height)
+}
+
+// Dashboards.
+type (
+	// Dashboard is the Grafana-style JSON document (Listing 1).
+	Dashboard = dashboard.Dashboard
+	// DashboardGenerator builds dashboards from KB views.
+	DashboardGenerator = dashboard.Generator
+)
+
+// RenderDashboard draws every panel of a dashboard as terminal text.
+func RenderDashboard(db *TSDB, d *Dashboard, width int) (string, error) {
+	return dashboard.RenderDashboardASCII(db, d, width)
+}
+
+// Abstraction layer.
+type (
+	// AbstRegistry answers pmu_utils.get-style lookups.
+	AbstRegistry = abst.Registry
+)
+
+// DefaultAbstRegistry returns the built-in Table I mappings.
+func DefaultAbstRegistry() (*AbstRegistry, error) { return abst.DefaultRegistry() }
+
+// Workloads.
+type (
+	// CSR is a sparse matrix in compressed sparse row format.
+	CSR = spmv.CSR
+	// SpMVAlgorithm selects the SpMV kernel.
+	SpMVAlgorithm = spmv.Algorithm
+	// Ordering selects a matrix reordering.
+	Ordering = spmv.Ordering
+)
+
+// SpMV algorithms and orderings.
+const (
+	AlgoMKL     = spmv.AlgoMKL
+	AlgoMerge   = spmv.AlgoMerge
+	OrderNone   = spmv.OrderNone
+	OrderRCM    = spmv.OrderRCM
+	OrderDegree = spmv.OrderDegree
+	OrderRandom = spmv.OrderRandom
+)
+
+// GenerateMatrix builds a synthetic Table IV matrix.
+func GenerateMatrix(name string, targetRows int, seed uint64) (*CSR, error) {
+	return spmv.Generate(name, targetRows, seed)
+}
+
+// Reorder applies a reordering to a matrix.
+func Reorder(m *CSR, ord Ordering, seed uint64) (*CSR, []int, error) {
+	return spmv.Reorder(m, ord, seed)
+}
+
+// SpMV computes y = A*x with the selected algorithm.
+func SpMV(m *CSR, algo SpMVAlgorithm, x, y []float64, threads int) error {
+	return spmv.MultiplyParallel(m, algo, x, y, threads)
+}
+
+// DeriveSpMVWorkload converts a matrix+algorithm into an engine workload.
+func DeriveSpMVWorkload(sys *System, m *CSR, algo SpMVAlgorithm, threads int) (WorkloadSpec, error) {
+	return spmv.DeriveWorkload(sys, m, algo, threads)
+}
+
+// LikwidKernel builds one of the likwid-bench kernels (sum, stream,
+// triad, peakflops, ddot, daxpy).
+func LikwidKernel(name string, isa ISA, wssBytes int64, sweeps int) (WorkloadSpec, error) {
+	return kernels.Likwid(name, isa, wssBytes, sweeps)
+}
+
+// Extensions: anomaly detection, what-if prediction, cluster scheduling.
+type (
+	// AnomalyScanner runs detectors over an observation's telemetry.
+	AnomalyScanner = anomaly.Scanner
+	// AnomalyFinding is one detected anomaly.
+	AnomalyFinding = anomaly.Finding
+	// WhatIfOutcome is a predicted execution on a candidate system.
+	WhatIfOutcome = whatif.Outcome
+	// Cluster is a multi-node simulated system with a batch scheduler.
+	Cluster = cluster.Cluster
+	// ClusterJob is one batch submission.
+	ClusterJob = cluster.Job
+	// JobRecord is the job metadata a completed job leaves in the
+	// cluster KB.
+	JobRecord = cluster.JobRecord
+)
+
+// DefaultAnomalyScanner returns the standard detector set (z-score,
+// stalled counters, sibling imbalance).
+func DefaultAnomalyScanner() *AnomalyScanner { return anomaly.DefaultScanner() }
+
+// PredictOn replays a workload on a candidate system — the digital twin's
+// "predictive performance modelling on a candidate architecture".
+func PredictOn(sys *System, spec WorkloadSpec, threads int, pin PinStrategy) (WhatIfOutcome, error) {
+	return whatif.Predict(sys, spec, threads, pin)
+}
+
+// RecommendUpgrade ranks all built-in presets against a baseline for a
+// workload and phrases a hardware suggestion.
+func RecommendUpgrade(baseline string, spec WorkloadSpec, threads int) (*whatif.Recommendation, error) {
+	return whatif.Recommend(baseline, spec, threads)
+}
+
+// NewCluster builds an n-node cluster of a preset with the given fabric.
+func NewCluster(preset string, n int, fabric cluster.Interconnect, seed uint64) (*Cluster, error) {
+	return cluster.New(preset, n, fabric, seed)
+}
