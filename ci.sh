@@ -1,0 +1,16 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, and the full test suite under the
+# race detector. Run from the repo root; exits non-zero on any failure.
+set -eu
+
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+go build ./...
+go test -race ./...
+echo "ci: all green"

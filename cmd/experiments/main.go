@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-only table1,table3,fig2,fig4,fig5,fig6,fig7,fig8,fig9,retention] [-scale small|full]
+//	experiments [-only table1,table3,fig2,fig4,fig5,fig6,fig7,fig8,fig9,retention,chaos] [-scale small|full]
 //
 // With no -only flag every experiment runs in order.
 package main
@@ -76,6 +76,9 @@ func main() {
 		{"fig9", render(func() (interface{ Render() string }, error) { return experiments.Fig9(threads) })},
 		{"retention", render(func() (interface{ Render() string }, error) {
 			return experiments.RetentionStudy(8, 60, []float64{0, 30, 5})
+		})},
+		{"chaos", render(func() (interface{ Render() string }, error) {
+			return experiments.ChaosStudy(60, 10)
 		})},
 	}
 

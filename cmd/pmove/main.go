@@ -23,7 +23,9 @@ import (
 	"pmove/internal/abst"
 	"pmove/internal/kernels"
 	"pmove/internal/ontology"
+	"pmove/internal/resilience"
 	"pmove/internal/topo"
+	"pmove/internal/tsdb"
 )
 
 func usage() {
@@ -69,6 +71,11 @@ func main() {
 
 // daemonFor builds a daemon with one attached, probed target.
 func daemonFor(host string, seed uint64) (*pmove.Daemon, *pmove.System, error) {
+	return daemonWith(host, seed, pmove.DefaultPipeline())
+}
+
+// daemonWith is daemonFor with an explicit pipeline configuration.
+func daemonWith(host string, seed uint64, pipe pmove.PipelineConfig) (*pmove.Daemon, *pmove.System, error) {
 	d, err := pmove.NewDaemon(pmove.EnvFromOS())
 	if err != nil {
 		return nil, nil, err
@@ -77,7 +84,7 @@ func daemonFor(host string, seed uint64) (*pmove.Daemon, *pmove.System, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if _, err := d.AttachTarget(sys, pmove.MachineConfig{Seed: seed}, pmove.DefaultPipeline()); err != nil {
+	if _, err := d.AttachTarget(sys, pmove.MachineConfig{Seed: seed}, pipe); err != nil {
 		return nil, nil, err
 	}
 	if _, err := d.Probe(host); err != nil {
@@ -158,14 +165,38 @@ func cmdViews(args []string) error {
 }
 
 func cmdMonitor(args []string) error {
+	def := resilience.DefaultPolicy()
 	fs := flag.NewFlagSet("monitor", flag.ExitOnError)
 	host := fs.String("host", "icl", "target preset")
 	freq := fs.Float64("freq", 2, "sampling frequency in Hz")
 	duration := fs.Float64("duration", 10, "virtual seconds to monitor")
+	influx := fs.String("influx", "", "remote tsdb address (host:port, see cmd/superdb); ships telemetry over the resilient client instead of the embedded store")
+	degraded := fs.Bool("degraded", false, "journal telemetry locally across sink outages and replay on reconnect")
+	journalCap := fs.Int("journal-cap", 0, "degraded-mode spill journal bound in points (0 = default)")
+	dialTimeout := fs.Duration("dial-timeout", def.DialTimeout, "remote sink connect timeout")
+	opTimeout := fs.Duration("op-timeout", def.ReadTimeout, "remote sink per-operation read/write deadline")
+	retries := fs.Int("retries", def.MaxRetries, "remote sink retry attempts per operation")
 	fs.Parse(args)
-	d, _, err := daemonFor(*host, 1)
+
+	pipe := pmove.DefaultPipeline()
+	pipe.Degraded = *degraded
+	pipe.JournalCap = *journalCap
+	d, _, err := daemonWith(*host, 1, pipe)
 	if err != nil {
 		return err
+	}
+	var sink *tsdb.Client
+	if *influx != "" {
+		pol := def
+		pol.DialTimeout = *dialTimeout
+		pol.ReadTimeout, pol.WriteTimeout = *opTimeout, *opTimeout
+		pol.MaxRetries = *retries
+		sink, err = tsdb.DialPolicy(*influx, pol)
+		if err != nil {
+			return err
+		}
+		defer sink.Close()
+		d.SetTelemetrySink(sink)
 	}
 	res, err := d.Monitor(*host, nil, *freq, *duration)
 	if err != nil {
@@ -175,6 +206,18 @@ func cmdMonitor(args []string) error {
 	fmt.Printf("%s\n", res.Observation.Report)
 	fmt.Printf("expected %d, inserted %d, zeros %d, lost %d (%.1f%% L, %.1f%% L+Z)\n",
 		st.Expected, st.Inserted, st.Zeros, st.Lost, st.LossPct, st.LossPlusZPct)
+	if st.Spilled > 0 || st.Pending > 0 {
+		fmt.Printf("degraded: spilled %d, replayed %d, evicted %d, pending %d\n",
+			st.Spilled, st.Replayed, st.SpillDropped, st.Pending)
+	}
+	if sink != nil {
+		// The points live on the remote store; report the transport's view
+		// instead of rendering the (empty) embedded dashboard.
+		ts := sink.Stats()
+		fmt.Printf("transport: %d dials, %d retries, %d failures, %d breaker opens, %d fast-fails\n",
+			ts.Dials, ts.Retries, ts.Failures, ts.BreakerOpens, ts.FastFails)
+		return nil
+	}
 	out, err := pmove.RenderDashboard(d.TS, res.Dashboard, 60)
 	if err != nil {
 		return err

@@ -73,6 +73,27 @@ type Daemon struct {
 	targets map[string]*Target
 	kbs     map[string]*kb.KB
 	seq     uint64
+	sink    telemetry.PointSink
+}
+
+// SetTelemetrySink redirects all subsequent monitoring/observation
+// telemetry to sink instead of the embedded TS store — typically a
+// resilient tsdb.Client pointed at a remote host (Figure 3's "the host
+// runs ... InfluxDB"). Passing nil restores the embedded store.
+func (d *Daemon) SetTelemetrySink(sink telemetry.PointSink) {
+	d.mu.Lock()
+	d.sink = sink
+	d.mu.Unlock()
+}
+
+// newCollector builds the collector for one session, honoring the
+// configured remote sink.
+func (d *Daemon) newCollector(t *Target) *telemetry.Collector {
+	c := telemetry.NewCollector(d.TS, t.Pipeline)
+	d.mu.Lock()
+	c.Sink = d.sink
+	d.mu.Unlock()
+	return c
 }
 
 // New creates a daemon with embedded databases and the built-in
@@ -263,7 +284,7 @@ func (d *Daemon) Monitor(host string, metrics []string, freqHz, durationSeconds 
 		return nil, err
 	}
 
-	collector := telemetry.NewCollector(d.TS, t.Pipeline)
+	collector := d.newCollector(t)
 	sess, err := telemetry.NewSession(t.PMCD, collector, telemetry.SessionConfig{
 		Metrics: metrics, FreqHz: freqHz, Tag: tag, DurationSeconds: durationSeconds,
 	})
@@ -277,6 +298,10 @@ func (d *Daemon) Monitor(host string, metrics []string, freqHz, durationSeconds 
 	obs.EndNanos = int64(t.Machine.Now() * 1e9)
 	obs.Report = fmt.Sprintf("monitored %d metrics at %g Hz for %gs: %d inserted, %.1f%% lost",
 		len(metrics), freqHz, durationSeconds, stats.Inserted, stats.LossPct)
+	if stats.Spilled > 0 {
+		obs.Report += fmt.Sprintf(" (degraded: %d spilled, %d replayed, %d evicted, %d pending)",
+			stats.Spilled, stats.Replayed, stats.SpillDropped, stats.Pending)
+	}
 	if err := k.Attach(obs); err != nil {
 		return nil, err
 	}

@@ -122,7 +122,7 @@ func (d *Daemon) Observe(req ObserveRequest) (*ObserveResult, error) {
 	metrics = dedupe(metrics)
 
 	tag := d.nextTag(req.Host)
-	collector := telemetry.NewCollector(d.TS, t.Pipeline)
+	collector := d.newCollector(t)
 	sess, err := telemetry.NewSession(t.PMCD, collector, telemetry.SessionConfig{
 		Metrics: metrics, FreqHz: req.FreqHz, Tag: tag,
 	})

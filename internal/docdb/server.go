@@ -3,10 +3,13 @@ package docdb
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+
+	"pmove/internal/resilience"
 )
 
 // request is the wire format of the Server protocol: one JSON object per
@@ -91,6 +94,15 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+	// Mirror tsdb: a scanner failure (line over the buffer cap) gets an
+	// explicit error response instead of a silent hangup.
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			enc.Encode(response{Error: "line too long"})
+		} else {
+			enc.Encode(response{Error: err.Error()})
+		}
+	}
 }
 
 func (s *Server) dispatch(req *request) response {
@@ -122,6 +134,9 @@ func (s *Server) dispatch(req *request) response {
 		return response{OK: true, Count: col().Count(req.Filter)}
 	case "collections":
 		return response{OK: true, Names: s.db.Collections()}
+	case "ping":
+		// Liveness probe used by the resilient client's circuit breaker.
+		return response{OK: true}
 	}
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 }
@@ -141,44 +156,84 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Client talks to a Server.
+// Client talks to a Server through the shared resilient transport:
+// per-op deadlines, retried reconnects with backoff, and a circuit
+// breaker probed via the ping op. See tsdb.Client for the semantics —
+// server-side rejections are never retried, I/O failures drop the wire so
+// a half-read response cannot desynchronise later calls.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
+	tr *resilience.Transport
 }
 
-// Dial connects to a Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+// pingResync verifies a fresh connection answers a ping in sync.
+func pingResync(w *resilience.Wire) error {
+	if _, err := fmt.Fprintln(w.Conn, `{"op":"ping"}`); err != nil {
+		return err
+	}
+	line, err := w.R.ReadBytes('\n')
 	if err != nil {
+		return err
+	}
+	var resp response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return fmt.Errorf("docdb: bad ping response: %w", err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("docdb: ping rejected: %s", resp.Error)
+	}
+	return nil
+}
+
+// Dial connects to a Server with the default resilience policy; the
+// initial connect is a single attempt so a bad address fails fast.
+func Dial(addr string) (*Client, error) {
+	return DialPolicy(addr, resilience.DefaultPolicy())
+}
+
+// DialPolicy connects with an explicit resilience policy.
+func DialPolicy(addr string, pol resilience.Policy) (*Client, error) {
+	c := &Client{tr: resilience.NewTransport(addr, pol, pingResync)}
+	if err := c.tr.Connect(); err != nil {
+		c.tr.Close()
 		return nil, fmt.Errorf("docdb: dial %s: %w", addr, err)
 	}
-	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
+	return c, nil
+}
+
+// Stats exposes the transport's fault counters.
+func (c *Client) Stats() resilience.TransportStats { return c.tr.Stats() }
+
+// Ping checks liveness end to end.
+func (c *Client) Ping() error {
+	_, err := c.roundTrip(request{Op: "ping"})
+	return err
 }
 
 func (c *Client) roundTrip(req request) (response, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	b, err := json.Marshal(req)
 	if err != nil {
 		return response{}, err
 	}
-	if _, err := fmt.Fprintf(c.conn, "%s\n", b); err != nil {
-		return response{}, err
-	}
-	line, err := c.r.ReadBytes('\n')
-	if err != nil {
-		return response{}, err
-	}
 	var resp response
-	if err := json.Unmarshal(line, &resp); err != nil {
-		return response{}, fmt.Errorf("docdb: bad response: %w", err)
-	}
-	if resp.Error != "" {
-		return resp, fmt.Errorf("docdb: %s", resp.Error)
-	}
-	return resp, nil
+	err = c.tr.Do(func(w *resilience.Wire) error {
+		if _, err := fmt.Fprintf(w.Conn, "%s\n", b); err != nil {
+			return err
+		}
+		line, err := w.R.ReadBytes('\n')
+		if err != nil {
+			return err
+		}
+		resp = response{}
+		if err := json.Unmarshal(line, &resp); err != nil {
+			// Full line read — in sync; malformed bodies do not retry.
+			return resilience.Permanent(fmt.Errorf("docdb: bad response: %w", err))
+		}
+		if resp.Error != "" {
+			return resilience.Permanent(fmt.Errorf("docdb: %s", resp.Error))
+		}
+		return nil
+	})
+	return resp, err
 }
 
 // Insert stores a document remotely and returns its id.
@@ -218,4 +273,4 @@ func (c *Client) Count(collection string, f *Filter) (int, error) {
 }
 
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error { return c.tr.Close() }

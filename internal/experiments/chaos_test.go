@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestChaosStudyShapes(t *testing.T) {
+	res, err := ChaosStudy(12, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	byMode := map[string]ChaosRow{}
+	for _, r := range res.Rows {
+		byMode[r.Mode] = r
+	}
+	base := byMode["baseline"]
+	if base.Outcome != "completed" || base.EndLossPct != 0 || base.Spilled != 0 {
+		t.Fatalf("baseline: %+v", base)
+	}
+	def := byMode["default"]
+	if !strings.HasPrefix(def.Outcome, "aborted") {
+		t.Fatalf("default mode survived the partition: %+v", def)
+	}
+	deg := byMode["degraded"]
+	if deg.Outcome != "completed" {
+		t.Fatalf("degraded mode aborted: %+v", deg)
+	}
+	if deg.Spilled == 0 || deg.Replayed != deg.Spilled {
+		t.Fatalf("degraded spill/replay: %+v", deg)
+	}
+	if deg.EndLossPct != 0 || deg.Pending != 0 {
+		t.Fatalf("degraded run left loss: %+v", deg)
+	}
+	// The degraded row must have sampled every tick the baseline did.
+	if deg.Expected != base.Expected {
+		t.Fatalf("degraded expected %d, baseline %d", deg.Expected, base.Expected)
+	}
+	out := res.Render()
+	for _, want := range []string{"Chaos study", "baseline", "default", "degraded", "Replayed"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package resilience
+
+import "time"
+
+// Backoff is exponential backoff with proportional jitter. Delay grows
+// Base * Factor^(attempt-1), capped at Max, then jittered by up to
+// ±Jitter fraction using the caller's seeded RNG so retry storms from
+// many clients decorrelate deterministically.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+	// Jitter is the fraction of the delay randomised, in [0, 1].
+	Jitter float64
+}
+
+// Delay returns the pause before retry `attempt` (1-based). attempt <= 0
+// returns 0.
+func (b Backoff) Delay(attempt int, rng *RNG) time.Duration {
+	if attempt <= 0 || b.Base <= 0 {
+		return 0
+	}
+	f := b.Factor
+	if f < 1 {
+		f = 2
+	}
+	d := float64(b.Base)
+	for i := 1; i < attempt; i++ {
+		d *= f
+		if b.Max > 0 && d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if b.Max > 0 && d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 && rng != nil {
+		// Spread over [1-Jitter, 1+Jitter].
+		d *= 1 - b.Jitter + 2*b.Jitter*rng.Float64()
+	}
+	return time.Duration(d)
+}

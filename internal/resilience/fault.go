@@ -1,0 +1,372 @@
+package resilience
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Faults is the deterministic fault plan a Proxy (or FaultConn) applies.
+// Counts are preferred over probabilities where exact repeatability
+// matters; the probabilistic knobs draw from the seeded RNG so a given
+// seed still replays the same schedule.
+type Faults struct {
+	// Latency is added before each forwarded chunk; LatencyJitter adds up
+	// to that much extra, seeded.
+	Latency       time.Duration
+	LatencyJitter time.Duration
+	// SlowChunk > 0 trickles traffic in chunks of at most this many
+	// bytes (a jittered slow read/write).
+	SlowChunk int
+	// ResetAfterBytes > 0 resets a connection once it has carried that
+	// many bytes in either direction — the mid-stream reset.
+	ResetAfterBytes int64
+	// FlapFirst closes the first N accepted connections immediately
+	// (deterministic flappy accept); FlapProb flaps later accepts with
+	// this probability.
+	FlapFirst int
+	FlapProb  float64
+}
+
+// Proxy interposes the fault plan between clients and a backend server:
+// clients dial the proxy's address, the proxy pipes bytes to the real
+// tsdb/docdb listener through FaultConn semantics. The servers' logic is
+// untouched — exactly the interposition the chaos suite needs. Partition
+// and Heal flip a full network partition at runtime: accepted
+// connections black-hole (reads stall until the client's deadline fires)
+// and no new backend connections are made.
+type Proxy struct {
+	backend string
+	ln      net.Listener
+
+	mu          sync.Mutex
+	faults      Faults
+	rng         *RNG
+	partitioned bool
+	conns       map[net.Conn]bool
+	accepted    int
+	wg          sync.WaitGroup
+	closed      bool
+}
+
+// NewProxy builds a proxy in front of backend (host:port) with a seeded
+// fault plan.
+func NewProxy(backend string, faults Faults, seed uint64) *Proxy {
+	return &Proxy{backend: backend, faults: faults, rng: NewRNG(seed), conns: map[net.Conn]bool{}}
+}
+
+// Listen starts the proxy on addr ("127.0.0.1:0" picks a free port) and
+// returns the bound address clients should dial.
+func (p *Proxy) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("resilience: proxy listen: %w", err)
+	}
+	p.mu.Lock()
+	p.ln = ln
+	p.mu.Unlock()
+	p.wg.Add(1)
+	go p.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the proxy's bound address.
+func (p *Proxy) Addr() string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// SetFaults swaps the fault plan at runtime.
+func (p *Proxy) SetFaults(f Faults) {
+	p.mu.Lock()
+	p.faults = f
+	p.mu.Unlock()
+}
+
+// Partition cuts the network: existing connections stall, new ones are
+// accepted but never reach the backend.
+func (p *Proxy) Partition() {
+	p.mu.Lock()
+	p.partitioned = true
+	p.mu.Unlock()
+}
+
+// Heal ends the partition for traffic pumped after this call.
+func (p *Proxy) Heal() {
+	p.mu.Lock()
+	p.partitioned = false
+	p.mu.Unlock()
+}
+
+// DropConns force-closes every live proxied connection — an on-demand
+// mid-stream reset.
+func (p *Proxy) DropConns() {
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+}
+
+// Close stops the proxy and its connections.
+func (p *Proxy) Close() error {
+	p.mu.Lock()
+	p.closed = true
+	if p.ln != nil {
+		p.ln.Close()
+	}
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+	return nil
+}
+
+func (p *Proxy) isPartitioned() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.partitioned
+}
+
+func (p *Proxy) track(c net.Conn) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.conns[c] = true
+	p.mu.Unlock()
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) acceptLoop(ln net.Listener) {
+	defer p.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		p.mu.Lock()
+		p.accepted++
+		flap := p.accepted <= p.faults.FlapFirst ||
+			(p.faults.FlapProb > 0 && p.rng.Float64() < p.faults.FlapProb)
+		partitioned := p.partitioned
+		p.mu.Unlock()
+		if flap {
+			conn.Close()
+			continue
+		}
+		if partitioned {
+			// Black hole: keep the conn so client writes land in kernel
+			// buffers while reads stall until the client's deadline.
+			p.track(conn)
+			continue
+		}
+		up, err := net.DialTimeout("tcp", p.backend, 2*time.Second)
+		if err != nil {
+			conn.Close()
+			continue
+		}
+		p.track(conn)
+		p.track(up)
+		var bytes int64 // shared both-direction byte budget for resets
+		var once sync.Once
+		kill := func() {
+			once.Do(func() {
+				conn.Close()
+				up.Close()
+			})
+		}
+		p.wg.Add(2)
+		go p.pump(up, conn, &bytes, kill)
+		go p.pump(conn, up, &bytes, kill)
+	}
+}
+
+// pump forwards src → dst applying the fault plan.
+func (p *Proxy) pump(dst, src net.Conn, total *int64, kill func()) {
+	defer p.wg.Done()
+	defer p.untrack(src)
+	defer kill()
+	buf := make([]byte, 32<<10)
+	for {
+		p.mu.Lock()
+		f := p.faults
+		p.mu.Unlock()
+		chunk := len(buf)
+		if f.SlowChunk > 0 && f.SlowChunk < chunk {
+			chunk = f.SlowChunk
+		}
+		n, err := src.Read(buf[:chunk])
+		if n > 0 {
+			if d := p.chunkDelay(f); d > 0 {
+				time.Sleep(d)
+			}
+			// Stall while partitioned; the connection dies if the proxy
+			// closes underneath us.
+			for p.isPartitioned() {
+				time.Sleep(time.Millisecond)
+				if p.isClosed() {
+					return
+				}
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+			if f.ResetAfterBytes > 0 {
+				p.mu.Lock()
+				*total += int64(n)
+				tripped := *total >= f.ResetAfterBytes
+				p.mu.Unlock()
+				if tripped {
+					return // kill() resets both halves mid-stream
+				}
+			}
+		}
+		if err != nil {
+			return // EOF or reset either way ends the pump
+		}
+	}
+}
+
+func (p *Proxy) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
+}
+
+func (p *Proxy) chunkDelay(f Faults) time.Duration {
+	d := f.Latency
+	if f.LatencyJitter > 0 {
+		p.mu.Lock()
+		d += time.Duration(p.rng.Float64() * float64(f.LatencyJitter))
+		p.mu.Unlock()
+	}
+	return d
+}
+
+// FaultConn wraps a single net.Conn with the latency/slow-chunk/reset
+// portion of a fault plan — for tests that build listeners directly
+// instead of interposing a Proxy.
+type FaultConn struct {
+	net.Conn
+	mu     sync.Mutex
+	faults Faults
+	rng    *RNG
+	bytes  int64
+}
+
+// NewFaultConn wraps conn with a seeded fault plan.
+func NewFaultConn(conn net.Conn, faults Faults, seed uint64) *FaultConn {
+	return &FaultConn{Conn: conn, faults: faults, rng: NewRNG(seed)}
+}
+
+func (f *FaultConn) delayAndBudget(n int) error {
+	f.mu.Lock()
+	d := f.faults.Latency
+	if f.faults.LatencyJitter > 0 {
+		d += time.Duration(f.rng.Float64() * float64(f.faults.LatencyJitter))
+	}
+	f.bytes += int64(n)
+	tripped := f.faults.ResetAfterBytes > 0 && f.bytes >= f.faults.ResetAfterBytes
+	f.mu.Unlock()
+	if d > 0 {
+		time.Sleep(d)
+	}
+	if tripped {
+		f.Conn.Close()
+		return fmt.Errorf("resilience: injected reset after %d bytes", f.bytes)
+	}
+	return nil
+}
+
+// Read applies latency, slow chunks and the reset budget.
+func (f *FaultConn) Read(p []byte) (int, error) {
+	f.mu.Lock()
+	chunk := f.faults.SlowChunk
+	f.mu.Unlock()
+	if chunk > 0 && chunk < len(p) {
+		p = p[:chunk]
+	}
+	n, err := f.Conn.Read(p)
+	if n > 0 {
+		if ferr := f.delayAndBudget(n); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
+	return n, err
+}
+
+// Write applies latency, slow chunks and the reset budget.
+func (f *FaultConn) Write(p []byte) (int, error) {
+	f.mu.Lock()
+	chunk := f.faults.SlowChunk
+	f.mu.Unlock()
+	written := 0
+	for written < len(p) {
+		end := len(p)
+		if chunk > 0 && written+chunk < end {
+			end = written + chunk
+		}
+		n, err := f.Conn.Write(p[written:end])
+		written += n
+		if n > 0 {
+			if ferr := f.delayAndBudget(n); ferr != nil && err == nil {
+				return written, ferr
+			}
+		}
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// FaultListener wraps a listener with flappy-accept semantics and wraps
+// accepted connections in FaultConn.
+type FaultListener struct {
+	net.Listener
+	mu       sync.Mutex
+	faults   Faults
+	rng      *RNG
+	accepted int
+}
+
+// NewFaultListener wraps ln with a seeded fault plan.
+func NewFaultListener(ln net.Listener, faults Faults, seed uint64) *FaultListener {
+	return &FaultListener{Listener: ln, faults: faults, rng: NewRNG(seed)}
+}
+
+// Accept applies the flap schedule and returns fault-wrapped conns.
+func (l *FaultListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		l.mu.Lock()
+		l.accepted++
+		flap := l.accepted <= l.faults.FlapFirst ||
+			(l.faults.FlapProb > 0 && l.rng.Float64() < l.faults.FlapProb)
+		f := l.faults
+		seed := l.rng.Uint64()
+		l.mu.Unlock()
+		if flap {
+			conn.Close()
+			continue
+		}
+		return NewFaultConn(conn, f, seed), nil
+	}
+}

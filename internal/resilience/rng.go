@@ -1,0 +1,32 @@
+package resilience
+
+// RNG is the deterministic splitmix64 generator used for retry jitter
+// and fault scheduling. Seeded streams make every chaos run replayable —
+// the same property the telemetry pipeline's jitter relies on.
+type RNG struct{ s uint64 }
+
+// NewRNG seeds a generator. Seed 0 is mapped to 1 so the stream never
+// degenerates.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 1
+	}
+	return &RNG{s: seed}
+}
+
+// Uint64 advances the stream.
+func (r *RNG) Uint64() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	x := r.s
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}

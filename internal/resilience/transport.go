@@ -1,0 +1,235 @@
+package resilience
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned (wrapped) when the breaker fast-fails an
+// operation without touching the network.
+var ErrCircuitOpen = errors.New("resilience: circuit open")
+
+// permanentError marks a protocol-level failure: the server answered, the
+// stream is still in sync, and retrying the same bytes cannot help.
+type permanentError struct{ err error }
+
+func (p *permanentError) Error() string { return p.err.Error() }
+func (p *permanentError) Unwrap() error { return p.err }
+
+// Permanent wraps an error so Transport.Do neither retries it nor drops
+// the connection: use it for rejections fully read off the wire ("ERR
+// ..." responses). Plain errors are treated as I/O failures — the
+// connection state is unknown, so the wire is torn down and the op
+// retried on a fresh one (the desync fix: a client that half-read a
+// response never parses the next op's reply as this one's).
+func Permanent(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &permanentError{err: err}
+}
+
+// Wire is one live connection: the deadline-wrapped conn plus a buffered
+// reader bound to it. A Wire never outlives an I/O error.
+type Wire struct {
+	Conn net.Conn
+	R    *bufio.Reader
+}
+
+// TransportStats counts the transport's fault handling.
+type TransportStats struct {
+	Dials        uint64 // successful connects (first + reconnects)
+	Retries      uint64 // op attempts beyond the first
+	Failures     uint64 // I/O failures observed
+	BreakerOpens uint64 // times the circuit opened
+	FastFails    uint64 // ops rejected by the open circuit
+}
+
+// Transport maintains one line-oriented TCP connection with deadlines,
+// retries, reconnect and a circuit breaker. Protocol packages (tsdb,
+// docdb) run their request/response exchanges through Do; the transport
+// owns when those exchanges happen and on which connection.
+type Transport struct {
+	addr  string
+	pol   Policy
+	probe func(*Wire) error
+
+	mu      sync.Mutex
+	wire    *Wire
+	breaker *Breaker
+	rng     *RNG
+	stats   TransportStats
+	closed  bool
+
+	// sleep and now are swappable for tests.
+	sleep func(time.Duration)
+	now   func() time.Time
+}
+
+// NewTransport builds a transport for addr. probe, when non-nil, runs on
+// every fresh connection before it is used (the PING-based
+// connection-state resync and the breaker's half-open probe); a probe
+// failure counts as a connect failure.
+func NewTransport(addr string, pol Policy, probe func(*Wire) error) *Transport {
+	return &Transport{
+		addr:    addr,
+		pol:     pol,
+		probe:   probe,
+		breaker: NewBreaker(pol.Breaker),
+		rng:     NewRNG(pol.Seed),
+		sleep:   time.Sleep,
+		now:     time.Now,
+	}
+}
+
+// Addr returns the remote address.
+func (t *Transport) Addr() string { return t.addr }
+
+// Policy returns the transport's policy.
+func (t *Transport) Policy() Policy { return t.pol }
+
+// Stats snapshots the fault counters.
+func (t *Transport) Stats() TransportStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stats
+	s.BreakerOpens = t.breaker.Opens()
+	return s
+}
+
+// Connect eagerly establishes (and probes) the connection. Dial-time
+// callers use it so a bad address fails fast instead of on first use.
+func (t *Transport) Connect() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ensureWire()
+}
+
+// Close tears the connection down; subsequent ops fail.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	if t.wire != nil {
+		err := t.wire.Conn.Close()
+		t.wire = nil
+		return err
+	}
+	return nil
+}
+
+// Do runs one request/response exchange with retry, reconnect and
+// breaker semantics. op errors wrapped with Permanent are returned as-is
+// (unwrapped) without retry; any other error drops the wire, records a
+// breaker failure and retries after backoff, up to Policy.MaxRetries
+// times.
+func (t *Transport) Do(op func(*Wire) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var lastErr error
+	attempts := t.pol.MaxRetries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			t.stats.Retries++
+			t.sleep(t.pol.Backoff.Delay(attempt, t.rng))
+		}
+		if err := t.ensureWire(); err != nil {
+			if errors.Is(err, ErrCircuitOpen) {
+				// Retrying cannot help until the cooldown elapses.
+				return err
+			}
+			lastErr = err
+			continue
+		}
+		err := op(t.wire)
+		if err == nil {
+			t.breaker.Success()
+			return nil
+		}
+		var pe *permanentError
+		if errors.As(err, &pe) {
+			// The server answered; the stream is in sync.
+			t.breaker.Success()
+			return pe.err
+		}
+		t.dropWire()
+		t.stats.Failures++
+		t.breaker.Failure(t.now())
+		lastErr = err
+	}
+	return fmt.Errorf("resilience: %s: giving up after %d attempts: %w", t.addr, attempts, lastErr)
+}
+
+// ensureWire returns with t.wire live, dialing if needed. Caller holds mu.
+func (t *Transport) ensureWire() error {
+	if t.closed {
+		return fmt.Errorf("resilience: %s: transport closed", t.addr)
+	}
+	if t.wire != nil {
+		return nil
+	}
+	if !t.breaker.Allow(t.now()) {
+		t.stats.FastFails++
+		return fmt.Errorf("resilience: %s: %w", t.addr, ErrCircuitOpen)
+	}
+	conn, err := net.DialTimeout("tcp", t.addr, t.pol.DialTimeout)
+	if err != nil {
+		t.stats.Failures++
+		t.breaker.Failure(t.now())
+		return err
+	}
+	dc := &deadlineConn{Conn: conn, rt: t.pol.ReadTimeout, wt: t.pol.WriteTimeout}
+	w := &Wire{Conn: dc, R: bufio.NewReader(dc)}
+	if t.probe != nil {
+		if err := t.probe(w); err != nil {
+			conn.Close()
+			t.stats.Failures++
+			t.breaker.Failure(t.now())
+			return fmt.Errorf("resilience: %s: resync probe: %w", t.addr, err)
+		}
+	}
+	t.wire = w
+	t.stats.Dials++
+	t.breaker.Success()
+	return nil
+}
+
+func (t *Transport) dropWire() {
+	if t.wire != nil {
+		t.wire.Conn.Close()
+		t.wire = nil
+	}
+}
+
+// deadlineConn applies per-op deadlines around every Read/Write so no
+// exchange can hang past the policy's timeouts even when the peer is
+// black-holed by a partition.
+type deadlineConn struct {
+	net.Conn
+	rt, wt time.Duration
+}
+
+func (d *deadlineConn) Read(p []byte) (int, error) {
+	if d.rt > 0 {
+		if err := d.Conn.SetReadDeadline(time.Now().Add(d.rt)); err != nil {
+			return 0, err
+		}
+	}
+	return d.Conn.Read(p)
+}
+
+func (d *deadlineConn) Write(p []byte) (int, error) {
+	if d.wt > 0 {
+		if err := d.Conn.SetWriteDeadline(time.Now().Add(d.wt)); err != nil {
+			return 0, err
+		}
+	}
+	return d.Conn.Write(p)
+}

@@ -7,6 +7,7 @@ import (
 	"pmove/internal/docdb"
 	"pmove/internal/kb"
 	"pmove/internal/ontology"
+	"pmove/internal/resilience"
 	"pmove/internal/tsdb"
 )
 
@@ -19,18 +20,44 @@ type Remote struct {
 	TS   *tsdb.Client
 }
 
-// DialRemote connects to a running cmd/superdb instance.
+// DialRemote connects to a running cmd/superdb instance with the default
+// resilience policy.
 func DialRemote(docAddr, tsAddr string) (*Remote, error) {
-	dc, err := docdb.Dial(docAddr)
+	return DialRemoteWith(docAddr, tsAddr, resilience.DefaultPolicy())
+}
+
+// DialRemoteWith connects with an explicit resilience policy shared by
+// both clients — the knob cmd/pmove exposes for chaos runs.
+func DialRemoteWith(docAddr, tsAddr string, pol resilience.Policy) (*Remote, error) {
+	dc, err := docdb.DialPolicy(docAddr, pol)
 	if err != nil {
 		return nil, fmt.Errorf("superdb: documents: %w", err)
 	}
-	tc, err := tsdb.Dial(tsAddr)
+	tc, err := tsdb.DialPolicy(tsAddr, pol)
 	if err != nil {
 		dc.Close()
 		return nil, fmt.Errorf("superdb: time series: %w", err)
 	}
 	return &Remote{Docs: dc, TS: tc}, nil
+}
+
+// Ping verifies both stores answer end to end.
+func (r *Remote) Ping() error {
+	if err := r.Docs.Ping(); err != nil {
+		return fmt.Errorf("superdb: documents: %w", err)
+	}
+	if err := r.TS.Ping(); err != nil {
+		return fmt.Errorf("superdb: time series: %w", err)
+	}
+	return nil
+}
+
+// ReportJob uploads one completed job's metadata document (built with
+// docdb.FromValue; must carry an "_id") into the jobs collection — the
+// cluster KB's "historical job metadata" reaching the global store.
+func (r *Remote) ReportJob(doc docdb.Doc) error {
+	_, err := r.Docs.Upsert(CollJobs, doc)
+	return err
 }
 
 // Close releases both connections.

@@ -22,6 +22,7 @@ import (
 const (
 	CollKBs          = "super_kbs"
 	CollObservations = "super_observations"
+	CollJobs         = "super_jobs"
 )
 
 // SuperDB is the global instance: in the paper cloud-hosted MongoDB and

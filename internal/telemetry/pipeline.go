@@ -34,9 +34,23 @@ type PipelineConfig struct {
 	// the ablation study isolating that design choice (Table III's losses
 	// vanish with it; latency grows instead).
 	Buffered bool
+	// Degraded enables graceful degradation: a report whose sink write
+	// fails (host TSDB unreachable) is spilled to a bounded local journal
+	// and replayed once the sink answers again, instead of aborting the
+	// session. Like Buffered this is opt-in — the paper-faithful default
+	// keeps the unbuffered fail/loss semantics.
+	Degraded bool
+	// JournalCap bounds the spill journal in points; 0 means
+	// DefaultJournalCap. When the journal is full the oldest spilled
+	// point is dropped (and counted), keeping memory bounded through an
+	// arbitrarily long outage.
+	JournalCap int
 	// Seed drives the deterministic jitter.
 	Seed uint64
 }
+
+// DefaultJournalCap is the spill journal bound when JournalCap is unset.
+const DefaultJournalCap = 4096
 
 // DefaultPipeline returns the configuration calibrated against the
 // paper's testbed (100 Mbit link, spinning-disk-backed InfluxDB on the
@@ -53,14 +67,28 @@ func DefaultPipeline() PipelineConfig {
 	}
 }
 
+// PointSink is where the collector lands points: the embedded tsdb.DB or
+// a (resilient) remote tsdb.Client — both satisfy it.
+type PointSink interface {
+	WritePoint(p tsdb.Point) error
+}
+
 // Collector is the host-side sink: it owns the tsdb handle and the
 // busy-until state of the unbuffered pipeline.
 type Collector struct {
-	DB  *tsdb.DB
-	Cfg PipelineConfig
+	DB *tsdb.DB
+	// Sink overrides where points are written when non-nil (e.g. a
+	// resilient remote client); the embedded DB otherwise.
+	Sink PointSink
+	Cfg  PipelineConfig
 
 	busyUntil float64
 	seq       uint64
+
+	// journal holds points spilled while the sink was unreachable
+	// (Degraded mode only), bounded by JournalCap.
+	journal  []tsdb.Point
+	degraded bool
 
 	// Cumulative statistics.
 	Expected  uint64 // data points the sampler should have produced
@@ -69,6 +97,11 @@ type Collector struct {
 	Lost      uint64 // data points dropped because the pipeline was busy
 	NetBytes  int64
 	DiskBytes int64
+	// Degradation statistics (Degraded mode only).
+	Spilled      uint64 // points written to the local journal
+	Replayed     uint64 // journal points later inserted into the sink
+	SpillDropped uint64 // journal points evicted by the cap — lost for good
+	Degradations uint64 // times the collector entered degraded mode
 	// QueuedDelay is the backlog the most recent report waited behind
 	// (buffered mode only); MaxLagSeconds the worst insertion lag seen.
 	QueuedDelay   float64
@@ -78,6 +111,65 @@ type Collector struct {
 // NewCollector builds a collector over a tsdb.
 func NewCollector(db *tsdb.DB, cfg PipelineConfig) *Collector {
 	return &Collector{DB: db, Cfg: cfg, seq: cfg.Seed}
+}
+
+// sink returns the active point destination.
+func (c *Collector) sink() PointSink {
+	if c.Sink != nil {
+		return c.Sink
+	}
+	return c.DB
+}
+
+// Degraded reports whether the collector is currently spilling.
+func (c *Collector) Degraded() bool { return c.degraded }
+
+// PendingSpill returns how many journalled points await replay.
+func (c *Collector) PendingSpill() int { return len(c.journal) }
+
+// journalCap resolves the configured bound.
+func (c *Collector) journalCap() int {
+	if c.Cfg.JournalCap > 0 {
+		return c.Cfg.JournalCap
+	}
+	return DefaultJournalCap
+}
+
+// spill journals a point the sink refused, evicting the oldest entry if
+// the journal is at capacity.
+func (c *Collector) spill(p tsdb.Point) {
+	if !c.degraded {
+		c.degraded = true
+		c.Degradations++
+	}
+	if len(c.journal) >= c.journalCap() {
+		dropped := c.journal[0]
+		c.journal = c.journal[1:]
+		c.SpillDropped += uint64(len(dropped.Fields))
+	}
+	c.journal = append(c.journal, p)
+	c.Spilled += uint64(len(p.Fields))
+}
+
+// Replay drains the journal into the sink, oldest first, stopping at the
+// first failure (the sink is still down). It returns how many points
+// remain. Offer replays opportunistically before each new report, so a
+// recovered sink catches up within one tick; call Replay directly to
+// flush at session end.
+func (c *Collector) Replay() int {
+	for len(c.journal) > 0 {
+		p := c.journal[0]
+		if err := c.sink().WritePoint(p); err != nil {
+			return len(c.journal)
+		}
+		c.journal = c.journal[1:]
+		nv := uint64(len(p.Fields))
+		c.Inserted += nv
+		c.Replayed += nv
+	}
+	c.journal = nil
+	c.degraded = false
+	return 0
 }
 
 func (c *Collector) jitter() float64 {
@@ -130,6 +222,11 @@ func (c *Collector) Offer(now float64, samples []Sample, tag string, zeroBatch b
 	} else {
 		c.QueuedDelay = 0
 	}
+	// Catch up on any outage backlog before shipping fresh data, so
+	// replayed history lands ahead of newer points.
+	if c.Cfg.Degraded && len(c.journal) > 0 {
+		c.Replay()
+	}
 	ts := int64(now * 1e9)
 	for _, s := range samples {
 		if zeroBatch {
@@ -140,10 +237,19 @@ func (c *Collector) Offer(now float64, samples []Sample, tag string, zeroBatch b
 			s = zeroed
 		}
 		p := ToPoint(s, tag, ts)
-		if err := c.DB.WritePoint(p); err != nil {
-			return fmt.Errorf("telemetry: insert %s: %w", s.Metric, err)
+		if c.Cfg.Degraded && c.degraded {
+			// Sink known down (the opportunistic Replay above just
+			// probed it): journal without burning the client's retry
+			// budget on every sample.
+			c.spill(p)
+		} else if err := c.sink().WritePoint(p); err != nil {
+			if !c.Cfg.Degraded {
+				return fmt.Errorf("telemetry: insert %s: %w", s.Metric, err)
+			}
+			c.spill(p)
+		} else {
+			c.Inserted += uint64(len(s.Values))
 		}
-		c.Inserted += uint64(len(s.Values))
 		if zeroBatch {
 			c.Zeros += uint64(len(s.Values))
 		}

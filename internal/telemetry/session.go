@@ -26,6 +26,16 @@ type SessionStats struct {
 	Inserted uint64
 	Zeros    uint64
 	Lost     uint64
+	// Degraded-mode counters (zero unless PipelineConfig.Degraded): points
+	// spilled to the outage journal, spilled points replayed into the
+	// sink, journal points evicted by the cap, and the backlog still
+	// awaiting replay when the session ended. Spilled/Replayed/
+	// SpillDropped count data points (fields); Pending counts journal
+	// entries (one per sample), matching JournalCap's unit.
+	Spilled      uint64
+	Replayed     uint64
+	SpillDropped uint64
+	Pending      uint64
 	// Tput is inserted data points per second; ATput excludes zeros
 	// (Table III's "actual" throughput).
 	Tput         float64
@@ -82,6 +92,8 @@ func (s *Session) RunTicks(n uint64) (SessionStats, error) {
 
 	startExpected, startInserted := s.Collector.Expected, s.Collector.Inserted
 	startZeros, startLost := s.Collector.Zeros, s.Collector.Lost
+	startSpilled, startReplayed := s.Collector.Spilled, s.Collector.Replayed
+	startSpillDropped := s.Collector.SpillDropped
 
 	for tick := uint64(1); tick <= n; tick++ {
 		t := start + float64(tick)*interval
@@ -102,15 +114,25 @@ func (s *Session) RunTicks(n uint64) (SessionStats, error) {
 		}
 	}
 
+	// Final catch-up: a sink that recovered late gets one more chance to
+	// absorb the outage backlog before the session reports.
+	if s.Collector.Cfg.Degraded && s.Collector.PendingSpill() > 0 {
+		s.Collector.Replay()
+	}
+
 	st := SessionStats{
-		Host:     m.System().Hostname,
-		FreqHz:   s.Cfg.FreqHz,
-		NMetrics: len(metrics),
-		Ticks:    n,
-		Expected: s.Collector.Expected - startExpected,
-		Inserted: s.Collector.Inserted - startInserted,
-		Zeros:    s.Collector.Zeros - startZeros,
-		Lost:     s.Collector.Lost - startLost,
+		Host:         m.System().Hostname,
+		FreqHz:       s.Cfg.FreqHz,
+		NMetrics:     len(metrics),
+		Ticks:        n,
+		Expected:     s.Collector.Expected - startExpected,
+		Inserted:     s.Collector.Inserted - startInserted,
+		Zeros:        s.Collector.Zeros - startZeros,
+		Lost:         s.Collector.Lost - startLost,
+		Spilled:      s.Collector.Spilled - startSpilled,
+		Replayed:     s.Collector.Replayed - startReplayed,
+		SpillDropped: s.Collector.SpillDropped - startSpillDropped,
+		Pending:      uint64(s.Collector.PendingSpill()),
 	}
 	dur := float64(n) * interval
 	if dur > 0 {

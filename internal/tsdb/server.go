@@ -3,10 +3,13 @@ package tsdb
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net"
 	"strings"
 	"sync"
+
+	"pmove/internal/resilience"
 )
 
 // Server exposes a DB over TCP with a line-oriented protocol:
@@ -110,6 +113,17 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+	// A scanner error (most commonly a line over the buffer cap) used to
+	// kill the session silently; answer before hanging up so the client
+	// sees a protocol error instead of a bare EOF.
+	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			fmt.Fprintln(w, "ERR line too long")
+		} else {
+			fmt.Fprintf(w, "ERR %v\n", err)
+		}
+		w.Flush()
+	}
 }
 
 // Close stops the server and waits for connections to drain.
@@ -127,74 +141,24 @@ func (s *Server) Close() error {
 	return nil
 }
 
-// Client is a minimal client for the Server protocol.
+// Client talks to a Server through a resilient transport: per-op
+// deadlines, retried reconnects with backoff, and a circuit breaker whose
+// half-open probe is the protocol's own PING (which doubles as the
+// connection-state resync — a fresh wire is verified in-sync before any
+// op uses it, so a half-read response from a previous failure can never
+// desynchronise later calls). Protocol rejections ("ERR ...") are fully
+// read off the wire and never retried. Writes are at-least-once under
+// retry: a WRITE whose response was lost may be re-sent.
 type Client struct {
-	mu   sync.Mutex
-	conn net.Conn
-	r    *bufio.Reader
+	tr *resilience.Transport
 }
 
-// Dial connects to a Server.
-func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("tsdb: dial %s: %w", addr, err)
-	}
-	return &Client{conn: conn, r: bufio.NewReader(conn)}, nil
-}
-
-// Write ships one point.
-func (c *Client) Write(p Point) error {
-	line, err := EncodeLine(p)
-	if err != nil {
+// pingResync is the resync/half-open probe run on every fresh connection.
+func pingResync(w *resilience.Wire) error {
+	if _, err := fmt.Fprintln(w.Conn, "PING"); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := fmt.Fprintf(c.conn, "WRITE %s\n", line); err != nil {
-		return err
-	}
-	resp, err := c.r.ReadString('\n')
-	if err != nil {
-		return err
-	}
-	resp = strings.TrimSpace(resp)
-	if resp != "OK" {
-		return fmt.Errorf("tsdb: write rejected: %s", resp)
-	}
-	return nil
-}
-
-// Query runs a SELECT statement remotely.
-func (c *Client) Query(stmt string) (*Result, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := fmt.Fprintf(c.conn, "QUERY %s\n", stmt); err != nil {
-		return nil, err
-	}
-	resp, err := c.r.ReadString('\n')
-	if err != nil {
-		return nil, err
-	}
-	resp = strings.TrimSpace(resp)
-	if strings.HasPrefix(resp, "ERR") {
-		return nil, fmt.Errorf("tsdb: query rejected: %s", resp)
-	}
-	var res Result
-	if err := json.Unmarshal([]byte(resp), &res); err != nil {
-		return nil, fmt.Errorf("tsdb: bad query response: %w", err)
-	}
-	return &res, nil
-}
-
-// Ping checks liveness.
-func (c *Client) Ping() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, err := fmt.Fprintln(c.conn, "PING"); err != nil {
-		return err
-	}
-	resp, err := c.r.ReadString('\n')
+	resp, err := w.R.ReadString('\n')
 	if err != nil {
 		return err
 	}
@@ -204,5 +168,94 @@ func (c *Client) Ping() error {
 	return nil
 }
 
+// Dial connects to a Server with the default resilience policy. The
+// initial connect is a single attempt so a bad address fails fast.
+func Dial(addr string) (*Client, error) {
+	return DialPolicy(addr, resilience.DefaultPolicy())
+}
+
+// DialPolicy connects with an explicit resilience policy.
+func DialPolicy(addr string, pol resilience.Policy) (*Client, error) {
+	c := &Client{tr: resilience.NewTransport(addr, pol, pingResync)}
+	if err := c.tr.Connect(); err != nil {
+		c.tr.Close()
+		return nil, fmt.Errorf("tsdb: dial %s: %w", addr, err)
+	}
+	return c, nil
+}
+
+// Stats exposes the transport's fault counters.
+func (c *Client) Stats() resilience.TransportStats { return c.tr.Stats() }
+
+// Write ships one point.
+func (c *Client) Write(p Point) error {
+	line, err := EncodeLine(p)
+	if err != nil {
+		return err
+	}
+	return c.tr.Do(func(w *resilience.Wire) error {
+		if _, err := fmt.Fprintf(w.Conn, "WRITE %s\n", line); err != nil {
+			return err
+		}
+		resp, err := w.R.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		resp = strings.TrimSpace(resp)
+		if resp != "OK" {
+			return resilience.Permanent(fmt.Errorf("tsdb: write rejected: %s", resp))
+		}
+		return nil
+	})
+}
+
+// WritePoint aliases Write so the client satisfies telemetry.PointSink.
+func (c *Client) WritePoint(p Point) error { return c.Write(p) }
+
+// Query runs a SELECT statement remotely.
+func (c *Client) Query(stmt string) (*Result, error) {
+	var res Result
+	err := c.tr.Do(func(w *resilience.Wire) error {
+		if _, err := fmt.Fprintf(w.Conn, "QUERY %s\n", stmt); err != nil {
+			return err
+		}
+		resp, err := w.R.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		resp = strings.TrimSpace(resp)
+		if strings.HasPrefix(resp, "ERR") {
+			return resilience.Permanent(fmt.Errorf("tsdb: query rejected: %s", resp))
+		}
+		if err := json.Unmarshal([]byte(resp), &res); err != nil {
+			// The line was fully read, so the stream is in sync; a
+			// malformed body will not get better on retry.
+			return resilience.Permanent(fmt.Errorf("tsdb: bad query response: %w", err))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	return c.tr.Do(func(w *resilience.Wire) error {
+		if _, err := fmt.Fprintln(w.Conn, "PING"); err != nil {
+			return err
+		}
+		resp, err := w.R.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		if strings.TrimSpace(resp) != "PONG" {
+			return resilience.Permanent(fmt.Errorf("tsdb: unexpected ping response %q", resp))
+		}
+		return nil
+	})
+}
+
 // Close closes the connection.
-func (c *Client) Close() error { return c.conn.Close() }
+func (c *Client) Close() error { return c.tr.Close() }

@@ -25,6 +25,7 @@ import (
 	"pmove/internal/kernels"
 	"pmove/internal/machine"
 	"pmove/internal/ontology"
+	"pmove/internal/resilience"
 	"pmove/internal/spmv"
 	"pmove/internal/superdb"
 	"pmove/internal/telemetry"
@@ -176,6 +177,35 @@ type (
 
 // DefaultPipeline is the paper-calibrated shipment configuration.
 func DefaultPipeline() PipelineConfig { return telemetry.DefaultPipeline() }
+
+// Resilience: fault injection and fault-tolerant networking.
+type (
+	// ResiliencePolicy bundles the dial/retry/deadline/breaker knobs
+	// shared by every TCP client.
+	ResiliencePolicy = resilience.Policy
+	// Faults describes the impairments a FaultProxy injects.
+	Faults = resilience.Faults
+	// FaultProxy interposes a fault-injecting TCP proxy in front of a
+	// tsdb/docdb/superdb server.
+	FaultProxy = resilience.Proxy
+	// PointSink is where a telemetry collector lands points — the
+	// embedded TSDB or a resilient remote client.
+	PointSink = telemetry.PointSink
+)
+
+// DefaultResiliencePolicy is the production-shaped client policy.
+func DefaultResiliencePolicy() ResiliencePolicy { return resilience.DefaultPolicy() }
+
+// NewFaultProxy builds a fault-injecting proxy for the given backend.
+func NewFaultProxy(backend string, f Faults, seed uint64) *FaultProxy {
+	return resilience.NewProxy(backend, f, seed)
+}
+
+// DialTSDB connects a resilient time-series client (usable as a
+// Daemon telemetry sink via SetTelemetrySink).
+func DialTSDB(addr string, pol ResiliencePolicy) (*tsdb.Client, error) {
+	return tsdb.DialPolicy(addr, pol)
+}
 
 // Databases.
 type (
