@@ -13,4 +13,21 @@ fi
 go vet ./...
 go build ./...
 go test -race ./...
+
+# API gate: the daemon's public surface is context-first. Any NEW exported
+# method on *Daemon must take `ctx context.Context` as its first parameter.
+# Grandfathered exceptions: the deprecated positional wrappers kept for
+# compatibility, and accessors/configuration that perform no cancellable
+# work. Extend the allowlist only when adding another pure accessor.
+wrappers='Probe|Monitor|Observe|ObserveGPUKernel|LiveCARM|Scan|RunSTREAM|RunHPCG|ConstructCARM'
+accessors='AttachTarget|Target|Hosts|KB|SetTelemetrySink|SelfSnapshot|SelfSpans|MetaDashboard'
+violations=$(grep -h 'func (d \*Daemon) [A-Z]' internal/core/*.go \
+    | grep -v 'ctx context\.Context' \
+    | grep -Ev "func \(d \*Daemon\) ($wrappers|$accessors)\(" || true)
+if [ -n "$violations" ]; then
+    echo "context-first API gate: exported Daemon methods must take 'ctx context.Context' first:" >&2
+    echo "$violations" >&2
+    exit 1
+fi
+
 echo "ci: all green"

@@ -8,9 +8,12 @@
 //	pmove carm    -host csl -threads 8               construct and print the CARM
 //	pmove bench   -host csl -name stream -threads 8  run a BenchmarkInterface
 //	pmove abst    -arch zen3 -event TOTAL_MEMORY_OPERATIONS
+//	pmove introspect -host icl -duration 5           run a monitored op and dump P-MoVE's own telemetry
 //
 // All state is embedded; -influx/-mongo accept external tsdb/docdb server
-// addresses started with cmd/superdb.
+// addresses started with cmd/superdb. `monitor -self-monitor` enables the
+// self-observability layer for a regular run: the daemon's own counters
+// land in the pmove.self.* series next to the target's telemetry.
 package main
 
 import (
@@ -29,7 +32,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster|introspect> [flags]")
 	os.Exit(2)
 }
 
@@ -60,6 +63,8 @@ func main() {
 		err = cmdScan(args)
 	case "cluster":
 		err = cmdCluster(args)
+	case "introspect":
+		err = cmdIntrospect(args)
 	default:
 		usage()
 	}
@@ -74,9 +79,10 @@ func daemonFor(host string, seed uint64) (*pmove.Daemon, *pmove.System, error) {
 	return daemonWith(host, seed, pmove.DefaultPipeline())
 }
 
-// daemonWith is daemonFor with an explicit pipeline configuration.
-func daemonWith(host string, seed uint64, pipe pmove.PipelineConfig) (*pmove.Daemon, *pmove.System, error) {
-	d, err := pmove.NewDaemon(pmove.EnvFromOS())
+// daemonWith is daemonFor with an explicit pipeline configuration plus any
+// construction options (e.g. pmove.WithIntrospection()).
+func daemonWith(host string, seed uint64, pipe pmove.PipelineConfig, opts ...pmove.DaemonOption) (*pmove.Daemon, *pmove.System, error) {
+	d, err := pmove.NewDaemonWith(append([]pmove.DaemonOption{pmove.WithEnv(pmove.EnvFromOS())}, opts...)...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -176,12 +182,17 @@ func cmdMonitor(args []string) error {
 	dialTimeout := fs.Duration("dial-timeout", def.DialTimeout, "remote sink connect timeout")
 	opTimeout := fs.Duration("op-timeout", def.ReadTimeout, "remote sink per-operation read/write deadline")
 	retries := fs.Int("retries", def.MaxRetries, "remote sink retry attempts per operation")
+	selfMon := fs.Bool("self-monitor", false, "enable the self-observability layer: export P-MoVE's own counters as pmove.self.* and print them after the run")
 	fs.Parse(args)
 
 	pipe := pmove.DefaultPipeline()
 	pipe.Degraded = *degraded
 	pipe.JournalCap = *journalCap
-	d, _, err := daemonWith(*host, 1, pipe)
+	var opts []pmove.DaemonOption
+	if *selfMon {
+		opts = append(opts, pmove.WithIntrospection())
+	}
+	d, _, err := daemonWith(*host, 1, pipe, opts...)
 	if err != nil {
 		return err
 	}
@@ -216,6 +227,9 @@ func cmdMonitor(args []string) error {
 		ts := sink.Stats()
 		fmt.Printf("transport: %d dials, %d retries, %d failures, %d breaker opens, %d fast-fails\n",
 			ts.Dials, ts.Retries, ts.Failures, ts.BreakerOpens, ts.FastFails)
+		if *selfMon {
+			printSelfMetrics(d)
+		}
 		return nil
 	}
 	out, err := pmove.RenderDashboard(d.TS, res.Dashboard, 60)
@@ -223,6 +237,9 @@ func cmdMonitor(args []string) error {
 		return err
 	}
 	fmt.Println(out)
+	if *selfMon {
+		printSelfMetrics(d)
+	}
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pmove/internal/carm"
@@ -9,11 +10,26 @@ import (
 	"pmove/internal/topo"
 )
 
-// RunSTREAM executes the STREAM benchmark through the BenchmarkInterface
-// path: "P-MoVE first copies the benchmark source codes to the target
-// system … After the benchmark, P-MoVE parses the results and creates a
-// BenchmarkInterface with the corresponding BenchmarkResult."
+// RunSTREAM executes the STREAM benchmark with a background context.
+//
+// Deprecated: use RunSTREAMContext.
 func (d *Daemon) RunSTREAM(host string, threads int) (*kb.Benchmark, error) {
+	return d.RunSTREAMContext(context.Background(), host, threads)
+}
+
+// RunSTREAMContext executes the STREAM benchmark through the
+// BenchmarkInterface path: "P-MoVE first copies the benchmark source
+// codes to the target system … After the benchmark, P-MoVE parses the
+// results and creates a BenchmarkInterface with the corresponding
+// BenchmarkResult." Cancellation is honored between kernels.
+func (d *Daemon) RunSTREAMContext(ctx context.Context, host string, threads int) (*kb.Benchmark, error) {
+	ctx, done := d.opStart(ctx, "stream")
+	b, err := d.runSTREAM(ctx, host, threads)
+	done(err)
+	return b, err
+}
+
+func (d *Daemon) runSTREAM(ctx context.Context, host string, threads int) (*kb.Benchmark, error) {
 	t, err := d.Target(host)
 	if err != nil {
 		return nil, err
@@ -39,6 +55,9 @@ func (d *Daemon) RunSTREAM(host string, threads int) (*kb.Benchmark, error) {
 		StartNanos: start,
 	}
 	for _, spec := range specs {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: stream %s: %w", host, err)
+		}
 		exec, err := t.Machine.Run(spec, pinning)
 		if err != nil {
 			return nil, fmt.Errorf("core: stream %s: %w", spec.Name, err)
@@ -49,14 +68,31 @@ func (d *Daemon) RunSTREAM(host string, threads int) (*kb.Benchmark, error) {
 		})
 	}
 	bench.EndNanos = int64(t.Machine.Now() * 1e9)
-	if err := k.Attach(bench); err != nil {
+	if err := d.attachAndPersist(k, bench); err != nil {
 		return nil, err
 	}
-	return bench, d.persistKB(host)
+	return bench, nil
 }
 
-// RunHPCG executes the HPCG proxy benchmark.
+// RunHPCG executes the HPCG proxy benchmark with a background context.
+//
+// Deprecated: use RunHPCGContext.
 func (d *Daemon) RunHPCG(host string, threads, n int) (*kb.Benchmark, error) {
+	return d.RunHPCGContext(context.Background(), host, threads, n)
+}
+
+// RunHPCGContext executes the HPCG proxy benchmark.
+func (d *Daemon) RunHPCGContext(ctx context.Context, host string, threads, n int) (*kb.Benchmark, error) {
+	ctx, done := d.opStart(ctx, "hpcg")
+	b, err := d.runHPCG(ctx, host, threads, n)
+	done(err)
+	return b, err
+}
+
+func (d *Daemon) runHPCG(ctx context.Context, host string, threads, n int) (*kb.Benchmark, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: hpcg %s: %w", host, err)
+	}
 	t, err := d.Target(host)
 	if err != nil {
 		return nil, err
@@ -84,24 +120,45 @@ func (d *Daemon) RunHPCG(host string, threads, n int) (*kb.Benchmark, error) {
 			Params: map[string]string{"n": fmt.Sprintf("%d", n), "threads": fmt.Sprintf("%d", threads)},
 		}},
 	}
-	if err := k.Attach(bench); err != nil {
+	if err := d.attachAndPersist(k, bench); err != nil {
 		return nil, err
 	}
-	return bench, d.persistKB(host)
+	return bench, nil
 }
 
-// ConstructCARM builds (or recalls) the CARM model for a host at the given
-// ISA and thread count. The KB caches microbenchmark results, "allowing
-// for a re-construction of the CARM plot without the need to re-run all
-// the microbenchmarks".
+// ConstructCARM builds the CARM model with a background context.
+//
+// Deprecated: use ConstructCARMContext.
 func (d *Daemon) ConstructCARM(host string, isa topo.ISA, threads int) (*carm.Model, error) {
+	return d.ConstructCARMContext(context.Background(), host, isa, threads)
+}
+
+// ConstructCARMContext builds (or recalls) the CARM model for a host at
+// the given ISA and thread count. The KB caches microbenchmark results,
+// "allowing for a re-construction of the CARM plot without the need to
+// re-run all the microbenchmarks".
+func (d *Daemon) ConstructCARMContext(ctx context.Context, host string, isa topo.ISA, threads int) (*carm.Model, error) {
+	ctx, done := d.opStart(ctx, "carm_construct")
+	m, err := d.constructCARM(ctx, host, isa, threads)
+	done(err)
+	return m, err
+}
+
+func (d *Daemon) constructCARM(ctx context.Context, host string, isa topo.ISA, threads int) (*carm.Model, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: carm %s: %w", host, err)
+	}
 	k, err := d.KB(host)
 	if err != nil {
 		return nil, err
 	}
-	// Cache lookup.
+	// Cache lookup: the benchmark list is daemon-shared KB state, so read
+	// it under the same lock that guards attachments.
 	want := map[string]string{"isa": string(isa), "threads": fmt.Sprintf("%d", threads)}
-	for _, b := range k.Benchmarks("carm") {
+	d.kbMu.Lock()
+	cached := k.Benchmarks("carm")
+	d.kbMu.Unlock()
+	for _, b := range cached {
 		if _, ok := b.Result("peak_flops", want); ok {
 			return carm.FromBenchmark(b)
 		}
@@ -116,10 +173,7 @@ func (d *Daemon) ConstructCARM(host string, isa topo.ISA, threads int) (*carm.Mo
 		return nil, err
 	}
 	bench := model.ToBenchmark("bench:"+d.nextTag(host), start, int64(t.Machine.Now()*1e9))
-	if err := k.Attach(bench); err != nil {
-		return nil, err
-	}
-	if err := d.persistKB(host); err != nil {
+	if err := d.attachAndPersist(k, bench); err != nil {
 		return nil, err
 	}
 	return model, nil

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -20,6 +21,7 @@ import (
 	"pmove/internal/abst"
 	"pmove/internal/dashboard"
 	"pmove/internal/docdb"
+	"pmove/internal/introspect"
 	"pmove/internal/kb"
 	"pmove/internal/machine"
 	"pmove/internal/pmu"
@@ -62,18 +64,33 @@ type Target struct {
 }
 
 // Daemon is the P-MoVE host process.
+//
+// Locking discipline: d.mu guards the daemon's own registries (targets,
+// kbs, seq, sink) and is never held across an operation; d.kbMu
+// serializes KB entry attachment and persistence, since kb.KB is not
+// internally synchronized and concurrent Monitor/Observe sessions all
+// mutate their host's KB. Per-target state (Machine, PMCD) is owned by
+// whichever session runs on that target — concurrent operations against
+// the *same* target share a virtual clock and must be serialized by the
+// caller; operations on different targets are safe in parallel.
 type Daemon struct {
 	Env      Env
 	Docs     *docdb.DB
 	TS       *tsdb.DB
 	Registry *abst.Registry
 	Gen      *dashboard.Generator
+	// Introspection is the self-observability layer; nil when disabled
+	// (every instrumented path is nil-safe and near-free then).
+	Introspection *introspect.Introspector
 
 	mu      sync.Mutex
 	targets map[string]*Target
 	kbs     map[string]*kb.KB
 	seq     uint64
 	sink    telemetry.PointSink
+
+	// kbMu serializes Attach+Persist on the per-host KBs.
+	kbMu sync.Mutex
 }
 
 // SetTelemetrySink redirects all subsequent monitoring/observation
@@ -84,34 +101,42 @@ func (d *Daemon) SetTelemetrySink(sink telemetry.PointSink) {
 	d.mu.Lock()
 	d.sink = sink
 	d.mu.Unlock()
+	d.wireSinkIntrospection(sink)
+}
+
+// wireSinkIntrospection attaches the self-observability layer to a
+// resilient remote sink's transport, so its retries, failures and
+// breaker transitions land in the transport.tsdb.* self metrics.
+func (d *Daemon) wireSinkIntrospection(sink telemetry.PointSink) {
+	if d.Introspection == nil {
+		return
+	}
+	if tc, ok := sink.(*tsdb.Client); ok {
+		tc.Transport().SetIntrospection(d.Introspection, "tsdb")
+	}
 }
 
 // newCollector builds the collector for one session, honoring the
-// configured remote sink.
+// configured remote sink and the daemon's introspection layer. The sink
+// is read under d.mu so a concurrent SetTelemetrySink on a hot attach
+// path is always observed whole; the collector keeps its own immutable
+// copy afterwards.
 func (d *Daemon) newCollector(t *Target) *telemetry.Collector {
 	c := telemetry.NewCollector(d.TS, t.Pipeline)
 	d.mu.Lock()
 	c.Sink = d.sink
 	d.mu.Unlock()
+	c.Self = d.Introspection
 	return c
 }
 
 // New creates a daemon with embedded databases and the built-in
 // abstraction-layer registry.
+//
+// Deprecated: use NewWith (functional options); New(env) is equivalent to
+// NewWith(WithEnv(env)) and kept for compatibility.
 func New(env Env) (*Daemon, error) {
-	reg, err := abst.DefaultRegistry()
-	if err != nil {
-		return nil, err
-	}
-	return &Daemon{
-		Env:      env,
-		Docs:     docdb.New(),
-		TS:       tsdb.New(),
-		Registry: reg,
-		Gen:      dashboard.NewGenerator("UUkm1881"),
-		targets:  map[string]*Target{},
-		kbs:      map[string]*kb.KB{},
-	}, nil
+	return NewWith(WithEnv(env))
 }
 
 // AttachTarget registers a target system with the daemon, building its
@@ -154,10 +179,27 @@ func (d *Daemon) Hosts() []string {
 	return out
 }
 
-// Probe runs Figure 3 steps ①–③ for a target: the probing module runs on
-// the target, the probe document comes back to the host, the KB is
-// generated from it and inserted into the document database.
+// Probe runs Figure 3 steps ①–③ with a background context.
+//
+// Deprecated: use ProbeContext.
 func (d *Daemon) Probe(host string) (*kb.KB, error) {
+	return d.ProbeContext(context.Background(), host)
+}
+
+// ProbeContext runs Figure 3 steps ①–③ for a target: the probing module
+// runs on the target, the probe document comes back to the host, the KB
+// is generated from it and inserted into the document database.
+func (d *Daemon) ProbeContext(ctx context.Context, host string) (*kb.KB, error) {
+	ctx, done := d.opStart(ctx, "probe")
+	k, err := d.probe(ctx, host)
+	done(err)
+	return k, err
+}
+
+func (d *Daemon) probe(ctx context.Context, host string) (*kb.KB, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: probe %s: %w", host, err)
+	}
 	t, err := d.Target(host)
 	if err != nil {
 		return nil, err
@@ -183,7 +225,10 @@ func (d *Daemon) Probe(host string) (*kb.KB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := k.Persist(d.Docs); err != nil {
+	d.kbMu.Lock()
+	err = k.Persist(d.Docs)
+	d.kbMu.Unlock()
+	if err != nil {
 		return nil, err
 	}
 	d.mu.Lock()
@@ -203,12 +248,17 @@ func (d *Daemon) KB(host string) (*kb.KB, error) {
 	return k, nil
 }
 
-// persistKB re-inserts a host's KB after it changed ("Step ③ re-occurs
-// every time KB changes").
-func (d *Daemon) persistKB(host string) error {
-	k, err := d.KB(host)
-	if err != nil {
-		return err
+// attachAndPersist attaches entries to a host's KB and re-inserts it
+// ("Step ③ re-occurs every time KB changes"). Serialized under d.kbMu:
+// kb.KB has no internal locking, and concurrent sessions on the same
+// host otherwise race on the entry list.
+func (d *Daemon) attachAndPersist(k *kb.KB, entries ...kb.Entry) error {
+	d.kbMu.Lock()
+	defer d.kbMu.Unlock()
+	for _, e := range entries {
+		if err := k.Attach(e); err != nil {
+			return err
+		}
 	}
 	return k.Persist(d.Docs)
 }
@@ -222,6 +272,20 @@ func (d *Daemon) nextTag(host string) string {
 	return kb.NewUUID(host, s)
 }
 
+// MonitorRequest configures a Scenario A run, mirroring ObserveRequest so
+// the public surface evolves by adding fields instead of parameters.
+type MonitorRequest struct {
+	// Host is the attached target to monitor.
+	Host string
+	// Metrics are the software metrics to sample; empty selects the KB's
+	// default SWTelemetry set.
+	Metrics []string
+	// FreqHz is the sampling frequency.
+	FreqHz float64
+	// DurationSeconds bounds the session (virtual seconds).
+	DurationSeconds float64
+}
+
 // MonitorResult is the outcome of a Scenario A run.
 type MonitorResult struct {
 	Observation *kb.Observation
@@ -229,11 +293,35 @@ type MonitorResult struct {
 	Dashboard   *dashboard.Dashboard
 }
 
-// Monitor runs Scenario A: sampling software-emitted metrics to monitor
-// system state. The KB supplies the sampler configuration; dashboards are
-// generated before the target starts reporting ("the dashboards are
-// already generated on the host when the target starts reporting").
+// Monitor runs Scenario A with the legacy positional signature and a
+// background context.
+//
+// Deprecated: use MonitorContext with a MonitorRequest.
 func (d *Daemon) Monitor(host string, metrics []string, freqHz, durationSeconds float64) (*MonitorResult, error) {
+	return d.MonitorContext(context.Background(), MonitorRequest{
+		Host: host, Metrics: metrics, FreqHz: freqHz, DurationSeconds: durationSeconds,
+	})
+}
+
+// MonitorContext runs Scenario A: sampling software-emitted metrics to
+// monitor system state. The KB supplies the sampler configuration;
+// dashboards are generated before the target starts reporting ("the
+// dashboards are already generated on the host when the target starts
+// reporting"). Cancelling ctx stops the session at the next tick and
+// returns the context's error wrapped.
+func (d *Daemon) MonitorContext(ctx context.Context, req MonitorRequest) (*MonitorResult, error) {
+	ctx, done := d.opStart(ctx, "monitor")
+	res, err := d.monitor(ctx, req)
+	done(err)
+	return res, err
+}
+
+func (d *Daemon) monitor(ctx context.Context, req MonitorRequest) (*MonitorResult, error) {
+	host, metrics := req.Host, req.Metrics
+	freqHz, durationSeconds := req.FreqHz, req.DurationSeconds
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: monitor %s: %w", host, err)
+	}
 	t, err := d.Target(host)
 	if err != nil {
 		return nil, err
@@ -291,7 +379,7 @@ func (d *Daemon) Monitor(host string, metrics []string, freqHz, durationSeconds 
 	if err != nil {
 		return nil, err
 	}
-	stats, err := sess.Run()
+	stats, err := sess.RunContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -302,10 +390,7 @@ func (d *Daemon) Monitor(host string, metrics []string, freqHz, durationSeconds 
 		obs.Report += fmt.Sprintf(" (degraded: %d spilled, %d replayed, %d evicted, %d pending)",
 			stats.Spilled, stats.Replayed, stats.SpillDropped, stats.Pending)
 	}
-	if err := k.Attach(obs); err != nil {
-		return nil, err
-	}
-	if err := d.persistKB(host); err != nil {
+	if err := d.attachAndPersist(k, obs); err != nil {
 		return nil, err
 	}
 	return &MonitorResult{Observation: obs, Stats: stats, Dashboard: dash}, nil

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -48,12 +49,50 @@ type LiveCARMResult struct {
 	Summaries []carm.Summary
 }
 
-// LiveCARM runs a sequence of labelled kernels while sampling the
-// FP/memory PMU events of the target's vendor at freqHz, feeding every
+// LiveCARMRequest configures a live-CARM run, mirroring ObserveRequest
+// so new knobs are fields rather than parameters.
+type LiveCARMRequest struct {
+	// Host is the attached target.
+	Host string
+	// Model is the constructed CARM to plot against.
+	Model *carm.Model
+	// Phases are the labelled kernels to execute in sequence.
+	Phases []LiveCARMPhase
+	// Threads is the software thread count (balanced pinning).
+	Threads int
+	// FreqHz is the PMU sampling frequency.
+	FreqHz float64
+}
+
+// LiveCARM runs the live panel with the legacy positional signature and a
+// background context.
+//
+// Deprecated: use LiveCARMContext with a LiveCARMRequest.
+func (d *Daemon) LiveCARM(host string, model *carm.Model, phases []LiveCARMPhase, threads int, freqHz float64) (*LiveCARMResult, error) {
+	return d.LiveCARMContext(context.Background(), LiveCARMRequest{
+		Host: host, Model: model, Phases: phases, Threads: threads, FreqHz: freqHz,
+	})
+}
+
+// LiveCARMContext runs a sequence of labelled kernels while sampling the
+// FP/memory PMU events of the target's vendor at FreqHz, feeding every
 // snapshot into a live-CARM panel over the given model. This is the
 // §IV-B2 feature: "PMU-based metrics are sampled on a time-stamp basis and
 // used to plot the application points in real time on the generated CARM."
-func (d *Daemon) LiveCARM(host string, model *carm.Model, phases []LiveCARMPhase, threads int, freqHz float64) (*LiveCARMResult, error) {
+// Cancelling ctx stops between ticks and phases.
+func (d *Daemon) LiveCARMContext(ctx context.Context, req LiveCARMRequest) (*LiveCARMResult, error) {
+	ctx, done := d.opStart(ctx, "livecarm")
+	res, err := d.liveCARM(ctx, req)
+	done(err)
+	return res, err
+}
+
+func (d *Daemon) liveCARM(ctx context.Context, req LiveCARMRequest) (*LiveCARMResult, error) {
+	host, model := req.Host, req.Model
+	phases, threads, freqHz := req.Phases, req.Threads, req.FreqHz
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: live-CARM %s: %w", host, err)
+	}
 	t, err := d.Target(host)
 	if err != nil {
 		return nil, err
@@ -96,6 +135,9 @@ func (d *Daemon) LiveCARM(host string, model *carm.Model, phases []LiveCARMPhase
 
 	interval := 1 / freqHz
 	for _, ph := range phases {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: live-CARM %s: %w", host, err)
+		}
 		exec, err := t.Machine.Launch(ph.Workload, pinning)
 		if err != nil {
 			return nil, fmt.Errorf("core: live-CARM phase %s: %w", ph.Label, err)
@@ -109,6 +151,9 @@ func (d *Daemon) LiveCARM(host string, model *carm.Model, phases []LiveCARMPhase
 		panel.Feed(r0, ph.Label)
 		ticks := int(math.Ceil(exec.Duration/interval)) + 1
 		for i := 1; i <= ticks; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: live-CARM %s: %w", host, err)
+			}
 			target := exec.Start + float64(i)*interval
 			if target > exec.End() {
 				target = exec.End()
@@ -132,13 +177,31 @@ func (d *Daemon) LiveCARM(host string, model *carm.Model, phases []LiveCARMPhase
 	return &LiveCARMResult{Model: model, Panel: panel, Summaries: panel.Summarize()}, nil
 }
 
-// ObserveGPUKernel integrates an accelerator execution through the
+// ObserveGPUKernel integrates an accelerator execution with a background
+// context.
+//
+// Deprecated: use ObserveGPUKernelContext.
+func (d *Daemon) ObserveGPUKernel(host string, gpuID int, kernelName string, metrics map[string]float64) (*telemetry.Sample, error) {
+	return d.ObserveGPUKernelContext(context.Background(), host, gpuID, kernelName, metrics)
+}
+
+// ObserveGPUKernelContext integrates an accelerator execution through the
 // §III-D path: lacking live HW telemetry, "P-MoVE is tasked with creating
 // a wrapper script for initiating the kernel launch and configuring ncu to
 // record runtime HW performance events. Following these executions, it
 // analyzes the output from ncu, integrating these comprehensive
 // performance metrics into the KB through the ObservationInterface."
-func (d *Daemon) ObserveGPUKernel(host string, gpuID int, kernelName string, metrics map[string]float64) (*telemetry.Sample, error) {
+func (d *Daemon) ObserveGPUKernelContext(ctx context.Context, host string, gpuID int, kernelName string, metrics map[string]float64) (*telemetry.Sample, error) {
+	ctx, done := d.opStart(ctx, "observe_gpu")
+	s, err := d.observeGPU(ctx, host, gpuID, kernelName, metrics)
+	done(err)
+	return s, err
+}
+
+func (d *Daemon) observeGPU(ctx context.Context, host string, gpuID int, kernelName string, metrics map[string]float64) (*telemetry.Sample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: observe-gpu %s: %w", host, err)
+	}
 	t, err := d.Target(host)
 	if err != nil {
 		return nil, err
@@ -173,8 +236,8 @@ func (d *Daemon) ObserveGPUKernel(host string, gpuID int, kernelName string, met
 		refs = append(refs, meas)
 	}
 	obs := gpuObservation(host, tag, kernelName, gpuID, refs, ts)
-	if err := k.Attach(obs); err != nil {
+	if err := d.attachAndPersist(k, obs); err != nil {
 		return nil, err
 	}
-	return &sample, d.persistKB(host)
+	return &sample, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -57,11 +58,29 @@ type ObserveResult struct {
 	Queries []string
 }
 
-// Observe runs Scenario B (Figure 3, B1–B8): configure the PMUs from the
-// KB and abstraction layer, generate the pinned run script, start
+// Observe runs Scenario B with a background context.
+//
+// Deprecated: use ObserveContext.
+func (d *Daemon) Observe(req ObserveRequest) (*ObserveResult, error) {
+	return d.ObserveContext(context.Background(), req)
+}
+
+// ObserveContext runs Scenario B (Figure 3, B1–B8): configure the PMUs
+// from the KB and abstraction layer, generate the pinned run script, start
 // sampling, execute the kernel, stop sampling when it halts, and append an
 // ObservationInterface linking the metadata to the time-series rows.
-func (d *Daemon) Observe(req ObserveRequest) (*ObserveResult, error) {
+// Cancelling ctx stops the sampling loop at the next tick.
+func (d *Daemon) ObserveContext(ctx context.Context, req ObserveRequest) (*ObserveResult, error) {
+	ctx, done := d.opStart(ctx, "observe")
+	res, err := d.observe(ctx, req)
+	done(err)
+	return res, err
+}
+
+func (d *Daemon) observe(ctx context.Context, req ObserveRequest) (*ObserveResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: observe %s: %w", req.Host, err)
+	}
 	t, err := d.Target(req.Host)
 	if err != nil {
 		return nil, err
@@ -139,7 +158,7 @@ func (d *Daemon) Observe(req ObserveRequest) (*ObserveResult, error) {
 		return nil, err
 	}
 	ticks := uint64(math.Ceil(exec.Duration*req.FreqHz)) + 1
-	stats, err := sess.RunTicks(ticks)
+	stats, err := sess.RunTicksContext(ctx, ticks)
 	if err != nil {
 		return nil, err
 	}
@@ -167,9 +186,6 @@ func (d *Daemon) Observe(req ObserveRequest) (*ObserveResult, error) {
 	for i, hw := range pinning {
 		proc.Threads[fmt.Sprintf("t%d", i)] = hw
 	}
-	if err := k.Attach(proc); err != nil {
-		return nil, err
-	}
 	obs := &kb.Observation{
 		ID:          "obs:" + tag,
 		Type:        "ObservationInterface",
@@ -193,10 +209,7 @@ func (d *Daemon) Observe(req ObserveRequest) (*ObserveResult, error) {
 		"kernel %s on %d threads (%s): %.3fs at %.2f GHz, %.2f GFLOP/s, AI %.3f; sampled %d metrics at %g Hz (%.1f%% lost)",
 		req.Workload.Name, req.Threads, req.Pin, exec.Duration, exec.FreqGHz,
 		exec.GFLOPS, exec.AI, len(metrics), req.FreqHz, stats.LossPct)
-	if err := k.Attach(obs); err != nil {
-		return nil, err
-	}
-	if err := d.persistKB(req.Host); err != nil {
+	if err := d.attachAndPersist(k, proc, obs); err != nil {
 		return nil, err
 	}
 	return &ObserveResult{

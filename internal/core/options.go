@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"pmove/internal/abst"
+	"pmove/internal/dashboard"
+	"pmove/internal/docdb"
+	"pmove/internal/introspect"
+	"pmove/internal/introspect/selfexport"
+	"pmove/internal/kb"
+	"pmove/internal/telemetry"
+	"pmove/internal/tsdb"
+)
+
+// Option configures a Daemon at construction — the functional-options
+// form of the step-⓪ environment read, so new knobs (telemetry sinks,
+// introspection) compose without another positional parameter.
+type Option func(*Daemon)
+
+// WithEnv replaces the whole environment configuration.
+func WithEnv(env Env) Option {
+	return func(d *Daemon) { d.Env = env }
+}
+
+// WithInflux points the daemon's environment at an InfluxDB address.
+func WithInflux(addr string) Option {
+	return func(d *Daemon) { d.Env.InfluxAddr = addr }
+}
+
+// WithMongo points the daemon's environment at a MongoDB address.
+func WithMongo(addr string) Option {
+	return func(d *Daemon) { d.Env.MongoAddr = addr }
+}
+
+// WithGrafanaToken sets the visualization-layer token.
+func WithGrafanaToken(token string) Option {
+	return func(d *Daemon) { d.Env.GrafanaToken = token }
+}
+
+// WithTelemetrySink redirects monitoring/observation telemetry to sink
+// from the start (equivalent to calling SetTelemetrySink after New).
+func WithTelemetrySink(sink telemetry.PointSink) Option {
+	return func(d *Daemon) { d.sink = sink }
+}
+
+// WithIntrospection enables the self-observability layer: every daemon
+// operation is counted, timed and traced, the telemetry pipeline and
+// resilience transport report their internals, and after each operation
+// the registry is exported into the embedded TSDB under pmove.self.*.
+func WithIntrospection(opts ...introspect.Option) Option {
+	return func(d *Daemon) { d.Introspection = introspect.New(opts...) }
+}
+
+// NewWith creates a daemon from functional options. The environment
+// defaults to EnvFromOS(); databases are embedded.
+func NewWith(opts ...Option) (*Daemon, error) {
+	reg, err := abst.DefaultRegistry()
+	if err != nil {
+		return nil, err
+	}
+	d := &Daemon{
+		Env:      EnvFromOS(),
+		Docs:     docdb.New(),
+		TS:       tsdb.New(),
+		Registry: reg,
+		Gen:      dashboard.NewGenerator("UUkm1881"),
+		targets:  map[string]*Target{},
+		kbs:      map[string]*kb.KB{},
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	// WithTelemetrySink and WithIntrospection compose in either order:
+	// wire the sink's transport after all options have run.
+	d.wireSinkIntrospection(d.sink)
+	return d, nil
+}
+
+// opStart instruments one public daemon operation: it bumps the op's
+// counters, opens a span (child of whatever ctx carries), and returns the
+// span-carrying context plus the completion hook. With introspection
+// disabled both are free.
+func (d *Daemon) opStart(ctx context.Context, op string) (context.Context, func(error)) {
+	in := d.Introspection
+	if in == nil {
+		return ctx, func(error) {}
+	}
+	reg := in.Metrics()
+	reg.Counter("op." + op + ".total").Inc()
+	reg.Gauge("ops.inflight").Add(1)
+	ctx, span := in.StartSpan(ctx, "daemon."+op)
+	start := time.Now()
+	return ctx, func(err error) {
+		span.End(err)
+		reg.Gauge("ops.inflight").Add(-1)
+		reg.Histogram("op." + op + ".seconds").Observe(time.Since(start).Seconds())
+		if err != nil {
+			reg.Counter("op." + op + ".errors").Inc()
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				reg.Counter("ops.canceled").Inc()
+			}
+		}
+		d.exportSelf()
+	}
+}
+
+// exportSelf ships the self-metrics registry into the embedded TSDB under
+// the pmove.self.* namespace — the monitor writing its own health through
+// the same store it monitors targets with. Export failures only count;
+// self-telemetry must never wedge the operation that emitted it.
+func (d *Daemon) exportSelf() {
+	in := d.Introspection
+	if in == nil {
+		return
+	}
+	if _, err := selfexport.Export(in, d.TS, time.Now().UnixNano()); err != nil {
+		in.Metrics().Counter("export.errors").Inc()
+	}
+}
+
+// SelfSnapshot freezes the daemon's self-metrics registry (empty when
+// introspection is disabled).
+func (d *Daemon) SelfSnapshot() introspect.Snapshot {
+	return d.Introspection.Snapshot()
+}
+
+// SelfSpans returns the finished self-observability spans, oldest first.
+func (d *Daemon) SelfSpans() []introspect.Span {
+	return d.Introspection.Tracer().Spans()
+}
+
+// MetaDashboard generates the dashboard over the daemon's own
+// pmove.self.* series — the digital twin monitoring itself.
+func (d *Daemon) MetaDashboard() (*dashboard.Dashboard, error) {
+	if d.Introspection == nil {
+		return nil, fmt.Errorf("core: introspection disabled (construct with WithIntrospection)")
+	}
+	return selfexport.MetaDashboard(d.Gen.DatasourceUID, d.Introspection.Prefix(), d.SelfSnapshot())
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -17,17 +18,36 @@ type ScanResult struct {
 	Report string
 }
 
-// Scan runs the default anomaly detectors over an observation's linked
-// telemetry — the automated-analysis loop of §III-B. Hardware-counter
-// measurements are scanned on the CPUs the observation was pinned to
-// (idle CPUs carry only baseline counts); software metrics are scanned on
-// their full instance domains.
+// Scan runs the anomaly detectors with a background context.
+//
+// Deprecated: use ScanContext.
 func (d *Daemon) Scan(host, tag string) (*ScanResult, error) {
+	return d.ScanContext(context.Background(), host, tag)
+}
+
+// ScanContext runs the default anomaly detectors over an observation's
+// linked telemetry — the automated-analysis loop of §III-B.
+// Hardware-counter measurements are scanned on the CPUs the observation
+// was pinned to (idle CPUs carry only baseline counts); software metrics
+// are scanned on their full instance domains.
+func (d *Daemon) ScanContext(ctx context.Context, host, tag string) (*ScanResult, error) {
+	ctx, done := d.opStart(ctx, "scan")
+	res, err := d.scan(ctx, host, tag)
+	done(err)
+	return res, err
+}
+
+func (d *Daemon) scan(ctx context.Context, host, tag string) (*ScanResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: scan %s: %w", host, err)
+	}
 	k, err := d.KB(host)
 	if err != nil {
 		return nil, err
 	}
+	d.kbMu.Lock()
 	obs, ok := k.FindObservation(tag)
+	d.kbMu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("core: host %s has no observation %q", host, tag)
 	}

@@ -10,6 +10,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"pmove/internal/kb"
 	"pmove/internal/ontology"
@@ -97,15 +98,28 @@ func (d *Dashboard) Validate() error {
 }
 
 // Generator builds dashboards from KB views. DatasourceUID names the
-// tsdb connection registered in the visualization layer.
+// tsdb connection registered in the visualization layer. A Generator is
+// safe for concurrent use: parallel Monitor sessions on different
+// targets generate their dashboards through the daemon's one shared
+// instance.
 type Generator struct {
 	DatasourceUID string
-	nextID        int
+
+	mu     sync.Mutex
+	nextID int
 }
 
 // NewGenerator creates a generator.
 func NewGenerator(datasourceUID string) *Generator {
 	return &Generator{DatasourceUID: datasourceUID, nextID: 1}
+}
+
+// allocID hands out the next dashboard ID.
+func (g *Generator) allocID() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.nextID++
+	return g.nextID
 }
 
 func (g *Generator) ds() Datasource {
@@ -120,9 +134,8 @@ func (g *Generator) FromView(v *kb.View) (*Dashboard, error) {
 	if v == nil || len(v.Nodes) == 0 {
 		return nil, fmt.Errorf("dashboard: empty view")
 	}
-	g.nextID++
 	d := &Dashboard{
-		ID:    g.nextID,
+		ID:    g.allocID(),
 		Title: v.Title,
 		Time:  TimeRange{From: "now-5m", To: "now"},
 	}
@@ -162,9 +175,8 @@ func (g *Generator) ForObservation(o *kb.Observation) (*Dashboard, error) {
 	if len(o.Metrics) == 0 {
 		return nil, fmt.Errorf("dashboard: observation %s sampled no metrics", o.Tag)
 	}
-	g.nextID++
 	d := &Dashboard{
-		ID:    g.nextID,
+		ID:    g.allocID(),
 		Title: fmt.Sprintf("observation %s (%s)", o.Tag, o.Command),
 		Time:  TimeRange{From: "now-5m", To: "now"},
 	}

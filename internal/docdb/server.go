@@ -2,6 +2,7 @@ package docdb
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -39,10 +40,29 @@ type Server struct {
 	ln    net.Listener
 	conns map[net.Conn]bool
 	wg    sync.WaitGroup
+	obs   func(op string, err error)
 }
 
 // NewServer wraps a DB.
 func NewServer(db *DB) *Server { return &Server{db: db, conns: map[net.Conn]bool{}} }
+
+// SetObserver installs a per-op hook called after every dispatched
+// request with the op name and its outcome — same shape as
+// tsdb.Server.SetObserver, for the daemon's self-observability wiring.
+func (s *Server) SetObserver(fn func(op string, err error)) {
+	s.mu.Lock()
+	s.obs = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) observe(op string, err error) {
+	s.mu.Lock()
+	fn := s.obs
+	s.mu.Unlock()
+	if fn != nil {
+		fn(op, err)
+	}
+}
 
 // Listen starts serving and returns the bound address.
 func (s *Server) Listen(addr string) (string, error) {
@@ -90,7 +110,13 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
-		if err := enc.Encode(s.dispatch(&req)); err != nil {
+		resp := s.dispatch(&req)
+		var derr error
+		if resp.Error != "" {
+			derr = errors.New(resp.Error)
+		}
+		s.observe(strings.ToLower(req.Op), derr)
+		if err := enc.Encode(resp); err != nil {
 			return
 		}
 	}
@@ -203,19 +229,28 @@ func DialPolicy(addr string, pol resilience.Policy) (*Client, error) {
 // Stats exposes the transport's fault counters.
 func (c *Client) Stats() resilience.TransportStats { return c.tr.Stats() }
 
-// Ping checks liveness end to end.
+// Transport exposes the underlying resilient transport for
+// self-observability wiring (Transport.SetIntrospection).
+func (c *Client) Transport() *resilience.Transport { return c.tr }
+
+// Ping checks liveness end to end with a background context.
 func (c *Client) Ping() error {
-	_, err := c.roundTrip(request{Op: "ping"})
+	return c.PingContext(context.Background())
+}
+
+// PingContext checks liveness end to end.
+func (c *Client) PingContext(ctx context.Context) error {
+	_, err := c.roundTrip(ctx, request{Op: "ping"})
 	return err
 }
 
-func (c *Client) roundTrip(req request) (response, error) {
+func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
 	b, err := json.Marshal(req)
 	if err != nil {
 		return response{}, err
 	}
 	var resp response
-	err = c.tr.Do(func(w *resilience.Wire) error {
+	err = c.tr.DoContext(ctx, func(w *resilience.Wire) error {
 		if _, err := fmt.Fprintf(w.Conn, "%s\n", b); err != nil {
 			return err
 		}
@@ -238,25 +273,45 @@ func (c *Client) roundTrip(req request) (response, error) {
 
 // Insert stores a document remotely and returns its id.
 func (c *Client) Insert(collection string, d Doc) (string, error) {
-	resp, err := c.roundTrip(request{Op: "insert", Collection: collection, Doc: d})
+	return c.InsertContext(context.Background(), collection, d)
+}
+
+// InsertContext stores a document remotely and returns its id.
+func (c *Client) InsertContext(ctx context.Context, collection string, d Doc) (string, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "insert", Collection: collection, Doc: d})
 	return resp.ID, err
 }
 
 // Upsert inserts or replaces a document remotely by its _id.
 func (c *Client) Upsert(collection string, d Doc) (string, error) {
-	resp, err := c.roundTrip(request{Op: "upsert", Collection: collection, Doc: d})
+	return c.UpsertContext(context.Background(), collection, d)
+}
+
+// UpsertContext inserts or replaces a document remotely by its _id.
+func (c *Client) UpsertContext(ctx context.Context, collection string, d Doc) (string, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "upsert", Collection: collection, Doc: d})
 	return resp.ID, err
 }
 
 // Find queries a collection remotely.
 func (c *Client) Find(collection string, f *Filter) ([]Doc, error) {
-	resp, err := c.roundTrip(request{Op: "find", Collection: collection, Filter: f})
+	return c.FindContext(context.Background(), collection, f)
+}
+
+// FindContext queries a collection remotely.
+func (c *Client) FindContext(ctx context.Context, collection string, f *Filter) ([]Doc, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "find", Collection: collection, Filter: f})
 	return resp.Docs, err
 }
 
 // Get fetches one document by id.
 func (c *Client) Get(collection, id string) (Doc, error) {
-	resp, err := c.roundTrip(request{Op: "get", Collection: collection, ID: id})
+	return c.GetContext(context.Background(), collection, id)
+}
+
+// GetContext fetches one document by id.
+func (c *Client) GetContext(ctx context.Context, collection, id string) (Doc, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "get", Collection: collection, ID: id})
 	if err != nil {
 		return nil, err
 	}
@@ -268,7 +323,12 @@ func (c *Client) Get(collection, id string) (Doc, error) {
 
 // Count counts matching documents.
 func (c *Client) Count(collection string, f *Filter) (int, error) {
-	resp, err := c.roundTrip(request{Op: "count", Collection: collection, Filter: f})
+	return c.CountContext(context.Background(), collection, f)
+}
+
+// CountContext counts matching documents.
+func (c *Client) CountContext(ctx context.Context, collection string, f *Filter) (int, error) {
+	resp, err := c.roundTrip(ctx, request{Op: "count", Collection: collection, Filter: f})
 	return resp.Count, err
 }
 

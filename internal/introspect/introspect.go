@@ -1,0 +1,119 @@
+// Package introspect is P-MoVE's self-observability layer: the monitor
+// monitoring itself. A framework whose job is watching other systems is
+// blind to its own regressions unless its daemon, telemetry pipeline,
+// database servers and resilience transport emit telemetry too — the gap
+// HPC operations teams hit first (Ciorba, "The importance and need for
+// system monitoring and analysis in HPC operations"), and one the
+// unified-ontology line of work treats as a first-class graph entity.
+//
+// The package is stdlib-only and has three parts:
+//
+//   - a concurrent metrics registry (atomic counters, float gauges, and
+//     fixed-bucket histograms for operation latencies) with snapshot and
+//     delta semantics;
+//   - a lightweight tracer: spans with parent links carried through
+//     context.Context, finished spans kept in a bounded ring;
+//   - an exporter that writes the registry into the embedded TSDB under
+//     the "pmove.self.*" measurement namespace, plus an auto-generated
+//     "meta" dashboard over those series — the digital twin observing
+//     itself through its own visualization path.
+//
+// Everything is nil-safe: a nil *Introspector (introspection disabled)
+// hands out nil registries, counters and spans whose methods are no-ops,
+// so instrumented call sites carry no conditionals and near-zero cost.
+package introspect
+
+import "context"
+
+// DefaultPrefix is the metric-name prefix the exporter prepends: every
+// self-observability series lives under "pmove.self.*".
+const DefaultPrefix = "pmove.self"
+
+// DefaultSpanCapacity bounds the tracer's finished-span ring.
+const DefaultSpanCapacity = 4096
+
+// Introspector bundles the registry and tracer one daemon (or server)
+// instance reports into.
+type Introspector struct {
+	metrics *Registry
+	tracer  *Tracer
+	prefix  string
+}
+
+// Option configures an Introspector.
+type Option func(*Introspector)
+
+// WithSpanCapacity bounds the finished-span ring (default
+// DefaultSpanCapacity); older spans are dropped, and counted.
+func WithSpanCapacity(n int) Option {
+	return func(in *Introspector) { in.tracer = NewTracer(n) }
+}
+
+// WithPrefix overrides the exported metric namespace (default
+// DefaultPrefix). Tests use it to isolate namespaces.
+func WithPrefix(p string) Option {
+	return func(in *Introspector) {
+		if p != "" {
+			in.prefix = p
+		}
+	}
+}
+
+// New builds an enabled Introspector.
+func New(opts ...Option) *Introspector {
+	in := &Introspector{
+		metrics: NewRegistry(),
+		tracer:  NewTracer(DefaultSpanCapacity),
+		prefix:  DefaultPrefix,
+	}
+	for _, o := range opts {
+		o(in)
+	}
+	return in
+}
+
+// Enabled reports whether in is live (non-nil).
+func (in *Introspector) Enabled() bool { return in != nil }
+
+// Metrics returns the registry, nil when disabled (the nil registry is
+// itself safe to use).
+func (in *Introspector) Metrics() *Registry {
+	if in == nil {
+		return nil
+	}
+	return in.metrics
+}
+
+// Tracer returns the span tracer, nil when disabled.
+func (in *Introspector) Tracer() *Tracer {
+	if in == nil {
+		return nil
+	}
+	return in.tracer
+}
+
+// Prefix returns the exported namespace prefix.
+func (in *Introspector) Prefix() string {
+	if in == nil || in.prefix == "" {
+		return DefaultPrefix
+	}
+	return in.prefix
+}
+
+// StartSpan opens a span named name as a child of the span in ctx (if
+// any), returning the child context. Safe on a nil Introspector: the
+// context passes through and the returned span's End is a no-op.
+func (in *Introspector) StartSpan(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	if in == nil {
+		return ctx, nil
+	}
+	return in.tracer.Start(ctx, name)
+}
+
+// Snapshot captures the registry's current state.
+func (in *Introspector) Snapshot() Snapshot {
+	if in == nil {
+		return Snapshot{}
+	}
+	return in.metrics.Snapshot()
+}

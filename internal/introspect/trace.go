@@ -1,0 +1,164 @@
+package introspect
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Span is one finished operation: identity, parentage, timing and error.
+// Parent is 0 for root spans.
+type Span struct {
+	ID     uint64
+	Parent uint64
+	Name   string
+	Start  int64 // UnixNano
+	End    int64 // UnixNano
+	Err    string
+}
+
+// DurationSeconds returns the span's wall time.
+func (s Span) DurationSeconds() float64 {
+	return float64(s.End-s.Start) / 1e9
+}
+
+type spanCtxKey struct{}
+
+// SpanIDFromContext returns the active span id carried by ctx, 0 if none.
+func SpanIDFromContext(ctx context.Context) uint64 {
+	id, _ := ctx.Value(spanCtxKey{}).(uint64)
+	return id
+}
+
+// ActiveSpan is an open span; End closes it into the tracer's ring.
+// Nil-safe: methods on a nil *ActiveSpan are no-ops.
+type ActiveSpan struct {
+	t    *Tracer
+	span Span
+	done bool
+}
+
+// ID returns the span id (0 on nil).
+func (a *ActiveSpan) ID() uint64 {
+	if a == nil {
+		return 0
+	}
+	return a.span.ID
+}
+
+// End closes the span, recording err (if any). Idempotent.
+func (a *ActiveSpan) End(err error) {
+	if a == nil || a.done {
+		return
+	}
+	a.done = true
+	a.span.End = a.t.now()
+	if err != nil {
+		a.span.Err = err.Error()
+	}
+	a.t.record(a.span)
+}
+
+// Tracer allocates span ids and keeps finished spans in a bounded ring.
+// All methods are safe for concurrent use and on a nil receiver.
+type Tracer struct {
+	mu      sync.Mutex
+	nextID  uint64
+	cap     int
+	spans   []Span // ring, oldest first
+	dropped uint64
+
+	// nowNanos is swappable for deterministic tests.
+	nowNanos func() int64
+}
+
+// NewTracer builds a tracer keeping at most capacity finished spans
+// (DefaultSpanCapacity when <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanCapacity
+	}
+	return &Tracer{cap: capacity, nowNanos: func() int64 { return time.Now().UnixNano() }}
+}
+
+func (t *Tracer) now() int64 {
+	t.mu.Lock()
+	f := t.nowNanos
+	t.mu.Unlock()
+	return f()
+}
+
+// Start opens a span named name, child of the span in ctx if any, and
+// returns a context carrying the new span. Nil-safe.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *ActiveSpan) {
+	if t == nil {
+		return ctx, nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	start := t.nowNanos()
+	t.mu.Unlock()
+	a := &ActiveSpan{t: t, span: Span{
+		ID:     id,
+		Parent: SpanIDFromContext(ctx),
+		Name:   name,
+		Start:  start,
+	}}
+	return context.WithValue(ctx, spanCtxKey{}, id), a
+}
+
+func (t *Tracer) record(s Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= t.cap {
+		t.spans = t.spans[1:]
+		t.dropped++
+	}
+	t.spans = append(t.spans, s)
+}
+
+// Spans returns the finished spans, oldest first.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Dropped returns how many finished spans the ring evicted.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Children returns the finished spans whose parent is id, oldest first.
+func (t *Tracer) Children(id uint64) []Span {
+	var out []Span
+	for _, s := range t.Spans() {
+		if s.Parent == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Roots returns the finished spans with no parent, oldest first.
+func (t *Tracer) Roots() []Span { return t.Children(0) }
+
+// Find returns the newest finished span with the given name.
+func (t *Tracer) Find(name string) (Span, bool) {
+	spans := t.Spans()
+	for i := len(spans) - 1; i >= 0; i-- {
+		if spans[i].Name == name {
+			return spans[i], true
+		}
+	}
+	return Span{}, false
+}

@@ -1,0 +1,119 @@
+package introspect
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// fixedClock installs a deterministic nanosecond clock on a tracer.
+func fixedClock(t *Tracer) *int64 {
+	var now int64
+	t.nowNanos = func() int64 { now += 1000; return now }
+	return &now
+}
+
+// TestSpanTree builds a three-level operation and asserts the recorded
+// parent links reconstruct it.
+func TestSpanTree(t *testing.T) {
+	tr := NewTracer(16)
+	fixedClock(tr)
+	ctx := context.Background()
+
+	ctx1, op := tr.Start(ctx, "daemon.monitor")
+	ctx2, sess := tr.Start(ctx1, "telemetry.session")
+	_, write := tr.Start(ctx2, "tsdb.write")
+	write.End(nil)
+	_, replay := tr.Start(ctx2, "telemetry.replay")
+	replay.End(errors.New("sink down"))
+	sess.End(nil)
+	op.End(nil)
+
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("finished spans = %d, want 4", len(spans))
+	}
+	root, ok := tr.Find("daemon.monitor")
+	if !ok || root.Parent != 0 {
+		t.Fatalf("root span: %+v", root)
+	}
+	kids := tr.Children(root.ID)
+	if len(kids) != 1 || kids[0].Name != "telemetry.session" {
+		t.Fatalf("root children: %+v", kids)
+	}
+	grand := tr.Children(kids[0].ID)
+	if len(grand) != 2 {
+		t.Fatalf("session children: %+v", grand)
+	}
+	names := map[string]bool{}
+	for _, s := range grand {
+		names[s.Name] = true
+	}
+	if !names["tsdb.write"] || !names["telemetry.replay"] {
+		t.Errorf("session children names: %v", names)
+	}
+	rep, _ := tr.Find("telemetry.replay")
+	if rep.Err != "sink down" {
+		t.Errorf("replay err = %q", rep.Err)
+	}
+	if root.End <= root.Start {
+		t.Error("root span has no duration")
+	}
+	if root.DurationSeconds() <= 0 {
+		t.Error("DurationSeconds not positive")
+	}
+}
+
+// TestTracerRing checks the bounded ring drops oldest and counts drops.
+func TestTracerRing(t *testing.T) {
+	tr := NewTracer(3)
+	fixedClock(tr)
+	for i := 0; i < 5; i++ {
+		_, s := tr.Start(context.Background(), fmt.Sprintf("s%d", i))
+		s.End(nil)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("ring holds %d, want 3", len(spans))
+	}
+	if spans[0].Name != "s2" || spans[2].Name != "s4" {
+		t.Errorf("ring contents: %v", spans)
+	}
+	if tr.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", tr.Dropped())
+	}
+}
+
+// TestTracerConcurrent opens and closes spans from many goroutines; with
+// -race this is the tracer's safety proof.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(128)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				ctx, parent := tr.Start(context.Background(), "parent")
+				_, child := tr.Start(ctx, "child")
+				child.End(nil)
+				parent.End(nil)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 128 {
+		t.Errorf("ring holds %d, want cap 128", got)
+	}
+	if tr.Dropped() != 8*200*2-128 {
+		t.Errorf("dropped = %d, want %d", tr.Dropped(), 8*200*2-128)
+	}
+	// Every child in the ring must reference a parent id lower than its own.
+	for _, s := range tr.Spans() {
+		if s.Name == "child" && s.Parent == 0 {
+			t.Error("child span lost its parent link")
+		}
+	}
+}

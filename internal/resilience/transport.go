@@ -2,11 +2,14 @@ package resilience
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"time"
+
+	"pmove/internal/introspect"
 )
 
 // ErrCircuitOpen is returned (wrapped) when the breaker fast-fails an
@@ -65,6 +68,11 @@ type Transport struct {
 	stats   TransportStats
 	closed  bool
 
+	// in mirrors the transport's fault handling into the daemon's
+	// self-observability registry under transport.<name>.*; nil-safe.
+	in   *introspect.Introspector
+	name string
+
 	// sleep and now are swappable for tests.
 	sleep func(time.Duration)
 	now   func() time.Time
@@ -88,6 +96,25 @@ func NewTransport(addr string, pol Policy, probe func(*Wire) error) *Transport {
 
 // Addr returns the remote address.
 func (t *Transport) Addr() string { return t.addr }
+
+// SetIntrospection attaches a self-observability introspector; name
+// becomes the transport.<name>.* metric namespace (e.g. "tsdb",
+// "docdb"). A nil introspector detaches.
+func (t *Transport) SetIntrospection(in *introspect.Introspector, name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.in = in
+	t.name = name
+}
+
+// count bumps a transport.<name>.<suffix> self counter. Caller holds mu
+// (or is in the ctor); nil introspection is a no-op.
+func (t *Transport) count(suffix string, n uint64) {
+	if t.in == nil {
+		return
+	}
+	t.in.Metrics().Counter("transport." + t.name + "." + suffix).Add(n)
+}
 
 // Policy returns the transport's policy.
 func (t *Transport) Policy() Policy { return t.pol }
@@ -122,49 +149,100 @@ func (t *Transport) Close() error {
 	return nil
 }
 
-// Do runs one request/response exchange with retry, reconnect and
+// Do runs one request/response exchange with a background context.
+func (t *Transport) Do(op func(*Wire) error) error {
+	return t.DoContext(context.Background(), op)
+}
+
+// DoContext runs one request/response exchange with retry, reconnect and
 // breaker semantics. op errors wrapped with Permanent are returned as-is
 // (unwrapped) without retry; any other error drops the wire, records a
 // breaker failure and retries after backoff, up to Policy.MaxRetries
-// times.
-func (t *Transport) Do(op func(*Wire) error) error {
+// times. Cancelling ctx aborts the retry loop — including mid-backoff —
+// with a wrapped ctx.Err(), so a caller never waits out a retry budget
+// it no longer wants.
+func (t *Transport) DoContext(ctx context.Context, op func(*Wire) error) (err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	ctx, span := t.in.StartSpan(ctx, "transport."+t.name+".do")
+	defer func() { span.End(err) }()
+	t.count("ops", 1)
 	var lastErr error
 	attempts := t.pol.MaxRetries + 1
 	if attempts < 1 {
 		attempts = 1
 	}
+	opensBefore := t.breaker.Opens()
+	defer func() {
+		if n := t.breaker.Opens() - opensBefore; n > 0 {
+			t.count("breaker.opened", n)
+		}
+	}()
 	for attempt := 0; attempt < attempts; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("resilience: %s: %w", t.addr, cerr)
+			return err
+		}
 		if attempt > 0 {
 			t.stats.Retries++
-			t.sleep(t.pol.Backoff.Delay(attempt, t.rng))
-		}
-		if err := t.ensureWire(); err != nil {
-			if errors.Is(err, ErrCircuitOpen) {
-				// Retrying cannot help until the cooldown elapses.
+			t.count("retries", 1)
+			if serr := t.sleepCtx(ctx, t.pol.Backoff.Delay(attempt, t.rng)); serr != nil {
+				err = fmt.Errorf("resilience: %s: %w", t.addr, serr)
 				return err
 			}
-			lastErr = err
+		}
+		if werr := t.ensureWire(); werr != nil {
+			if errors.Is(werr, ErrCircuitOpen) {
+				// Retrying cannot help until the cooldown elapses.
+				t.count("fastfails", 1)
+				err = werr
+				return err
+			}
+			t.count("failures", 1)
+			lastErr = werr
 			continue
 		}
-		err := op(t.wire)
-		if err == nil {
+		oerr := op(t.wire)
+		if oerr == nil {
 			t.breaker.Success()
 			return nil
 		}
 		var pe *permanentError
-		if errors.As(err, &pe) {
+		if errors.As(oerr, &pe) {
 			// The server answered; the stream is in sync.
 			t.breaker.Success()
-			return pe.err
+			err = pe.err
+			return err
 		}
 		t.dropWire()
 		t.stats.Failures++
+		t.count("failures", 1)
 		t.breaker.Failure(t.now())
-		lastErr = err
+		lastErr = oerr
 	}
-	return fmt.Errorf("resilience: %s: giving up after %d attempts: %w", t.addr, attempts, lastErr)
+	err = fmt.Errorf("resilience: %s: giving up after %d attempts: %w", t.addr, attempts, lastErr)
+	return err
+}
+
+// sleepCtx waits out a backoff delay unless ctx is cancelled first. The
+// test-swappable t.sleep path stays synchronous (deterministic clocks);
+// the real path selects on a timer against ctx.Done().
+func (t *Transport) sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	if ctx.Done() == nil {
+		t.sleep(d)
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
 }
 
 // ensureWire returns with t.wire live, dialing if needed. Caller holds mu.

@@ -1,10 +1,12 @@
 package superdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"pmove/internal/docdb"
+	"pmove/internal/introspect"
 	"pmove/internal/kb"
 	"pmove/internal/ontology"
 	"pmove/internal/resilience"
@@ -41,12 +43,25 @@ func DialRemoteWith(docAddr, tsAddr string, pol resilience.Policy) (*Remote, err
 	return &Remote{Docs: dc, TS: tc}, nil
 }
 
-// Ping verifies both stores answer end to end.
+// SetIntrospection mirrors both clients' transport fault handling into
+// the self-observability registry, under transport.superdb_docs.* and
+// transport.superdb_ts.*.
+func (r *Remote) SetIntrospection(in *introspect.Introspector) {
+	r.Docs.Transport().SetIntrospection(in, "superdb_docs")
+	r.TS.Transport().SetIntrospection(in, "superdb_ts")
+}
+
+// Ping verifies both stores answer end to end with a background context.
 func (r *Remote) Ping() error {
-	if err := r.Docs.Ping(); err != nil {
+	return r.PingContext(context.Background())
+}
+
+// PingContext verifies both stores answer end to end.
+func (r *Remote) PingContext(ctx context.Context) error {
+	if err := r.Docs.PingContext(ctx); err != nil {
 		return fmt.Errorf("superdb: documents: %w", err)
 	}
-	if err := r.TS.Ping(); err != nil {
+	if err := r.TS.PingContext(ctx); err != nil {
 		return fmt.Errorf("superdb: time series: %w", err)
 	}
 	return nil
@@ -56,7 +71,12 @@ func (r *Remote) Ping() error {
 // docdb.FromValue; must carry an "_id") into the jobs collection — the
 // cluster KB's "historical job metadata" reaching the global store.
 func (r *Remote) ReportJob(doc docdb.Doc) error {
-	_, err := r.Docs.Upsert(CollJobs, doc)
+	return r.ReportJobContext(context.Background(), doc)
+}
+
+// ReportJobContext uploads one job metadata document.
+func (r *Remote) ReportJobContext(ctx context.Context, doc docdb.Doc) error {
+	_, err := r.Docs.UpsertContext(ctx, CollJobs, doc)
 	return err
 }
 
@@ -70,9 +90,14 @@ func (r *Remote) Close() error {
 	return err2
 }
 
-// ReportKB uploads a system's KB summary, replacing any prior upload for
-// the same host.
+// ReportKB uploads a system's KB summary with a background context.
 func (r *Remote) ReportKB(k *kb.KB) error {
+	return r.ReportKBContext(context.Background(), k)
+}
+
+// ReportKBContext uploads a system's KB summary, replacing any prior
+// upload for the same host.
+func (r *Remote) ReportKBContext(ctx context.Context, k *kb.KB) error {
 	doc, err := docdb.FromValue(map[string]any{
 		"_id":       "kb:" + k.Host,
 		"host":      k.Host,
@@ -84,13 +109,19 @@ func (r *Remote) ReportKB(k *kb.KB) error {
 	if err != nil {
 		return err
 	}
-	_, err = r.Docs.Upsert(CollKBs, doc)
+	_, err = r.Docs.UpsertContext(ctx, CollKBs, doc)
 	return err
 }
 
-// ReportObservation uploads one observation over the wire, with the same
-// TS/AGG split as the embedded SuperDB.
+// ReportObservation uploads one observation with a background context.
 func (r *Remote) ReportObservation(o *kb.Observation, local *tsdb.DB, mode ReportMode) error {
+	return r.ReportObservationContext(context.Background(), o, local, mode)
+}
+
+// ReportObservationContext uploads one observation over the wire, with
+// the same TS/AGG split as the embedded SuperDB. Cancelling ctx aborts
+// between (and inside) point uploads.
+func (r *Remote) ReportObservationContext(ctx context.Context, o *kb.Observation, local *tsdb.DB, mode ReportMode) error {
 	kind := ontology.EntryTSObservation
 	if mode == ModeAGG {
 		kind = ontology.EntryAGGObservation
@@ -118,7 +149,7 @@ func (r *Remote) ReportObservation(o *kb.Observation, local *tsdb.DB, mode Repor
 					Fields:      row.Values,
 					Time:        row.Time,
 				}
-				if err := r.TS.Write(p); err != nil {
+				if err := r.TS.WriteContext(ctx, p); err != nil {
 					return err
 				}
 				rawPoints++
@@ -155,13 +186,18 @@ func (r *Remote) ReportObservation(o *kb.Observation, local *tsdb.DB, mode Repor
 	if err != nil {
 		return err
 	}
-	_, err = r.Docs.Upsert(CollObservations, doc)
+	_, err = r.Docs.UpsertContext(ctx, CollObservations, doc)
 	return err
 }
 
-// Hosts lists systems with uploaded KBs on the remote instance.
+// Hosts lists systems with uploaded KBs with a background context.
 func (r *Remote) Hosts() ([]string, error) {
-	docs, err := r.Docs.Find(CollKBs, nil)
+	return r.HostsContext(context.Background())
+}
+
+// HostsContext lists systems with uploaded KBs on the remote instance.
+func (r *Remote) HostsContext(ctx context.Context) ([]string, error) {
+	docs, err := r.Docs.FindContext(ctx, CollKBs, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -175,10 +211,16 @@ func (r *Remote) Hosts() ([]string, error) {
 	return out, nil
 }
 
-// QueryObservation recalls one uploaded observation's series for a
+// QueryObservation recalls one uploaded observation's series with a
+// background context.
+func (r *Remote) QueryObservation(host, tag, measurement string, fields []string) (*tsdb.Result, error) {
+	return r.QueryObservationContext(context.Background(), host, tag, measurement, fields)
+}
+
+// QueryObservationContext recalls one uploaded observation's series for a
 // measurement, using the same Listing 3 query shape against the global
 // time-series store.
-func (r *Remote) QueryObservation(host, tag, measurement string, fields []string) (*tsdb.Result, error) {
+func (r *Remote) QueryObservationContext(ctx context.Context, host, tag, measurement string, fields []string) (*tsdb.Result, error) {
 	q := &tsdb.Query{
 		Fields:      fields,
 		Measurement: measurement,
@@ -187,5 +229,5 @@ func (r *Remote) QueryObservation(host, tag, measurement string, fields []string
 	if len(fields) == 0 {
 		q.Fields = []string{"*"}
 	}
-	return r.TS.Query(q.String())
+	return r.TS.QueryContext(ctx, q.String())
 }

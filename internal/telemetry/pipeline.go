@@ -1,9 +1,11 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"pmove/internal/introspect"
 	"pmove/internal/tsdb"
 )
 
@@ -73,6 +75,15 @@ type PointSink interface {
 	WritePoint(p tsdb.Point) error
 }
 
+// ContextPointSink is a PointSink that honors cancellation. Sinks that
+// implement it (the resilient remote clients) get the session context so
+// in-flight retries abort when the caller gives up; plain sinks fall back
+// to WritePoint.
+type ContextPointSink interface {
+	PointSink
+	WritePointContext(ctx context.Context, p tsdb.Point) error
+}
+
 // Collector is the host-side sink: it owns the tsdb handle and the
 // busy-until state of the unbuffered pipeline.
 type Collector struct {
@@ -81,6 +92,11 @@ type Collector struct {
 	// resilient remote client); the embedded DB otherwise.
 	Sink PointSink
 	Cfg  PipelineConfig
+	// Self, when non-nil, mirrors the collector's counters into the
+	// daemon's self-observability registry under telemetry.* and opens
+	// child spans around report offers and journal replays. Nil costs
+	// nothing (all introspect methods are nil-safe).
+	Self *introspect.Introspector
 
 	busyUntil float64
 	seq       uint64
@@ -138,17 +154,32 @@ func (c *Collector) journalCap() int {
 // spill journals a point the sink refused, evicting the oldest entry if
 // the journal is at capacity.
 func (c *Collector) spill(p tsdb.Point) {
+	reg := c.Self.Metrics()
 	if !c.degraded {
 		c.degraded = true
 		c.Degradations++
+		reg.Counter("telemetry.degradations").Inc()
 	}
 	if len(c.journal) >= c.journalCap() {
 		dropped := c.journal[0]
 		c.journal = c.journal[1:]
 		c.SpillDropped += uint64(len(dropped.Fields))
+		reg.Counter("telemetry.journal.dropped").Add(uint64(len(dropped.Fields)))
 	}
 	c.journal = append(c.journal, p)
 	c.Spilled += uint64(len(p.Fields))
+	reg.Counter("telemetry.journal.spilled").Add(uint64(len(p.Fields)))
+	reg.Gauge("telemetry.journal.pending").Set(float64(len(c.journal)))
+}
+
+// writePoint routes one point to the sink, threading ctx through sinks
+// that can use it.
+func (c *Collector) writePoint(ctx context.Context, p tsdb.Point) error {
+	s := c.sink()
+	if cs, ok := s.(ContextPointSink); ok {
+		return cs.WritePointContext(ctx, p)
+	}
+	return s.WritePoint(p)
 }
 
 // Replay drains the journal into the sink, oldest first, stopping at the
@@ -157,18 +188,31 @@ func (c *Collector) spill(p tsdb.Point) {
 // recovered sink catches up within one tick; call Replay directly to
 // flush at session end.
 func (c *Collector) Replay() int {
+	return c.ReplayContext(context.Background())
+}
+
+// ReplayContext is Replay with a caller context for sink writes and the
+// replay span.
+func (c *Collector) ReplayContext(ctx context.Context) int {
+	reg := c.Self.Metrics()
+	_, span := c.Self.StartSpan(ctx, "telemetry.replay")
+	defer span.End(nil)
 	for len(c.journal) > 0 {
 		p := c.journal[0]
-		if err := c.sink().WritePoint(p); err != nil {
+		if err := c.writePoint(ctx, p); err != nil {
+			reg.Gauge("telemetry.journal.pending").Set(float64(len(c.journal)))
 			return len(c.journal)
 		}
 		c.journal = c.journal[1:]
 		nv := uint64(len(p.Fields))
 		c.Inserted += nv
 		c.Replayed += nv
+		reg.Counter("telemetry.points.inserted").Add(nv)
+		reg.Counter("telemetry.journal.replayed").Add(nv)
 	}
 	c.journal = nil
 	c.degraded = false
+	reg.Gauge("telemetry.journal.pending").Set(0)
 	return 0
 }
 
@@ -204,6 +248,16 @@ func (c *Collector) reportCost(nValues int, nBytes int64) float64 {
 // report's cost. zeroBatch marks the PMU-sourced values as a batched-zero
 // readout: they are inserted with value 0.
 func (c *Collector) Offer(now float64, samples []Sample, tag string, zeroBatch bool) error {
+	return c.OfferContext(context.Background(), now, samples, tag, zeroBatch)
+}
+
+// OfferContext is Offer with a caller context: sink writes that can honor
+// cancellation receive ctx, and the report lands as a child span of the
+// surrounding daemon operation when self-observability is on.
+func (c *Collector) OfferContext(ctx context.Context, now float64, samples []Sample, tag string, zeroBatch bool) (err error) {
+	reg := c.Self.Metrics()
+	ctx, span := c.Self.StartSpan(ctx, "telemetry.offer")
+	defer func() { span.End(err) }()
 	nValues := 0
 	var nBytes int64
 	for _, s := range samples {
@@ -211,9 +265,11 @@ func (c *Collector) Offer(now float64, samples []Sample, tag string, zeroBatch b
 		nBytes += wireBytes(s)
 	}
 	c.Expected += uint64(nValues)
+	reg.Counter("telemetry.points.expected").Add(uint64(nValues))
 	if now < c.busyUntil {
 		if !c.Cfg.Buffered {
 			c.Lost += uint64(nValues)
+			reg.Counter("telemetry.points.lost").Add(uint64(nValues))
 			return nil
 		}
 		// Buffered ablation: the report queues behind the in-flight one;
@@ -225,7 +281,7 @@ func (c *Collector) Offer(now float64, samples []Sample, tag string, zeroBatch b
 	// Catch up on any outage backlog before shipping fresh data, so
 	// replayed history lands ahead of newer points.
 	if c.Cfg.Degraded && len(c.journal) > 0 {
-		c.Replay()
+		c.ReplayContext(ctx)
 	}
 	ts := int64(now * 1e9)
 	for _, s := range samples {
@@ -242,16 +298,19 @@ func (c *Collector) Offer(now float64, samples []Sample, tag string, zeroBatch b
 			// probed it): journal without burning the client's retry
 			// budget on every sample.
 			c.spill(p)
-		} else if err := c.sink().WritePoint(p); err != nil {
+		} else if werr := c.writePoint(ctx, p); werr != nil {
 			if !c.Cfg.Degraded {
-				return fmt.Errorf("telemetry: insert %s: %w", s.Metric, err)
+				err = fmt.Errorf("telemetry: insert %s: %w", s.Metric, werr)
+				return err
 			}
 			c.spill(p)
 		} else {
 			c.Inserted += uint64(len(s.Values))
+			reg.Counter("telemetry.points.inserted").Add(uint64(len(s.Values)))
 		}
 		if zeroBatch {
 			c.Zeros += uint64(len(s.Values))
+			reg.Counter("telemetry.points.zeros").Add(uint64(len(s.Values)))
 		}
 	}
 	c.NetBytes += nBytes

@@ -1,6 +1,7 @@
 package telemetry
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -71,18 +72,33 @@ func NewSession(p *PMCD, c *Collector, cfg SessionConfig) (*Session, error) {
 	return &Session{PMCD: p, Collector: c, Cfg: cfg}, nil
 }
 
-// Run executes the session for its configured duration, driving the
-// machine's virtual clock tick by tick, and returns the statistics.
+// Run executes the session for its configured duration with a background
+// context.
 func (s *Session) Run() (SessionStats, error) {
+	return s.RunContext(context.Background())
+}
+
+// RunContext executes the session for its configured duration, driving
+// the machine's virtual clock tick by tick, and returns the statistics.
+// Cancelling ctx stops the loop at the next tick.
+func (s *Session) RunContext(ctx context.Context) (SessionStats, error) {
 	if s.Cfg.DurationSeconds <= 0 {
 		return SessionStats{}, fmt.Errorf("telemetry: session duration must be positive")
 	}
 	ticks := uint64(s.Cfg.DurationSeconds * s.Cfg.FreqHz)
-	return s.RunTicks(ticks)
+	return s.RunTicksContext(ctx, ticks)
 }
 
-// RunTicks executes exactly n sampling ticks.
+// RunTicks executes exactly n sampling ticks with a background context.
 func (s *Session) RunTicks(n uint64) (SessionStats, error) {
+	return s.RunTicksContext(context.Background(), n)
+}
+
+// RunTicksContext executes exactly n sampling ticks, checking ctx before
+// each one so a cancelled caller stops within one tick.
+func (s *Session) RunTicksContext(ctx context.Context, n uint64) (stats SessionStats, err error) {
+	ctx, span := s.Collector.Self.StartSpan(ctx, "telemetry.session")
+	defer func() { span.End(err) }()
 	m := s.PMCD.Machine()
 	interval := 1 / s.Cfg.FreqHz
 	start := m.Now()
@@ -96,20 +112,27 @@ func (s *Session) RunTicks(n uint64) (SessionStats, error) {
 	startSpillDropped := s.Collector.SpillDropped
 
 	for tick := uint64(1); tick <= n; tick++ {
+		if cerr := ctx.Err(); cerr != nil {
+			err = fmt.Errorf("telemetry: session: %w", cerr)
+			return SessionStats{}, err
+		}
 		t := start + float64(tick)*interval
-		if err := m.AdvanceTo(t); err != nil {
+		if aerr := m.AdvanceTo(t); aerr != nil {
+			err = aerr
 			return SessionStats{}, err
 		}
 		samples := make([]Sample, 0, len(metrics))
 		for _, metric := range metrics {
-			sm, err := s.PMCD.Sample(metric)
-			if err != nil {
+			sm, serr := s.PMCD.Sample(metric)
+			if serr != nil {
+				err = serr
 				return SessionStats{}, err
 			}
 			samples = append(samples, sm)
 		}
 		zeroBatch := zeroProb > 0 && s.Collector.jitter() < zeroProb
-		if err := s.Collector.Offer(t, samples, s.Cfg.Tag, zeroBatch); err != nil {
+		if oerr := s.Collector.OfferContext(ctx, t, samples, s.Cfg.Tag, zeroBatch); oerr != nil {
+			err = oerr
 			return SessionStats{}, err
 		}
 	}
@@ -117,7 +140,7 @@ func (s *Session) RunTicks(n uint64) (SessionStats, error) {
 	// Final catch-up: a sink that recovered late gets one more chance to
 	// absorb the outage backlog before the session reports.
 	if s.Collector.Cfg.Degraded && s.Collector.PendingSpill() > 0 {
-		s.Collector.Replay()
+		s.Collector.ReplayContext(ctx)
 	}
 
 	st := SessionStats{

@@ -2,6 +2,7 @@ package tsdb
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,11 +29,33 @@ type Server struct {
 	done  chan struct{}
 	conns map[net.Conn]bool
 	wg    sync.WaitGroup
+	obs   func(cmd string, err error)
 }
 
 // NewServer wraps a DB.
 func NewServer(db *DB) *Server {
 	return &Server{db: db, conns: map[net.Conn]bool{}}
+}
+
+// SetObserver installs a per-command hook called after every handled
+// request with the command name ("ping"/"write"/"query"/"unknown") and
+// its outcome. The daemon wires this to the self-observability registry;
+// a function type (rather than an introspect dependency) keeps the
+// import direction tsdb ← introspect, since the self-metrics exporter
+// writes tsdb points.
+func (s *Server) SetObserver(fn func(cmd string, err error)) {
+	s.mu.Lock()
+	s.obs = fn
+	s.mu.Unlock()
+}
+
+func (s *Server) observe(cmd string, err error) {
+	s.mu.Lock()
+	fn := s.obs
+	s.mu.Unlock()
+	if fn != nil {
+		fn(cmd, err)
+	}
 }
 
 // Listen starts serving on addr ("127.0.0.1:0" picks a free port) and
@@ -83,6 +106,7 @@ func (s *Server) handle(conn net.Conn) {
 		switch strings.ToUpper(cmd) {
 		case "PING":
 			fmt.Fprintln(w, "PONG")
+			s.observe("ping", nil)
 		case "WRITE":
 			p, err := DecodeLine(rest)
 			if err == nil {
@@ -93,6 +117,7 @@ func (s *Server) handle(conn net.Conn) {
 			} else {
 				fmt.Fprintln(w, "OK")
 			}
+			s.observe("write", err)
 		case "QUERY":
 			res, err := s.db.QueryString(rest)
 			if err != nil {
@@ -101,13 +126,16 @@ func (s *Server) handle(conn net.Conn) {
 				b, merr := json.Marshal(res)
 				if merr != nil {
 					fmt.Fprintf(w, "ERR %v\n", merr)
+					err = merr
 				} else {
 					w.Write(b)
 					w.WriteByte('\n')
 				}
 			}
+			s.observe("query", err)
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
+			s.observe("unknown", fmt.Errorf("unknown command %q", cmd))
 		}
 		if err := w.Flush(); err != nil {
 			return
@@ -187,13 +215,23 @@ func DialPolicy(addr string, pol resilience.Policy) (*Client, error) {
 // Stats exposes the transport's fault counters.
 func (c *Client) Stats() resilience.TransportStats { return c.tr.Stats() }
 
-// Write ships one point.
+// Transport exposes the underlying resilient transport, letting callers
+// attach self-observability (Transport.SetIntrospection) without tsdb
+// importing the introspect package (which imports tsdb).
+func (c *Client) Transport() *resilience.Transport { return c.tr }
+
+// Write ships one point with a background context.
 func (c *Client) Write(p Point) error {
+	return c.WriteContext(context.Background(), p)
+}
+
+// WriteContext ships one point; cancelling ctx aborts mid-retry.
+func (c *Client) WriteContext(ctx context.Context, p Point) error {
 	line, err := EncodeLine(p)
 	if err != nil {
 		return err
 	}
-	return c.tr.Do(func(w *resilience.Wire) error {
+	return c.tr.DoContext(ctx, func(w *resilience.Wire) error {
 		if _, err := fmt.Fprintf(w.Conn, "WRITE %s\n", line); err != nil {
 			return err
 		}
@@ -212,10 +250,22 @@ func (c *Client) Write(p Point) error {
 // WritePoint aliases Write so the client satisfies telemetry.PointSink.
 func (c *Client) WritePoint(p Point) error { return c.Write(p) }
 
-// Query runs a SELECT statement remotely.
+// WritePointContext aliases WriteContext so the client satisfies
+// telemetry.ContextPointSink: a cancelled session stops burning the
+// retry budget on the in-flight point.
+func (c *Client) WritePointContext(ctx context.Context, p Point) error {
+	return c.WriteContext(ctx, p)
+}
+
+// Query runs a SELECT statement remotely with a background context.
 func (c *Client) Query(stmt string) (*Result, error) {
+	return c.QueryContext(context.Background(), stmt)
+}
+
+// QueryContext runs a SELECT statement remotely.
+func (c *Client) QueryContext(ctx context.Context, stmt string) (*Result, error) {
 	var res Result
-	err := c.tr.Do(func(w *resilience.Wire) error {
+	err := c.tr.DoContext(ctx, func(w *resilience.Wire) error {
 		if _, err := fmt.Fprintf(w.Conn, "QUERY %s\n", stmt); err != nil {
 			return err
 		}
@@ -240,9 +290,14 @@ func (c *Client) Query(stmt string) (*Result, error) {
 	return &res, nil
 }
 
-// Ping checks liveness.
+// Ping checks liveness with a background context.
 func (c *Client) Ping() error {
-	return c.tr.Do(func(w *resilience.Wire) error {
+	return c.PingContext(context.Background())
+}
+
+// PingContext checks liveness.
+func (c *Client) PingContext(ctx context.Context) error {
+	return c.tr.DoContext(ctx, func(w *resilience.Wire) error {
 		if _, err := fmt.Fprintln(w.Conn, "PING"); err != nil {
 			return err
 		}

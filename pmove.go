@@ -21,6 +21,7 @@ import (
 	"pmove/internal/core"
 	"pmove/internal/dashboard"
 	"pmove/internal/docdb"
+	"pmove/internal/introspect"
 	"pmove/internal/kb"
 	"pmove/internal/kernels"
 	"pmove/internal/machine"
@@ -35,19 +36,31 @@ import (
 )
 
 // Daemon orchestration (internal/core).
+//
+// Public daemon operations are context-first: every op has a
+// <Name>Context(ctx, ...) form whose cancellation is honored through
+// sampling loops, retry backoffs and in-flight DB requests. The
+// context-free legacy names remain as thin wrappers over
+// context.Background().
 type (
 	// Daemon is the P-MoVE host process.
 	Daemon = core.Daemon
 	// Env is the daemon's environment configuration.
 	Env = core.Env
+	// DaemonOption is a functional construction option for NewDaemonWith.
+	DaemonOption = core.Option
 	// Target is one attached system.
 	Target = core.Target
+	// MonitorRequest configures a Scenario A monitoring run.
+	MonitorRequest = core.MonitorRequest
 	// ObserveRequest configures a Scenario B observation.
 	ObserveRequest = core.ObserveRequest
 	// ObserveResult is a completed observation.
 	ObserveResult = core.ObserveResult
 	// MonitorResult is a completed Scenario A run.
 	MonitorResult = core.MonitorResult
+	// LiveCARMRequest configures a live-CARM run.
+	LiveCARMRequest = core.LiveCARMRequest
 	// LiveCARMPhase labels one kernel for live-CARM profiling.
 	LiveCARMPhase = core.LiveCARMPhase
 	// LiveCARMResult carries the live panel and phase summaries.
@@ -55,7 +68,66 @@ type (
 )
 
 // NewDaemon creates a daemon with embedded databases.
+//
+// Deprecated: use NewDaemonWith(WithEnv(env)) — the options form admits
+// telemetry sinks and introspection without further signature changes.
 func NewDaemon(env Env) (*Daemon, error) { return core.New(env) }
+
+// NewDaemonWith creates a daemon from functional options (WithEnv,
+// WithInflux, WithMongo, WithTelemetrySink, WithIntrospection, ...).
+func NewDaemonWith(opts ...DaemonOption) (*Daemon, error) { return core.NewWith(opts...) }
+
+// Daemon construction options.
+var (
+	// WithEnv replaces the whole environment configuration.
+	WithEnv = core.WithEnv
+	// WithInflux points the daemon at an InfluxDB address.
+	WithInflux = core.WithInflux
+	// WithMongo points the daemon at a MongoDB address.
+	WithMongo = core.WithMongo
+	// WithGrafanaToken sets the visualization-layer token.
+	WithGrafanaToken = core.WithGrafanaToken
+	// WithTelemetrySink redirects telemetry to a remote sink.
+	WithTelemetrySink = core.WithTelemetrySink
+)
+
+// WithIntrospection enables the self-observability layer (metrics,
+// spans, pmove.self.* export and the meta dashboard).
+func WithIntrospection(opts ...IntrospectOption) DaemonOption {
+	return core.WithIntrospection(opts...)
+}
+
+// Self-observability (internal/introspect).
+type (
+	// Introspector is the self-observability layer: a metrics registry
+	// plus a span tracer.
+	Introspector = introspect.Introspector
+	// IntrospectOption configures an Introspector.
+	IntrospectOption = introspect.Option
+	// SelfSnapshot is a frozen view of the self-metrics registry.
+	SelfSnapshot = introspect.Snapshot
+	// SelfMetric is one metric in a snapshot.
+	SelfMetric = introspect.Metric
+	// SelfKind labels a self metric (counter, gauge, histogram).
+	SelfKind = introspect.Kind
+	// SelfSpan is one finished trace span.
+	SelfSpan = introspect.Span
+)
+
+// Self-metric kinds.
+const (
+	SelfKindCounter   = introspect.KindCounter
+	SelfKindGauge     = introspect.KindGauge
+	SelfKindHistogram = introspect.KindHistogram
+)
+
+// Introspector construction options.
+var (
+	// WithSpanCapacity bounds the finished-span ring.
+	WithSpanCapacity = introspect.WithSpanCapacity
+	// WithSelfPrefix overrides the pmove.self export namespace.
+	WithSelfPrefix = introspect.WithPrefix
+)
 
 // EnvFromOS reads the daemon configuration from the environment.
 func EnvFromOS() Env { return core.EnvFromOS() }
