@@ -14,6 +14,11 @@ go vet ./...
 go build ./...
 go test -race ./...
 
+# Benchmark smoke: every benchmark must still compile and survive one
+# iteration — catches bit-rotted b.Run setups without paying for real
+# measurement.
+go test -run NONE -bench . -benchtime 1x ./...
+
 # API gate: the daemon's public surface is context-first. Any NEW exported
 # method on *Daemon must take `ctx context.Context` as its first parameter.
 # Grandfathered exceptions: the deprecated positional wrappers kept for
@@ -27,6 +32,19 @@ violations=$(grep -h 'func (d \*Daemon) [A-Z]' internal/core/*.go \
 if [ -n "$violations" ]; then
     echo "context-first API gate: exported Daemon methods must take 'ctx context.Context' first:" >&2
     echo "$violations" >&2
+    exit 1
+fi
+
+# Same rule for the trace-export surface: any exported traceexport
+# function that writes through a Sink performs I/O and must be
+# cancellable, i.e. take `ctx context.Context` first. Pure assembly /
+# rendering helpers (Assemble, Attribute, Waterfall, ChromeTrace) are
+# exempt because they never leave the process.
+trace_violations=$(grep -h '^func [A-Z].*Sink' internal/introspect/traceexport/*.go \
+    | grep -v 'ctx context\.Context' || true)
+if [ -n "$trace_violations" ]; then
+    echo "context-first API gate: exported traceexport funcs taking a Sink must take 'ctx context.Context' first:" >&2
+    echo "$trace_violations" >&2
     exit 1
 fi
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	experiments [-only table1,table3,fig2,fig4,fig5,fig6,fig7,fig8,fig9,retention,chaos] [-scale small|full]
+//	experiments [-only table1,table3,fig2,fig4,fig5,fig6,fig7,fig8,fig9,retention,chaos,trace] [-scale small|full]
 //
 // With no -only flag every experiment runs in order.
 package main
@@ -79,6 +79,9 @@ func main() {
 		})},
 		{"chaos", render(func() (interface{ Render() string }, error) {
 			return experiments.ChaosStudy(60, 10)
+		})},
+		{"trace", render(func() (interface{ Render() string }, error) {
+			return experiments.TraceStudy(60, 10)
 		})},
 	}
 

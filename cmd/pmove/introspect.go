@@ -41,6 +41,9 @@ func cmdIntrospect(args []string) error {
 	if *spans {
 		fmt.Println("\nspan tree:")
 		printSpanTree(d.SelfSpans())
+		if dropped := d.Introspection.Tracer().Dropped(); dropped > 0 {
+			fmt.Printf("  (%d older spans evicted from the ring — pmove.self.trace.dropped)\n", dropped)
+		}
 	}
 
 	dash, err := d.MetaDashboard()

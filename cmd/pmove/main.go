@@ -9,6 +9,7 @@
 //	pmove bench   -host csl -name stream -threads 8  run a BenchmarkInterface
 //	pmove abst    -arch zen3 -event TOTAL_MEMORY_OPERATIONS
 //	pmove introspect -host icl -duration 5           run a monitored op and dump P-MoVE's own telemetry
+//	pmove trace -host icl -chrome trace.json         distributed-trace a monitored op across daemon + tsdb server
 //
 // All state is embedded; -influx/-mongo accept external tsdb/docdb server
 // addresses started with cmd/superdb. `monitor -self-monitor` enables the
@@ -32,7 +33,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster|introspect> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster|introspect|trace> [flags]")
 	os.Exit(2)
 }
 
@@ -65,6 +66,8 @@ func main() {
 		err = cmdCluster(args)
 	case "introspect":
 		err = cmdIntrospect(args)
+	case "trace":
+		err = cmdTrace(args)
 	default:
 		usage()
 	}

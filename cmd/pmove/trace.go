@@ -1,0 +1,103 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+
+	"pmove"
+	"pmove/internal/introspect"
+	"pmove/internal/resilience"
+	"pmove/internal/tsdb"
+)
+
+// cmdTrace runs one monitored session against an in-process tsdb server
+// with distributed tracing on in both processes, assembles the resulting
+// multi-process trace, and prints the waterfall plus per-hop latency
+// attribution. With -chrome the trace is also written as Chrome
+// trace-event JSON loadable in chrome://tracing or Perfetto.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	host := fs.String("host", "icl", "target preset")
+	freq := fs.Float64("freq", 4, "sampling frequency in Hz")
+	duration := fs.Float64("duration", 3, "virtual seconds to monitor")
+	sample := fs.Float64("sample", 1, "head-based sampling rate in [0,1] (errors always kept)")
+	chrome := fs.String("chrome", "", "write Chrome trace-event JSON to this file")
+	fs.Parse(args)
+
+	// Server side: an embedded tsdb server with its own span ring, so the
+	// assembled trace crosses a real wire between two processes' rings.
+	srv := tsdb.NewServer(tsdb.New())
+	serverIn := introspect.New(
+		introspect.WithProcess("tsdb-server"),
+		introspect.WithSampling(*sample, 0),
+		introspect.WithSpanCapacity(1<<14),
+	)
+	srv.SetTracing(serverIn)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	d, _, err := daemonWith(*host, 1, pmove.DefaultPipeline(),
+		pmove.WithIntrospection(
+			pmove.WithTraceSampling(*sample, 0),
+			pmove.WithSpanCapacity(1<<14),
+		))
+	if err != nil {
+		return err
+	}
+	sink, err := tsdb.DialPolicy(addr, resilience.DefaultPolicy())
+	if err != nil {
+		return err
+	}
+	defer sink.Close()
+	d.SetTelemetrySink(sink)
+
+	res, err := d.MonitorContext(context.Background(), pmove.MonitorRequest{
+		Host: *host, FreqHz: *freq, DurationSeconds: *duration,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s\n", res.Observation.Report)
+
+	col := pmove.NewTraceCollector()
+	col.Add("daemon", d.Introspection.Tracer())
+	col.Add("tsdb-server", serverIn.Tracer())
+	traces := col.Traces()
+	var tr *pmove.Trace
+	for i := len(traces) - 1; i >= 0; i-- {
+		if _, ok := traces[i].Find("daemon.monitor"); ok {
+			tr = traces[i]
+			break
+		}
+	}
+	if tr == nil {
+		return fmt.Errorf("no assembled trace contains a daemon.monitor span (sampled out? raise -sample)")
+	}
+
+	fmt.Println()
+	fmt.Print(pmove.TraceWaterfall(tr))
+	a := pmove.AttributeTrace(tr)
+	fmt.Println()
+	fmt.Print(a.String())
+	if dropped := d.Introspection.Tracer().Dropped() + serverIn.Tracer().Dropped(); dropped > 0 {
+		fmt.Printf("ring evictions: %d spans dropped (pmove.self.trace.dropped)\n", dropped)
+	}
+
+	if *chrome != "" {
+		b, err := pmove.ChromeTrace(tr)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*chrome, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace-event JSON written to %s (%d bytes); load in chrome://tracing or ui.perfetto.dev\n",
+			*chrome, len(b))
+	}
+	return nil
+}

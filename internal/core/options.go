@@ -52,7 +52,13 @@ func WithTelemetrySink(sink telemetry.PointSink) Option {
 // resilience transport report their internals, and after each operation
 // the registry is exported into the embedded TSDB under pmove.self.*.
 func WithIntrospection(opts ...introspect.Option) Option {
-	return func(d *Daemon) { d.Introspection = introspect.New(opts...) }
+	return func(d *Daemon) {
+		// The default process label makes daemon spans distinguishable
+		// from server rings in assembled multi-process traces; explicit
+		// WithProcess options override it.
+		all := append([]introspect.Option{introspect.WithProcess("daemon")}, opts...)
+		d.Introspection = introspect.New(all...)
+	}
 }
 
 // NewWith creates a daemon from functional options. The environment

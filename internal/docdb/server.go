@@ -9,18 +9,23 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
+	"pmove/internal/introspect"
 	"pmove/internal/resilience"
 )
 
 // request is the wire format of the Server protocol: one JSON object per
-// line.
+// line. Traceparent is the optional distributed-trace context tag —
+// omitted by pre-tracing clients, ignored by pre-tracing servers (both
+// directions stay backward compatible).
 type request struct {
-	Op         string  `json:"op"` // insert | find | get | delete | count | collections
-	Collection string  `json:"collection,omitempty"`
-	Doc        Doc     `json:"doc,omitempty"`
-	Filter     *Filter `json:"filter,omitempty"`
-	ID         string  `json:"id,omitempty"`
+	Op          string  `json:"op"` // insert | find | get | delete | count | collections
+	Collection  string  `json:"collection,omitempty"`
+	Doc         Doc     `json:"doc,omitempty"`
+	Filter      *Filter `json:"filter,omitempty"`
+	ID          string  `json:"id,omitempty"`
+	Traceparent string  `json:"traceparent,omitempty"`
 }
 
 type response struct {
@@ -41,6 +46,7 @@ type Server struct {
 	conns map[net.Conn]bool
 	wg    sync.WaitGroup
 	obs   func(op string, err error)
+	in    *introspect.Introspector
 }
 
 // NewServer wraps a DB.
@@ -53,6 +59,22 @@ func (s *Server) SetObserver(fn func(op string, err error)) {
 	s.mu.Lock()
 	s.obs = fn
 	s.mu.Unlock()
+}
+
+// SetTracing attaches an introspector whose tracer records server-side
+// spans (docdb.server.<op> with parse/queue/exec children). Requests
+// carrying a traceparent field join the caller's distributed trace;
+// untagged requests open local root spans. Nil disables server tracing.
+func (s *Server) SetTracing(in *introspect.Introspector) {
+	s.mu.Lock()
+	s.in = in
+	s.mu.Unlock()
+}
+
+func (s *Server) tracing() *introspect.Introspector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in
 }
 
 func (s *Server) observe(op string, err error) {
@@ -103,6 +125,7 @@ func (s *Server) handle(conn net.Conn) {
 	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
 	enc := json.NewEncoder(conn)
 	for sc.Scan() {
+		arrival := time.Now().UnixNano()
 		var req request
 		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
 			if encErr := enc.Encode(response{Error: err.Error()}); encErr != nil {
@@ -110,11 +133,27 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			continue
 		}
+		// The trace context rides inside the JSON we just decoded, so the
+		// op and parse spans are backdated to frame arrival — decode time
+		// is inside the trace even though the tag is read after it.
+		ctx := context.Background()
+		if remote, ok := introspect.ParseTraceparent(req.Traceparent); ok {
+			ctx = introspect.ContextWithSpanContext(ctx, remote)
+		}
+		in := s.tracing()
+		octx, op := in.StartSpanAt(ctx, "docdb.server."+strings.ToLower(req.Op), arrival)
+		_, ps := in.StartSpanAt(octx, "docdb.server.parse", arrival)
+		ps.End(nil)
+		_, qs := in.StartSpan(octx, "docdb.server.queue")
+		qs.End(nil)
+		_, is := in.StartSpan(octx, "docdb.server.exec")
 		resp := s.dispatch(&req)
 		var derr error
 		if resp.Error != "" {
 			derr = errors.New(resp.Error)
 		}
+		is.End(derr)
+		op.End(derr)
 		s.observe(strings.ToLower(req.Op), derr)
 		if err := enc.Encode(resp); err != nil {
 			return
@@ -245,12 +284,16 @@ func (c *Client) PingContext(ctx context.Context) error {
 }
 
 func (c *Client) roundTrip(ctx context.Context, req request) (response, error) {
-	b, err := json.Marshal(req)
-	if err != nil {
-		return response{}, err
-	}
 	var resp response
-	err = c.tr.DoContext(ctx, func(w *resilience.Wire) error {
+	err := c.tr.DoContext(ctx, func(ctx context.Context, w *resilience.Wire) error {
+		// Marshalled per attempt: the traceparent names the attempt span,
+		// so a retried request parents its server spans under the retry
+		// that actually carried it.
+		req.Traceparent = introspect.TraceparentFromContext(ctx)
+		b, err := json.Marshal(req)
+		if err != nil {
+			return resilience.Permanent(err)
+		}
 		if _, err := fmt.Fprintf(w.Conn, "%s\n", b); err != nil {
 			return err
 		}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestTraceStudy runs the tracing chaos scenario end to end and pins the
+// PR's acceptance criteria: a multi-process trace assembles, per-hop
+// attribution sums to within 5% of the measured end-to-end time, the
+// Chrome export is valid JSON, and untagged frames are still accepted.
+func TestTraceStudy(t *testing.T) {
+	res, err := TraceStudy(30, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Processes) != 2 {
+		t.Fatalf("processes = %v, want daemon + tsdb-server", res.Processes)
+	}
+	if res.Spans < 10 {
+		t.Fatalf("only %d spans assembled", res.Spans)
+	}
+	a := res.Attribution
+	if a.Hops == 0 || a.EndToEndSeconds <= 0 {
+		t.Fatalf("no wire hops attributed: %+v", a)
+	}
+	if res.SumDeltaPct > 5 {
+		t.Fatalf("attribution sum off by %.2f%% (> 5%%): %+v", res.SumDeltaPct, a)
+	}
+	// The partitioned middle third must show up as retry/backoff time.
+	if a.RetrySeconds <= 0 {
+		t.Errorf("partition left no retry time: %+v", a)
+	}
+	if a.ServerInsertSecs <= 0 {
+		t.Errorf("no server insert time attributed: %+v", a)
+	}
+	if !res.ChromeValid {
+		t.Error("chrome trace JSON invalid")
+	}
+	var decoded struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(res.ChromeJSON, &decoded); err != nil {
+		t.Fatalf("chrome JSON: %v", err)
+	}
+	if len(decoded.TraceEvents) < res.Spans {
+		t.Errorf("chrome events %d < spans %d", len(decoded.TraceEvents), res.Spans)
+	}
+	if !res.UntaggedOK {
+		t.Error("untagged legacy frame rejected")
+	}
+	out := res.Render()
+	for _, want := range []string{"Trace study", "chaos.trace", "retry/backoff", "server insert"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -117,3 +117,199 @@ func TestTracerConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// TestTraceparentRoundTrip formats and reparses a span context through
+// the wire form, including the leading frame token.
+func TestTraceparentRoundTrip(t *testing.T) {
+	sc := SpanContext{Trace: TraceID{Hi: 0xdeadbeef, Lo: 42}, Span: 7, Sampled: true}
+	tp := FormatTraceparent(sc)
+	got, ok := ParseTraceparent(tp)
+	if !ok || got != sc {
+		t.Fatalf("round trip %q -> %+v ok=%v, want %+v", tp, got, ok, sc)
+	}
+
+	// Unsampled contexts propagate with flag 00.
+	sc.Sampled = false
+	got, ok = ParseTraceparent(FormatTraceparent(sc))
+	if !ok || got.Sampled {
+		t.Fatalf("unsampled round trip: %+v ok=%v", got, ok)
+	}
+
+	body := WireField + tp + " cpu,host=a usage=1"
+	cut, rest, tagged := CutWireField(body)
+	if !tagged || rest != "cpu,host=a usage=1" {
+		t.Fatalf("CutWireField: tagged=%v rest=%q", tagged, rest)
+	}
+	if cut.Trace != (TraceID{Hi: 0xdeadbeef, Lo: 42}) || cut.Span != 7 {
+		t.Fatalf("CutWireField context: %+v", cut)
+	}
+}
+
+// TestTraceparentMalformed checks truncated or garbled traceparent values
+// (a frame cut by a mid-write partition) parse not-ok instead of yielding
+// a bogus parent, and that a malformed wire token is stripped from the
+// payload rather than corrupting it.
+func TestTraceparentMalformed(t *testing.T) {
+	tp := FormatTraceparent(SpanContext{Trace: TraceID{Lo: 1}, Span: 1, Sampled: true})
+	bad := []string{
+		"", "00", "xx-" + tp[3:], tp[:20], tp + "-extra",
+		"00-00000000000000000000000000000000-0000000000000001-01", // zero trace
+		"00-00000000000000000000000000000001-0000000000000000-01", // zero span
+		"00-zz000000000000000000000000000001-0000000000000001-01",
+	}
+	for _, s := range bad {
+		if sc, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) = %+v, want not-ok", s, sc)
+		}
+	}
+	sc, rest, tagged := CutWireField(WireField + tp[:20] + " cpu usage=1")
+	if tagged || sc.Valid() {
+		t.Errorf("malformed token reported tagged: %+v", sc)
+	}
+	if rest != "cpu usage=1" {
+		t.Errorf("malformed token not stripped: rest=%q", rest)
+	}
+	if _, rest, tagged := CutWireField("cpu usage=1"); tagged || rest != "cpu usage=1" {
+		t.Errorf("untagged frame altered: rest=%q tagged=%v", rest, tagged)
+	}
+}
+
+// TestRemoteParenting simulates the cross-process hop: a client tracer's
+// context crosses the wire as a traceparent and a second tracer's server
+// span must join the same trace under the client span.
+func TestRemoteParenting(t *testing.T) {
+	client := NewTracerWith(TracerConfig{Capacity: 16, Process: "client", Seed: 1})
+	server := NewTracerWith(TracerConfig{Capacity: 16, Process: "server", Seed: 2})
+	fixedClock(client)
+	fixedClock(server)
+
+	ctx, op := client.Start(context.Background(), "client.write")
+	wire := TraceparentFromContext(ctx)
+	if wire == "" {
+		t.Fatal("no traceparent from client context")
+	}
+
+	remote, ok := ParseTraceparent(wire)
+	if !ok {
+		t.Fatalf("server failed to parse %q", wire)
+	}
+	sctx := ContextWithSpanContext(context.Background(), remote)
+	_, srv := server.StartAt(sctx, "server.insert", 0)
+	srv.End(nil)
+	op.End(nil)
+
+	cs, _ := client.Find("client.write")
+	ss, _ := server.Find("server.insert")
+	if ss.Trace != cs.Trace {
+		t.Errorf("trace ids differ: client %v server %v", cs.Trace, ss.Trace)
+	}
+	if ss.Parent != cs.ID {
+		t.Errorf("server span parent = %d, want client span %d", ss.Parent, cs.ID)
+	}
+	if cs.Process != "client" || ss.Process != "server" {
+		t.Errorf("process labels: %q / %q", cs.Process, ss.Process)
+	}
+	if cs.ID == ss.ID {
+		t.Error("span ids collide across processes")
+	}
+}
+
+// TestSpanIDUniqueness draws ids from two seeded tracers and checks no
+// collisions — the property multi-process trace assembly relies on.
+func TestSpanIDUniqueness(t *testing.T) {
+	a := NewTracerWith(TracerConfig{Capacity: 4096, Seed: 100})
+	b := NewTracerWith(TracerConfig{Capacity: 4096, Seed: 200})
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		for _, tr := range []*Tracer{a, b} {
+			_, s := tr.Start(context.Background(), "x")
+			if seen[s.ID()] {
+				t.Fatalf("span id %d repeated at draw %d", s.ID(), i)
+			}
+			seen[s.ID()] = true
+			s.End(nil)
+		}
+	}
+}
+
+// TestSampling checks the head decision: at rate 0.5 roughly half the
+// root traces record, children inherit the decision, and errored spans
+// are recorded even when unsampled.
+func TestSampling(t *testing.T) {
+	tr := NewTracerWith(TracerConfig{Capacity: 8192, SampleRate: 0.5, Seed: 7})
+	fixedClock(tr)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		ctx, root := tr.Start(context.Background(), "root")
+		_, child := tr.Start(ctx, "child")
+		child.End(nil)
+		root.End(nil)
+	}
+	roots, children := 0, 0
+	for _, s := range tr.Spans() {
+		switch s.Name {
+		case "root":
+			roots++
+		case "child":
+			children++
+		}
+	}
+	if roots != children {
+		t.Errorf("children (%d) did not inherit the root decision (%d roots)", children, roots)
+	}
+	if roots < n/4 || roots > 3*n/4 {
+		t.Errorf("sampled %d/%d roots at rate 0.5", roots, n)
+	}
+
+	// Always-on-error: an unsampled trace's failing span still records.
+	errTr := NewTracerWith(TracerConfig{Capacity: 64, SampleRate: 1e-9, Seed: 3})
+	fixedClock(errTr)
+	for i := 0; i < 50; i++ {
+		ctx, root := errTr.Start(context.Background(), "root")
+		_, child := errTr.Start(ctx, "child")
+		child.End(errors.New("boom"))
+		root.End(nil)
+	}
+	got := errTr.Spans()
+	if len(got) == 0 {
+		t.Fatal("errored spans of unsampled traces were discarded")
+	}
+	for _, s := range got {
+		if s.Err == "" {
+			t.Fatalf("non-errored span %q recorded despite unsampled trace", s.Name)
+		}
+	}
+}
+
+// TestDroppedSpanCounter checks ring evictions surface as the
+// trace.dropped self metric when the tracer is built via New.
+func TestDroppedSpanCounter(t *testing.T) {
+	in := New(WithSpanCapacity(2))
+	for i := 0; i < 5; i++ {
+		_, s := in.StartSpan(context.Background(), fmt.Sprintf("s%d", i))
+		s.End(nil)
+	}
+	if got := in.Tracer().Dropped(); got != 3 {
+		t.Fatalf("tracer dropped = %d, want 3", got)
+	}
+	if got := in.Snapshot().CounterValue(DroppedSpansMetric); got != 3 {
+		t.Errorf("%s counter = %d, want 3", DroppedSpansMetric, got)
+	}
+}
+
+// TestStartAtBackdates checks a server span opened after decode covers
+// the pre-decode work via an explicit start time.
+func TestStartAtBackdates(t *testing.T) {
+	tr := NewTracer(8)
+	now := fixedClock(tr)
+	*now = 5000
+	_, s := tr.StartAt(context.Background(), "server.op", 2000)
+	s.End(nil)
+	got, _ := tr.Find("server.op")
+	if got.Start != 2000 {
+		t.Errorf("backdated start = %d, want 2000", got.Start)
+	}
+	if got.End <= got.Start {
+		t.Errorf("span end %d not after start", got.End)
+	}
+}

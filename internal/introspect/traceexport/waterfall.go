@@ -1,0 +1,64 @@
+package traceexport
+
+import (
+	"fmt"
+	"strings"
+)
+
+// waterfallWidth is the bar width of the text waterfall in cells.
+const waterfallWidth = 32
+
+// Waterfall renders an assembled trace as an indented text timeline:
+// one row per span with its process, offset, duration and a bar showing
+// where it sits inside the trace — the terminal-native cousin of the
+// Chrome trace view.
+func Waterfall(tr *Trace) string {
+	if tr == nil || tr.Spans == 0 {
+		return "(empty trace)\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s · %d spans · %d process(es) · %.3fms\n",
+		tr.ID, tr.Spans, len(tr.Processes()), tr.DurationSeconds()*1e3)
+	total := tr.End - tr.Start
+	if total <= 0 {
+		total = 1
+	}
+	row := func(n *Node, depth int) {
+		s := n.Span
+		startCell := int(int64(waterfallWidth) * (s.Start - tr.Start) / total)
+		endCell := int(int64(waterfallWidth) * (s.End - tr.Start) / total)
+		if endCell <= startCell {
+			endCell = startCell + 1
+		}
+		if endCell > waterfallWidth {
+			endCell = waterfallWidth
+		}
+		bar := strings.Repeat(" ", startCell) +
+			strings.Repeat("█", endCell-startCell) +
+			strings.Repeat(" ", waterfallWidth-endCell)
+		mark := ""
+		if s.Err != "" {
+			mark = "  ✗ " + s.Err
+		}
+		fmt.Fprintf(&b, "%-12s |%s| %8.3fms %s%s%s\n",
+			truncate(s.Process, 12), bar, spanSeconds(s)*1e3,
+			strings.Repeat("  ", depth), s.Name, mark)
+	}
+	for _, r := range tr.Roots {
+		r.Walk(row)
+	}
+	if len(tr.Orphans) > 0 {
+		fmt.Fprintf(&b, "orphaned subtrees (parent span not collected):\n")
+		for _, o := range tr.Orphans {
+			o.Walk(row)
+		}
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,124 @@
+package introspect
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TraceID is a 128-bit trace identifier shared by every span of one
+// distributed trace, across process boundaries. The zero value means "no
+// trace".
+type TraceID struct {
+	Hi, Lo uint64
+}
+
+// IsZero reports whether the id is unset.
+func (t TraceID) IsZero() bool { return t.Hi == 0 && t.Lo == 0 }
+
+// String renders the id as 32 lowercase hex digits (the traceparent
+// wire form).
+func (t TraceID) String() string {
+	return fmt.Sprintf("%016x%016x", t.Hi, t.Lo)
+}
+
+// ParseTraceID parses a 32-hex-digit trace id.
+func ParseTraceID(s string) (TraceID, bool) {
+	if len(s) != 32 {
+		return TraceID{}, false
+	}
+	hi, err1 := strconv.ParseUint(s[:16], 16, 64)
+	lo, err2 := strconv.ParseUint(s[16:], 16, 64)
+	if err1 != nil || err2 != nil {
+		return TraceID{}, false
+	}
+	id := TraceID{Hi: hi, Lo: lo}
+	return id, !id.IsZero()
+}
+
+// SpanContext is the propagated trace state: which trace the caller is
+// in, which span is the active parent, and whether the head-based
+// sampling decision kept the trace. It crosses process boundaries as a
+// traceparent field on the wire protocols.
+type SpanContext struct {
+	Trace   TraceID
+	Span    uint64
+	Sampled bool
+}
+
+// Valid reports whether the context names a real trace and span.
+func (sc SpanContext) Valid() bool { return !sc.Trace.IsZero() && sc.Span != 0 }
+
+// FormatTraceparent renders a span context in the W3C trace-context
+// form: "00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>", flag
+// 01 meaning sampled.
+func FormatTraceparent(sc SpanContext) string {
+	flags := "00"
+	if sc.Sampled {
+		flags = "01"
+	}
+	return fmt.Sprintf("00-%s-%016x-%s", sc.Trace, sc.Span, flags)
+}
+
+// ParseTraceparent parses a traceparent value. Malformed or truncated
+// values (a frame cut mid-partition) return ok=false so the receiver
+// falls back to an untraced root instead of mis-parenting a span.
+func ParseTraceparent(s string) (SpanContext, bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return SpanContext{}, false
+	}
+	trace, ok := ParseTraceID(parts[1])
+	if !ok {
+		return SpanContext{}, false
+	}
+	if len(parts[2]) != 16 {
+		return SpanContext{}, false
+	}
+	span, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil || span == 0 {
+		return SpanContext{}, false
+	}
+	if len(parts[3]) != 2 {
+		return SpanContext{}, false
+	}
+	flags, err := strconv.ParseUint(parts[3], 16, 8)
+	if err != nil {
+		return SpanContext{}, false
+	}
+	return SpanContext{Trace: trace, Span: span, Sampled: flags&1 == 1}, true
+}
+
+// WireField is the optional trace-context token tagged onto
+// line-oriented wire frames: "traceparent=<value>". Servers that
+// predate it treat the token as part of the payload and reject the
+// frame; servers that know it strip the token and parent their spans
+// under the sender's. Untagged frames always remain valid.
+const WireField = "traceparent="
+
+// CutWireField strips a leading "traceparent=<value> " token from a
+// frame body, returning the parsed context, the remaining body, and
+// whether a valid token was found. A malformed token is stripped but
+// reported not-ok (tagged=false) — the payload still parses, the trace
+// link is dropped rather than corrupted.
+func CutWireField(body string) (SpanContext, string, bool) {
+	if !strings.HasPrefix(body, WireField) {
+		return SpanContext{}, body, false
+	}
+	token, rest, _ := strings.Cut(body, " ")
+	sc, ok := ParseTraceparent(token[len(WireField):])
+	return sc, rest, ok
+}
+
+// TraceparentFromContext renders the traceparent for the span context
+// carried by ctx, or "" when ctx carries none — the client-side
+// injection helper. Unsampled contexts still propagate (flag 00) so the
+// head decision is honored end to end.
+func TraceparentFromContext(ctx context.Context) string {
+	sc, ok := SpanContextFromContext(ctx)
+	if !ok || !sc.Valid() {
+		return ""
+	}
+	return FormatTraceparent(sc)
+}

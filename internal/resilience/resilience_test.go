@@ -2,6 +2,7 @@ package resilience
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -9,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"pmove/internal/introspect"
 )
 
 func TestBackoffDeterministicAndBounded(t *testing.T) {
@@ -171,7 +174,7 @@ func pingProbe(w *Wire) error {
 
 func roundTrip(tr *Transport, line string) (string, error) {
 	var out string
-	err := tr.Do(func(w *Wire) error {
+	err := tr.Do(func(_ context.Context, w *Wire) error {
 		if _, err := fmt.Fprintln(w.Conn, line); err != nil {
 			return err
 		}
@@ -267,7 +270,7 @@ func TestTransportPermanentNotRetried(t *testing.T) {
 	defer tr.Close()
 	calls := 0
 	wantErr := fmt.Errorf("rejected")
-	err := tr.Do(func(w *Wire) error {
+	err := tr.Do(func(_ context.Context, w *Wire) error {
 		calls++
 		// Full round trip keeps the stream in sync, then reject.
 		if _, err := fmt.Fprintln(w.Conn, "x"); err != nil {
@@ -324,5 +327,56 @@ func TestTransportDeadlineAgainstPartition(t *testing.T) {
 	proxy.Heal()
 	if resp, err := roundTrip(tr, "healed"); err != nil || resp != "OK healed" {
 		t.Fatalf("after heal: %q, %v", resp, err)
+	}
+}
+
+// TestTransportDurationStats checks the per-attempt and backoff elapsed
+// accounting: TransportStats duration fields and the
+// transport.<name>.{attempt,backoff}.seconds histograms must agree with
+// the retry counters, so trace attribution has a registry cross-check.
+func TestTransportDurationStats(t *testing.T) {
+	srv := newEchoServer(t)
+	tr := NewTransport(srv.addr(), testPolicy(), nil)
+	defer tr.Close()
+	in := introspect.New(introspect.WithPrefix("rt_test"))
+	tr.SetIntrospection(in, "echo")
+
+	if _, err := roundTrip(tr, "hello"); err != nil {
+		t.Fatal(err)
+	}
+	st := tr.Stats()
+	if st.AttemptNanos == 0 {
+		t.Fatalf("successful op recorded no attempt time: %+v", st)
+	}
+	if st.BackoffNanos != 0 {
+		t.Fatalf("no retries yet but backoff time recorded: %+v", st)
+	}
+
+	// Kill the server: the retry loop must accumulate both attempt time
+	// (failed dials/exchanges) and backoff waits.
+	srv.close()
+	if _, err := roundTrip(tr, "down"); err == nil {
+		t.Fatal("op against dead server should fail")
+	}
+	st = tr.Stats()
+	if st.Retries == 0 || st.BackoffNanos == 0 {
+		t.Fatalf("retry waits not accounted: %+v", st)
+	}
+
+	snap := in.Snapshot()
+	att, ok := snap.Get("transport.echo.attempt.seconds")
+	if !ok || att.Kind != introspect.KindHistogram {
+		t.Fatalf("attempt histogram missing: %+v ok=%v", att, ok)
+	}
+	// One successful attempt plus every attempt of the failed op.
+	if want := 1 + st.Retries + 1; att.Count != want {
+		t.Errorf("attempt histogram count = %d, want %d", att.Count, want)
+	}
+	bo, ok := snap.Get("transport.echo.backoff.seconds")
+	if !ok || bo.Count != st.Retries {
+		t.Errorf("backoff histogram count = %d (ok=%v), want %d", bo.Count, ok, st.Retries)
+	}
+	if bo.Sum <= 0 {
+		t.Errorf("backoff histogram sum = %v, want > 0", bo.Sum)
 	}
 }

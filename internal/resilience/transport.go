@@ -43,13 +43,17 @@ type Wire struct {
 	R    *bufio.Reader
 }
 
-// TransportStats counts the transport's fault handling.
+// TransportStats counts the transport's fault handling. The duration
+// fields let trace attribution and the registry agree on where op time
+// went: attempts (dial + exchange) versus backoff waits between them.
 type TransportStats struct {
 	Dials        uint64 // successful connects (first + reconnects)
 	Retries      uint64 // op attempts beyond the first
 	Failures     uint64 // I/O failures observed
 	BreakerOpens uint64 // times the circuit opened
 	FastFails    uint64 // ops rejected by the open circuit
+	AttemptNanos uint64 // total time inside attempts (dial + exchange)
+	BackoffNanos uint64 // total time sleeping between attempts
 }
 
 // Transport maintains one line-oriented TCP connection with deadlines,
@@ -116,6 +120,15 @@ func (t *Transport) count(suffix string, n uint64) {
 	t.in.Metrics().Counter("transport." + t.name + "." + suffix).Add(n)
 }
 
+// observe records seconds into the transport.<name>.<suffix> latency
+// histogram. Caller holds mu; nil introspection is a no-op.
+func (t *Transport) observe(suffix string, seconds float64) {
+	if t.in == nil {
+		return
+	}
+	t.in.Metrics().Histogram("transport."+t.name+"."+suffix, introspect.DefaultLatencyBounds...).Observe(seconds)
+}
+
 // Policy returns the transport's policy.
 func (t *Transport) Policy() Policy { return t.pol }
 
@@ -150,7 +163,7 @@ func (t *Transport) Close() error {
 }
 
 // Do runs one request/response exchange with a background context.
-func (t *Transport) Do(op func(*Wire) error) error {
+func (t *Transport) Do(op func(ctx context.Context, w *Wire) error) error {
 	return t.DoContext(context.Background(), op)
 }
 
@@ -161,7 +174,15 @@ func (t *Transport) Do(op func(*Wire) error) error {
 // times. Cancelling ctx aborts the retry loop — including mid-backoff —
 // with a wrapped ctx.Err(), so a caller never waits out a retry budget
 // it no longer wants.
-func (t *Transport) DoContext(ctx context.Context, op func(*Wire) error) (err error) {
+//
+// The ctx handed to op carries the per-attempt trace span (under the
+// transport.<name>.do op span), so an op that stamps a traceparent onto
+// its wire frame parents the server's spans beneath the exact attempt
+// that carried them — a retried exchange yields distinct server
+// subtrees, not one merged blur. Each attempt's elapsed time (dial +
+// exchange) and each backoff wait are recorded in TransportStats and the
+// transport.<name>.{attempt,backoff}.seconds histograms.
+func (t *Transport) DoContext(ctx context.Context, op func(ctx context.Context, w *Wire) error) (err error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	ctx, span := t.in.StartSpan(ctx, "transport."+t.name+".do")
@@ -186,12 +207,28 @@ func (t *Transport) DoContext(ctx context.Context, op func(*Wire) error) (err er
 		if attempt > 0 {
 			t.stats.Retries++
 			t.count("retries", 1)
-			if serr := t.sleepCtx(ctx, t.pol.Backoff.Delay(attempt, t.rng)); serr != nil {
+			_, bspan := t.in.StartSpan(ctx, "transport."+t.name+".backoff")
+			b0 := t.now()
+			serr := t.sleepCtx(ctx, t.pol.Backoff.Delay(attempt, t.rng))
+			waited := t.now().Sub(b0)
+			t.stats.BackoffNanos += uint64(waited.Nanoseconds())
+			t.observe("backoff.seconds", waited.Seconds())
+			bspan.End(serr)
+			if serr != nil {
 				err = fmt.Errorf("resilience: %s: %w", t.addr, serr)
 				return err
 			}
 		}
+		actx, aspan := t.in.StartSpan(ctx, "transport."+t.name+".attempt")
+		a0 := t.now()
+		endAttempt := func(aerr error) {
+			took := t.now().Sub(a0)
+			t.stats.AttemptNanos += uint64(took.Nanoseconds())
+			t.observe("attempt.seconds", took.Seconds())
+			aspan.End(aerr)
+		}
 		if werr := t.ensureWire(); werr != nil {
+			endAttempt(werr)
 			if errors.Is(werr, ErrCircuitOpen) {
 				// Retrying cannot help until the cooldown elapses.
 				t.count("fastfails", 1)
@@ -202,18 +239,22 @@ func (t *Transport) DoContext(ctx context.Context, op func(*Wire) error) (err er
 			lastErr = werr
 			continue
 		}
-		oerr := op(t.wire)
+		oerr := op(actx, t.wire)
 		if oerr == nil {
+			endAttempt(nil)
 			t.breaker.Success()
 			return nil
 		}
 		var pe *permanentError
 		if errors.As(oerr, &pe) {
-			// The server answered; the stream is in sync.
+			// The server answered; the stream is in sync — the attempt
+			// itself succeeded at the transport level.
+			endAttempt(nil)
 			t.breaker.Success()
 			err = pe.err
 			return err
 		}
+		endAttempt(oerr)
 		t.dropWire()
 		t.stats.Failures++
 		t.count("failures", 1)

@@ -20,6 +20,11 @@ import (
 type Remote struct {
 	Docs *docdb.Client
 	TS   *tsdb.Client
+
+	// in records client-side superdb.* spans around the compound report
+	// and query ops, so a distributed trace shows the superdb hop above
+	// the per-transport attempts. Nil-safe.
+	in *introspect.Introspector
 }
 
 // DialRemote connects to a running cmd/superdb instance with the default
@@ -47,6 +52,7 @@ func DialRemoteWith(docAddr, tsAddr string, pol resilience.Policy) (*Remote, err
 // the self-observability registry, under transport.superdb_docs.* and
 // transport.superdb_ts.*.
 func (r *Remote) SetIntrospection(in *introspect.Introspector) {
+	r.in = in
 	r.Docs.Transport().SetIntrospection(in, "superdb_docs")
 	r.TS.Transport().SetIntrospection(in, "superdb_ts")
 }
@@ -75,8 +81,10 @@ func (r *Remote) ReportJob(doc docdb.Doc) error {
 }
 
 // ReportJobContext uploads one job metadata document.
-func (r *Remote) ReportJobContext(ctx context.Context, doc docdb.Doc) error {
-	_, err := r.Docs.UpsertContext(ctx, CollJobs, doc)
+func (r *Remote) ReportJobContext(ctx context.Context, doc docdb.Doc) (err error) {
+	ctx, span := r.in.StartSpan(ctx, "superdb.report_job")
+	defer func() { span.End(err) }()
+	_, err = r.Docs.UpsertContext(ctx, CollJobs, doc)
 	return err
 }
 
@@ -97,7 +105,9 @@ func (r *Remote) ReportKB(k *kb.KB) error {
 
 // ReportKBContext uploads a system's KB summary, replacing any prior
 // upload for the same host.
-func (r *Remote) ReportKBContext(ctx context.Context, k *kb.KB) error {
+func (r *Remote) ReportKBContext(ctx context.Context, k *kb.KB) (err error) {
+	ctx, span := r.in.StartSpan(ctx, "superdb.report_kb")
+	defer func() { span.End(err) }()
 	doc, err := docdb.FromValue(map[string]any{
 		"_id":       "kb:" + k.Host,
 		"host":      k.Host,
@@ -121,7 +131,9 @@ func (r *Remote) ReportObservation(o *kb.Observation, local *tsdb.DB, mode Repor
 // ReportObservationContext uploads one observation over the wire, with
 // the same TS/AGG split as the embedded SuperDB. Cancelling ctx aborts
 // between (and inside) point uploads.
-func (r *Remote) ReportObservationContext(ctx context.Context, o *kb.Observation, local *tsdb.DB, mode ReportMode) error {
+func (r *Remote) ReportObservationContext(ctx context.Context, o *kb.Observation, local *tsdb.DB, mode ReportMode) (err error) {
+	ctx, span := r.in.StartSpan(ctx, "superdb.report_observation")
+	defer func() { span.End(err) }()
 	kind := ontology.EntryTSObservation
 	if mode == ModeAGG {
 		kind = ontology.EntryAGGObservation
@@ -220,7 +232,9 @@ func (r *Remote) QueryObservation(host, tag, measurement string, fields []string
 // QueryObservationContext recalls one uploaded observation's series for a
 // measurement, using the same Listing 3 query shape against the global
 // time-series store.
-func (r *Remote) QueryObservationContext(ctx context.Context, host, tag, measurement string, fields []string) (*tsdb.Result, error) {
+func (r *Remote) QueryObservationContext(ctx context.Context, host, tag, measurement string, fields []string) (res *tsdb.Result, err error) {
+	ctx, span := r.in.StartSpan(ctx, "superdb.query_observation")
+	defer func() { span.End(err) }()
 	q := &tsdb.Query{
 		Fields:      fields,
 		Measurement: measurement,

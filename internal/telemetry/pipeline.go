@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"pmove/internal/introspect"
 	"pmove/internal/tsdb"
@@ -257,7 +258,12 @@ func (c *Collector) Offer(now float64, samples []Sample, tag string, zeroBatch b
 func (c *Collector) OfferContext(ctx context.Context, now float64, samples []Sample, tag string, zeroBatch bool) (err error) {
 	reg := c.Self.Metrics()
 	ctx, span := c.Self.StartSpan(ctx, "telemetry.offer")
-	defer func() { span.End(err) }()
+	offerStart := time.Now()
+	defer func() {
+		reg.Histogram("telemetry.offer.seconds", introspect.DefaultLatencyBounds...).
+			Observe(time.Since(offerStart).Seconds())
+		span.End(err)
+	}()
 	nValues := 0
 	var nBytes int64
 	for _, s := range samples {

@@ -9,7 +9,9 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"time"
 
+	"pmove/internal/introspect"
 	"pmove/internal/resilience"
 )
 
@@ -30,6 +32,7 @@ type Server struct {
 	conns map[net.Conn]bool
 	wg    sync.WaitGroup
 	obs   func(cmd string, err error)
+	in    *introspect.Introspector
 }
 
 // NewServer wraps a DB.
@@ -47,6 +50,23 @@ func (s *Server) SetObserver(fn func(cmd string, err error)) {
 	s.mu.Lock()
 	s.obs = fn
 	s.mu.Unlock()
+}
+
+// SetTracing attaches an introspector whose tracer records server-side
+// spans (tsdb.server.write with parse/queue/insert children, ...). When
+// an incoming frame carries a traceparent tag, the server spans join the
+// caller's distributed trace; untagged frames open local root spans. A
+// nil introspector (the default) disables server tracing.
+func (s *Server) SetTracing(in *introspect.Introspector) {
+	s.mu.Lock()
+	s.in = in
+	s.mu.Unlock()
+}
+
+func (s *Server) tracing() *introspect.Introspector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.in
 }
 
 func (s *Server) observe(cmd string, err error) {
@@ -102,37 +122,16 @@ func (s *Server) handle(conn net.Conn) {
 	w := bufio.NewWriter(conn)
 	for sc.Scan() {
 		line := sc.Text()
+		arrival := time.Now().UnixNano()
 		cmd, rest, _ := strings.Cut(line, " ")
 		switch strings.ToUpper(cmd) {
 		case "PING":
 			fmt.Fprintln(w, "PONG")
 			s.observe("ping", nil)
 		case "WRITE":
-			p, err := DecodeLine(rest)
-			if err == nil {
-				err = s.db.WritePoint(p)
-			}
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-			} else {
-				fmt.Fprintln(w, "OK")
-			}
-			s.observe("write", err)
+			s.handleWrite(rest, arrival, w)
 		case "QUERY":
-			res, err := s.db.QueryString(rest)
-			if err != nil {
-				fmt.Fprintf(w, "ERR %v\n", err)
-			} else {
-				b, merr := json.Marshal(res)
-				if merr != nil {
-					fmt.Fprintf(w, "ERR %v\n", merr)
-					err = merr
-				} else {
-					w.Write(b)
-					w.WriteByte('\n')
-				}
-			}
-			s.observe("query", err)
+			s.handleQuery(rest, arrival, w)
 		default:
 			fmt.Fprintf(w, "ERR unknown command %q\n", cmd)
 			s.observe("unknown", fmt.Errorf("unknown command %q", cmd))
@@ -152,6 +151,78 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		w.Flush()
 	}
+}
+
+// frameContext strips an optional leading "traceparent=<tp> " token off
+// a frame body and returns a context rooted in the sender's span (or a
+// plain background context for untagged / malformed tags — malformed
+// tags are stripped but never corrupt parentage). Untagged frames from
+// pre-traceparent clients are therefore handled exactly as before.
+func frameContext(rest string) (context.Context, string) {
+	remote, body, tagged := introspect.CutWireField(rest)
+	ctx := context.Background()
+	if tagged && remote.Valid() {
+		ctx = introspect.ContextWithSpanContext(ctx, remote)
+	}
+	return ctx, body
+}
+
+// handleWrite decodes and inserts one WRITE frame, tracing the
+// queue/parse/insert phases under a tsdb.server.write span backdated to
+// frame arrival so queue time (arrival → processing) is visible.
+func (s *Server) handleWrite(rest string, arrivalNanos int64, w *bufio.Writer) {
+	ctx, body := frameContext(rest)
+	in := s.tracing()
+	wctx, op := in.StartSpanAt(ctx, "tsdb.server.write", arrivalNanos)
+	_, qs := in.StartSpanAt(wctx, "tsdb.server.queue", arrivalNanos)
+	qs.End(nil)
+	_, ps := in.StartSpan(wctx, "tsdb.server.parse")
+	p, err := DecodeLine(body)
+	ps.End(err)
+	if err == nil {
+		_, is := in.StartSpan(wctx, "tsdb.server.insert")
+		err = s.db.WritePoint(p)
+		is.End(err)
+	}
+	op.End(err)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+	} else {
+		fmt.Fprintln(w, "OK")
+	}
+	s.observe("write", err)
+}
+
+// handleQuery parses and executes one QUERY frame with parse/exec child
+// spans under tsdb.server.query.
+func (s *Server) handleQuery(rest string, arrivalNanos int64, w *bufio.Writer) {
+	ctx, body := frameContext(rest)
+	in := s.tracing()
+	qctx, op := in.StartSpanAt(ctx, "tsdb.server.query", arrivalNanos)
+	_, ps := in.StartSpan(qctx, "tsdb.server.parse")
+	q, err := ParseQuery(body)
+	ps.End(err)
+	var res *Result
+	if err == nil {
+		var es *introspect.ActiveSpan
+		_, es = in.StartSpan(qctx, "tsdb.server.exec")
+		res, err = s.db.Execute(q)
+		es.End(err)
+	}
+	op.End(err)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+	} else {
+		b, merr := json.Marshal(res)
+		if merr != nil {
+			fmt.Fprintf(w, "ERR %v\n", merr)
+			err = merr
+		} else {
+			w.Write(b)
+			w.WriteByte('\n')
+		}
+	}
+	s.observe("query", err)
 }
 
 // Close stops the server and waits for connections to drain.
@@ -179,6 +250,18 @@ func (s *Server) Close() error {
 // retry: a WRITE whose response was lost may be re-sent.
 type Client struct {
 	tr *resilience.Transport
+}
+
+// wireTag renders the optional "traceparent=<tp> " frame token for the
+// span context in ctx ("" when untraced). Built inside the transport's
+// per-attempt closure, so each retry stamps its own attempt span and the
+// server subtree parents under the exact attempt that carried it.
+func wireTag(ctx context.Context) string {
+	tp := introspect.TraceparentFromContext(ctx)
+	if tp == "" {
+		return ""
+	}
+	return introspect.WireField + tp + " "
 }
 
 // pingResync is the resync/half-open probe run on every fresh connection.
@@ -231,8 +314,8 @@ func (c *Client) WriteContext(ctx context.Context, p Point) error {
 	if err != nil {
 		return err
 	}
-	return c.tr.DoContext(ctx, func(w *resilience.Wire) error {
-		if _, err := fmt.Fprintf(w.Conn, "WRITE %s\n", line); err != nil {
+	return c.tr.DoContext(ctx, func(ctx context.Context, w *resilience.Wire) error {
+		if _, err := fmt.Fprintf(w.Conn, "WRITE %s%s\n", wireTag(ctx), line); err != nil {
 			return err
 		}
 		resp, err := w.R.ReadString('\n')
@@ -265,8 +348,8 @@ func (c *Client) Query(stmt string) (*Result, error) {
 // QueryContext runs a SELECT statement remotely.
 func (c *Client) QueryContext(ctx context.Context, stmt string) (*Result, error) {
 	var res Result
-	err := c.tr.DoContext(ctx, func(w *resilience.Wire) error {
-		if _, err := fmt.Fprintf(w.Conn, "QUERY %s\n", stmt); err != nil {
+	err := c.tr.DoContext(ctx, func(ctx context.Context, w *resilience.Wire) error {
+		if _, err := fmt.Fprintf(w.Conn, "QUERY %s%s\n", wireTag(ctx), stmt); err != nil {
 			return err
 		}
 		resp, err := w.R.ReadString('\n')
@@ -297,7 +380,7 @@ func (c *Client) Ping() error {
 
 // PingContext checks liveness.
 func (c *Client) PingContext(ctx context.Context) error {
-	return c.tr.DoContext(ctx, func(w *resilience.Wire) error {
+	return c.tr.DoContext(ctx, func(ctx context.Context, w *resilience.Wire) error {
 		if _, err := fmt.Fprintln(w.Conn, "PING"); err != nil {
 			return err
 		}

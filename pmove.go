@@ -22,6 +22,7 @@ import (
 	"pmove/internal/dashboard"
 	"pmove/internal/docdb"
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/traceexport"
 	"pmove/internal/kb"
 	"pmove/internal/kernels"
 	"pmove/internal/machine"
@@ -127,6 +128,50 @@ var (
 	WithSpanCapacity = introspect.WithSpanCapacity
 	// WithSelfPrefix overrides the pmove.self export namespace.
 	WithSelfPrefix = introspect.WithPrefix
+	// WithProcess labels this process's spans for multi-process assembly.
+	WithProcess = introspect.WithProcess
+	// WithTraceSampling sets the head-based trace sampling rate (errored
+	// spans are always kept); seed 0 derives one from the clock.
+	WithTraceSampling = introspect.WithSampling
+)
+
+// Distributed tracing (internal/introspect + traceexport): 128-bit trace
+// IDs propagated over the wire as a traceparent field on the tsdb line
+// protocol and docdb request frames, assembled across processes into
+// trace trees with per-hop latency attribution and Chrome-trace export.
+type (
+	// TraceID is a 128-bit distributed trace identifier.
+	TraceID = introspect.TraceID
+	// SpanContext is the wire-propagated (trace, span, sampled) triple.
+	SpanContext = introspect.SpanContext
+	// Trace is one assembled multi-process trace tree.
+	Trace = traceexport.Trace
+	// TraceNode is one span plus its children inside a Trace.
+	TraceNode = traceexport.Node
+	// TraceCollector gathers span rings from several processes.
+	TraceCollector = traceexport.Collector
+	// TraceAttribution partitions a trace's wire time into per-hop
+	// components (client queue, network, retry, server phases).
+	TraceAttribution = traceexport.Attribution
+)
+
+// Distributed-tracing functions.
+var (
+	// ParseTraceparent parses a W3C-style traceparent header field.
+	ParseTraceparent = introspect.ParseTraceparent
+	// FormatTraceparent renders a SpanContext as a traceparent field.
+	FormatTraceparent = introspect.FormatTraceparent
+	// NewTraceCollector creates an empty multi-process trace collector.
+	NewTraceCollector = traceexport.NewCollector
+	// AssembleTraces stitches finished spans into trace trees.
+	AssembleTraces = traceexport.Assemble
+	// AttributeTrace computes per-hop latency attribution for a trace.
+	AttributeTrace = traceexport.Attribute
+	// TraceWaterfall renders a trace as an indented text timeline.
+	TraceWaterfall = traceexport.Waterfall
+	// ChromeTrace exports a trace as Chrome trace-event JSON
+	// (chrome://tracing / Perfetto loadable).
+	ChromeTrace = traceexport.ChromeTrace
 )
 
 // EnvFromOS reads the daemon configuration from the environment.
