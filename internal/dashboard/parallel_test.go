@@ -1,0 +1,55 @@
+package dashboard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pmove/internal/kb"
+)
+
+// TestParallelMonitorDashboardIDsUnique pins the generator's concurrency
+// contract: concurrent Monitor calls (one dashboard per observation)
+// must never hand out the same dashboard id twice, and every generated
+// dashboard must be internally valid.
+func TestParallelMonitorDashboardIDsUnique(t *testing.T) {
+	g := NewGenerator("ds-uid")
+	const n = 64
+	var wg sync.WaitGroup
+	dashes := make([]*Dashboard, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			obs := &kb.Observation{
+				ID:      fmt.Sprintf("obs:par-%d", i),
+				Tag:     fmt.Sprintf("tag-%d", i),
+				Command: "stress",
+				Metrics: []kb.MetricRef{
+					{Measurement: "kernel_percpu_cpu_idle", Fields: []string{"_cpu0", "_cpu1"}},
+					{Measurement: "kernel_percpu_cpu_user", Fields: []string{"_cpu0"}},
+				},
+			}
+			dashes[i], errs[i] = g.ForObservation(obs)
+		}(i)
+	}
+	wg.Wait()
+
+	ids := make(map[int]int, n)
+	for i, d := range dashes {
+		if errs[i] != nil {
+			t.Fatalf("observation %d: %v", i, errs[i])
+		}
+		if prev, dup := ids[d.ID]; dup {
+			t.Fatalf("dashboard id %d handed to observations %d and %d", d.ID, prev, i)
+		}
+		ids[d.ID] = i
+		if err := d.Validate(); err != nil {
+			t.Errorf("observation %d: invalid dashboard: %v", i, err)
+		}
+	}
+	if len(ids) != n {
+		t.Fatalf("expected %d distinct dashboard ids, got %d", n, len(ids))
+	}
+}

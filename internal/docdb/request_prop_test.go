@@ -1,0 +1,139 @@
+package docdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// propRNG is a self-contained splitmix64 for seeded property cases.
+type propRNG struct{ s uint64 }
+
+func (r *propRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *propRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func (r *propRNG) str(prefix string) string {
+	return fmt.Sprintf("%s%x", prefix, r.next()&0xffff)
+}
+
+// randDoc builds a document from JSON-stable value types (string,
+// float64, bool, nested map) so unmarshalling reproduces it exactly.
+func randDoc(r *propRNG, depth int) Doc {
+	d := Doc{"_id": r.str("id-")}
+	for i, n := 0, 1+r.intn(4); i < n; i++ {
+		k := r.str("k")
+		switch r.intn(4) {
+		case 0:
+			d[k] = r.str("v")
+		case 1:
+			d[k] = float64(r.next()%100000) / 100
+		case 2:
+			d[k] = r.next()&1 == 1
+		case 3:
+			if depth > 0 {
+				d[k] = map[string]any(randDoc(r, depth-1))
+			} else {
+				d[k] = r.str("leaf")
+			}
+		}
+	}
+	return d
+}
+
+func randFilter(r *propRNG) *Filter {
+	f := &Filter{Eq: map[string]any{}, Prefix: map[string]string{}}
+	for i, n := 0, r.intn(3); i < n; i++ {
+		f.Eq[r.str("path.")] = r.str("v")
+	}
+	for i, n := 0, r.intn(2); i < n; i++ {
+		f.Exists = append(f.Exists, r.str("e"))
+	}
+	for i, n := 0, r.intn(2); i < n; i++ {
+		f.Prefix[r.str("p")] = r.str("dtmi:")
+	}
+	return f
+}
+
+// TestRequestEncodeDecodeProperty drives 1000 seeded random wire
+// requests through the JSON frame codec and back: the decoded request
+// must equal the original — the invariant keeping client and server
+// frame views identical no matter which optional parts a request
+// carries.
+func TestRequestEncodeDecodeProperty(t *testing.T) {
+	ops := []string{"insert", "upsert", "find", "get", "delete", "count", "collections", "ping"}
+	rng := &propRNG{s: 0xd0cdb}
+	for i := 0; i < 1000; i++ {
+		req := request{Op: ops[rng.intn(len(ops))]}
+		if rng.intn(2) == 1 {
+			req.Collection = rng.str("coll-")
+		}
+		switch req.Op {
+		case "insert", "upsert":
+			req.Doc = randDoc(rng, 2)
+		case "find", "delete", "count":
+			req.Filter = randFilter(rng)
+		case "get":
+			req.ID = rng.str("id-")
+		}
+		if rng.intn(4) == 0 {
+			req.Traceparent = fmt.Sprintf("00-%016x%016x-%016x-01", rng.next(), rng.next(), rng.next()|1)
+		}
+		frame, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("case %d: marshal %+v: %v", i, req, err)
+		}
+		var got request
+		if err := json.Unmarshal(frame, &got); err != nil {
+			t.Fatalf("case %d: unmarshal %s: %v", i, frame, err)
+		}
+		if !reflect.DeepEqual(req, got) {
+			t.Fatalf("case %d: round trip changed request:\n  in: %+v\n out: %+v\nwire: %s", i, req, got, frame)
+		}
+	}
+}
+
+// TestResponseEncodeDecodeProperty does the same for the server's side
+// of the frame: 1000 seeded random responses must survive the codec
+// exactly, including empty-but-present and fully-loaded shapes.
+func TestResponseEncodeDecodeProperty(t *testing.T) {
+	rng := &propRNG{s: 0x5e5f}
+	for i := 0; i < 1000; i++ {
+		resp := response{OK: rng.intn(2) == 1}
+		if !resp.OK {
+			resp.Error = rng.str("err-")
+		}
+		switch rng.intn(4) {
+		case 0:
+			resp.ID = rng.str("id-")
+		case 1:
+			for j, n := 0, 1+rng.intn(3); j < n; j++ {
+				resp.Docs = append(resp.Docs, randDoc(rng, 1))
+			}
+		case 2:
+			resp.Count = rng.intn(1000)
+		case 3:
+			for j, n := 0, 1+rng.intn(3); j < n; j++ {
+				resp.Names = append(resp.Names, rng.str("coll-"))
+			}
+		}
+		frame, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("case %d: marshal %+v: %v", i, resp, err)
+		}
+		var got response
+		if err := json.Unmarshal(frame, &got); err != nil {
+			t.Fatalf("case %d: unmarshal %s: %v", i, frame, err)
+		}
+		if !reflect.DeepEqual(resp, got) {
+			t.Fatalf("case %d: round trip changed response:\n  in: %+v\n out: %+v\nwire: %s", i, resp, got, frame)
+		}
+	}
+}

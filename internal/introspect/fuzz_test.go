@@ -1,0 +1,42 @@
+package introspect
+
+import "testing"
+
+// FuzzParseTraceparent asserts the trace-context parser's contract over
+// arbitrary wire bytes: never panic, never accept an invalid span
+// context, and every accepted value survives a Format/Parse round trip
+// exactly — the property that keeps cross-process span parenting stable
+// no matter what a truncated or corrupted frame carries.
+func FuzzParseTraceparent(f *testing.F) {
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-00")
+	f.Add("00-00000000000000000000000000000000-0000000000000000-01")
+	f.Add("00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01")
+	f.Add("01-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01")
+	f.Add("00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331")
+	f.Add("traceparent=00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01 rest")
+	f.Add("")
+	f.Add("----")
+	f.Fuzz(func(t *testing.T, s string) {
+		sc, ok := ParseTraceparent(s)
+		if !ok {
+			if sc != (SpanContext{}) {
+				t.Fatalf("rejected input %q returned non-zero context %+v", s, sc)
+			}
+		} else {
+			if !sc.Valid() {
+				t.Fatalf("accepted input %q yielded invalid context %+v", s, sc)
+			}
+			wire := FormatTraceparent(sc)
+			sc2, ok2 := ParseTraceparent(wire)
+			if !ok2 || sc2 != sc {
+				t.Fatalf("format/parse not a round trip: %q -> %+v -> %q -> %+v (ok=%v)", s, sc, wire, sc2, ok2)
+			}
+		}
+		// The frame-level cutter shares the parser; it must never panic
+		// and a tagged cut must yield a valid context.
+		if csc, _, tagged := CutWireField(s); tagged && !csc.Valid() {
+			t.Fatalf("CutWireField(%q) reported tagged with invalid context %+v", s, csc)
+		}
+	})
+}

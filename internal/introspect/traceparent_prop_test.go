@@ -1,0 +1,70 @@
+package introspect
+
+import "testing"
+
+// propRNG is a self-contained splitmix64 so the property tests stay
+// seeded and deterministic without importing the resilience package
+// (which imports introspect).
+type propRNG struct{ s uint64 }
+
+func (r *propRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// TestTraceparentFormatParseProperty drives 1000 seeded random span
+// contexts through the wire form and back: Format/Parse must be an exact
+// identity for every valid context, including extreme ids. This is the
+// property the cross-process span-parenting protocol rests on.
+func TestTraceparentFormatParseProperty(t *testing.T) {
+	rng := &propRNG{s: 0x7e57ca5e}
+	for i := 0; i < 1000; i++ {
+		sc := SpanContext{
+			Trace:   TraceID{Hi: rng.next(), Lo: rng.next()},
+			Span:    rng.next(),
+			Sampled: rng.next()&1 == 1,
+		}
+		// Bias some cases onto the edges the RNG all but never hits.
+		switch i {
+		case 0:
+			sc.Trace = TraceID{Hi: 0, Lo: 1}
+		case 1:
+			sc.Trace = TraceID{Hi: ^uint64(0), Lo: ^uint64(0)}
+			sc.Span = ^uint64(0)
+		case 2:
+			sc.Span = 1
+		}
+		if sc.Span == 0 {
+			sc.Span = 1 // zero span ids are invalid by contract
+		}
+		wire := FormatTraceparent(sc)
+		got, ok := ParseTraceparent(wire)
+		if !ok {
+			t.Fatalf("case %d: own wire form %q rejected", i, wire)
+		}
+		if got != sc {
+			t.Fatalf("case %d: round trip changed context: %+v -> %q -> %+v", i, sc, wire, got)
+		}
+		// The wire form must also survive frame tagging.
+		cut, rest, tagged := CutWireField(WireField + wire + " payload")
+		if !tagged || cut != sc || rest != "payload" {
+			t.Fatalf("case %d: wire-field cut broke: tagged=%v cut=%+v rest=%q", i, tagged, cut, rest)
+		}
+	}
+}
+
+// TestTraceparentRejectsCorruption pins that single-character corruption
+// of a valid wire form never yields a *different* valid context with the
+// same trace id but wrong span, and truncations never parse.
+func TestTraceparentRejectsCorruption(t *testing.T) {
+	sc := SpanContext{Trace: TraceID{Hi: 0xdead, Lo: 0xbeef}, Span: 0xcafe, Sampled: true}
+	wire := FormatTraceparent(sc)
+	for cut := 0; cut < len(wire); cut++ {
+		if got, ok := ParseTraceparent(wire[:cut]); ok {
+			t.Fatalf("truncation %q parsed as %+v", wire[:cut], got)
+		}
+	}
+}

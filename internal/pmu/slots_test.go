@@ -1,0 +1,125 @@
+package pmu
+
+import (
+	"errors"
+	"testing"
+)
+
+// coreEvents returns the catalog's thread-programmable events.
+func coreEvents(t *testing.T, c *Catalog) []string {
+	t.Helper()
+	var out []string
+	for _, name := range c.Names() {
+		if def, ok := c.Lookup(name); ok && def.PMU == "core" {
+			out = append(out, name)
+		}
+	}
+	if len(out) == 0 {
+		t.Fatalf("catalog %s has no core events", c.Microarch)
+	}
+	return out
+}
+
+// TestCounterSlotExhaustionPerVendor pins the counter-file geometry of
+// every built-in catalog: programming exactly Slots events stays exact,
+// one more engages multiplexing (scaled estimates), and the budget
+// follows the vendor's SMT rules — Intel halves it when the sibling
+// thread counts, AMD's stays fixed.
+func TestCounterSlotExhaustionPerVendor(t *testing.T) {
+	for _, arch := range Microarchs() {
+		cat, err := CatalogFor(arch)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		events := coreEvents(t, cat)
+
+		for _, smt := range []bool{false, true} {
+			pmu := NewThreadPMU(cat, smt, nil)
+			want := cat.ProgCountersNoSMT
+			if smt {
+				want = cat.ProgCounters
+			}
+			if pmu.Slots() != want {
+				t.Errorf("%s smt=%v: slots = %d, want %d", arch, smt, pmu.Slots(), want)
+			}
+			if len(events) <= pmu.Slots() {
+				t.Fatalf("%s: catalog has %d core events, cannot exhaust %d slots", arch, len(events), pmu.Slots())
+			}
+
+			// Exactly full: exact counts, no multiplexing.
+			if err := pmu.Program(events[:pmu.Slots()]); err != nil {
+				t.Fatalf("%s smt=%v: programming %d events into %d slots: %v", arch, smt, pmu.Slots(), pmu.Slots(), err)
+			}
+			if pmu.Multiplexed() {
+				t.Errorf("%s smt=%v: multiplexed with exactly %d events", arch, smt, pmu.Slots())
+			}
+
+			// One past the budget: still programmable, but estimates.
+			if err := pmu.Program(events[:pmu.Slots()+1]); err != nil {
+				t.Fatalf("%s smt=%v: over-programming must multiplex, not fail: %v", arch, smt, err)
+			}
+			if !pmu.Multiplexed() {
+				t.Errorf("%s smt=%v: %d events in %d slots not multiplexed", arch, smt, pmu.Slots()+1, pmu.Slots())
+			}
+		}
+
+		// Intel halves the budget under SMT; AMD does not.
+		smtOff, smtOn := NewThreadPMU(cat, false, nil), NewThreadPMU(cat, true, nil)
+		switch cat.Vendor {
+		case "intel":
+			if smtOn.Slots() >= smtOff.Slots() {
+				t.Errorf("%s: intel SMT budget %d not below non-SMT %d", arch, smtOn.Slots(), smtOff.Slots())
+			}
+		case "amd":
+			if smtOn.Slots() != smtOff.Slots() {
+				t.Errorf("%s: amd budget changed with SMT: %d vs %d", arch, smtOn.Slots(), smtOff.Slots())
+			}
+		default:
+			t.Errorf("%s: unknown vendor %q", arch, cat.Vendor)
+		}
+	}
+}
+
+// TestProgramRejections pins the programming error paths: unknown
+// events, package-scoped RAPL events, and duplicates all reject with the
+// prior programming intact, and reading an unprogrammed event errors
+// like perf does.
+func TestProgramRejections(t *testing.T) {
+	for _, arch := range Microarchs() {
+		cat, err := CatalogFor(arch)
+		if err != nil {
+			t.Fatalf("%s: %v", arch, err)
+		}
+		events := coreEvents(t, cat)
+		pmu := NewThreadPMU(cat, false, nil)
+		if err := pmu.Program(events[:1]); err != nil {
+			t.Fatalf("%s: baseline program: %v", arch, err)
+		}
+
+		if err := pmu.Program([]string{"NO_SUCH_EVENT"}); err == nil {
+			t.Errorf("%s: unknown event accepted", arch)
+		}
+		if err := pmu.Program([]string{RAPLEnergyPkg}); err == nil {
+			t.Errorf("%s: package-scoped RAPL event programmed on a thread", arch)
+		}
+		if err := pmu.Program([]string{events[0], events[0]}); err == nil {
+			t.Errorf("%s: duplicate event accepted", arch)
+		}
+
+		// Failed programming attempts must not clobber the live set.
+		if got := pmu.Programmed(); len(got) != 1 || got[0] != events[0] {
+			t.Errorf("%s: failed Program clobbered state: %v", arch, got)
+		}
+		pmu.Add(events[1], 100)
+		if _, err := pmu.Read(events[1]); err == nil {
+			t.Errorf("%s: read of unprogrammed event succeeded", arch)
+		}
+		if v, err := pmu.Read(events[0]); err != nil || v != 0 {
+			t.Errorf("%s: read of programmed idle event = %d, %v", arch, v, err)
+		}
+	}
+	if _, err := CatalogFor("not-an-arch"); err == nil {
+		t.Error("unknown microarchitecture got a catalog")
+	}
+	_ = errors.Is // keep errors import if assertions above change shape
+}

@@ -132,6 +132,15 @@ func (t *Transport) observe(suffix string, seconds float64) {
 // Policy returns the transport's policy.
 func (t *Transport) Policy() Policy { return t.pol }
 
+// BreakerState snapshots the circuit breaker's current state — the
+// observable the testkit breaker-legality oracle validates transition
+// sequences against.
+func (t *Transport) BreakerState() BreakerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.breaker.State()
+}
+
 // Stats snapshots the fault counters.
 func (t *Transport) Stats() TransportStats {
 	t.mu.Lock()

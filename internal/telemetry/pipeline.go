@@ -144,6 +144,19 @@ func (c *Collector) Degraded() bool { return c.degraded }
 // PendingSpill returns how many journalled points await replay.
 func (c *Collector) PendingSpill() int { return len(c.journal) }
 
+// PendingSpillFields returns the journal backlog in data points (fields),
+// the unit the Expected/Inserted/Lost counters use — the term the
+// end-to-end conservation law needs:
+//
+//	Expected == Inserted + Lost + SpillDropped + PendingSpillFields()
+func (c *Collector) PendingSpillFields() uint64 {
+	var n uint64
+	for _, p := range c.journal {
+		n += uint64(len(p.Fields))
+	}
+	return n
+}
+
 // journalCap resolves the configured bound.
 func (c *Collector) journalCap() int {
 	if c.Cfg.JournalCap > 0 {

@@ -1,0 +1,372 @@
+package testkit
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"pmove/internal/core"
+	"pmove/internal/docdb"
+	"pmove/internal/introspect"
+	"pmove/internal/introspect/traceexport"
+	"pmove/internal/kb"
+	"pmove/internal/machine"
+	"pmove/internal/resilience"
+	"pmove/internal/telemetry"
+	"pmove/internal/topo"
+	"pmove/internal/tsdb"
+)
+
+// CheckpointCollection is the docdb collection the harness writes its
+// per-tick session checkpoints into.
+const CheckpointCollection = "testkit_checkpoints"
+
+// Result is everything a simulation produced: the deterministic event
+// log, the live collector with its cumulative accounting, both
+// server-side databases, the per-tick breaker observations and (when
+// tracing) the assembled distributed traces. Verify runs every
+// applicable invariant oracle over it.
+type Result struct {
+	Scenario Scenario
+	Log      *EventLog
+
+	Collector    *telemetry.Collector
+	ServerDB     *tsdb.DB  // the tsdb behind the fault proxy
+	DocdbDB      *docdb.DB // the docdb behind the fault proxy
+	Measurements []string  // measurements the session wrote
+	KB           *kb.KB
+
+	// BreakerStates holds one tsdb-transport breaker snapshot per tick.
+	// Wall-clock cooldowns make the timing of transitions nondeterministic,
+	// so these stay out of the event log and are only checked for machine
+	// legality.
+	BreakerStates []resilience.BreakerState
+
+	CheckpointsOK     int
+	CheckpointsFailed int
+
+	// Traces are the assembled end-to-end traces (Tracing scenarios).
+	Traces []*traceexport.Trace
+
+	// SessionErr records a session abort (expected for non-degraded
+	// scenarios whose sink dies); the log keeps the events up to it.
+	SessionErr error
+}
+
+// harness is the live stack of one simulation run.
+type harness struct {
+	sc  Scenario
+	res *Result
+
+	daemon  *core.Daemon
+	target  *core.Target
+	session *telemetry.Session
+	col     *telemetry.Collector
+
+	tsdbDB      *tsdb.DB
+	tsdbSrv     *tsdb.Server
+	tsdbAddr    string // backend address, stable across restarts
+	tsdbProxy   *resilience.Proxy
+	tsdbClient  *tsdb.Client
+	docdbDB     *docdb.DB
+	docdbSrv    *docdb.Server
+	docdbAddr   string
+	docdbProxy  *resilience.Proxy
+	docdbClient *docdb.Client
+
+	// introspectors per process (Tracing scenarios; nil otherwise — every
+	// instrumented path is nil-safe).
+	daemonIn   *introspect.Introspector
+	tsdbSrvIn  *introspect.Introspector
+	docdbSrvIn *introspect.Introspector
+}
+
+// policy is the fail-fast resilience policy the harness clients use:
+// refused connections and dead wires resolve in microseconds, a
+// black-holed read resolves at the read deadline, and the op outcome for
+// a given stack state is the same on every run.
+func (sc Scenario) policy() resilience.Policy {
+	pol := resilience.Policy{
+		DialTimeout:  2 * time.Second,
+		ReadTimeout:  150 * time.Millisecond,
+		WriteTimeout: 150 * time.Millisecond,
+		MaxRetries:   2,
+		Backoff:      resilience.Backoff{Base: time.Millisecond, Max: 4 * time.Millisecond, Factor: 2, Jitter: 0.2},
+		Seed:         sc.Seed,
+	}
+	if sc.Breaker {
+		pol.Breaker = resilience.BreakerConfig{Threshold: 4, Cooldown: 50 * time.Millisecond}
+	}
+	return pol
+}
+
+// Run executes one simulation from its descriptor. Setup failures (ports,
+// bad presets) return an error; in-scenario failures (outages, aborted
+// sessions) are part of the result.
+func Run(sc Scenario) (*Result, error) {
+	h := &harness{sc: sc, res: &Result{Scenario: sc, Log: &EventLog{}}}
+	defer h.close()
+	if err := h.setup(); err != nil {
+		return nil, err
+	}
+	if err := h.drive(); err != nil {
+		return nil, err
+	}
+	h.finish()
+	return h.res, nil
+}
+
+// setup stands the stack up: servers, fault proxies, resilient clients,
+// daemon with a probed target, and the telemetry session.
+func (h *harness) setup() error {
+	sc := h.sc
+	if sc.Load.Ticks == 0 {
+		return fmt.Errorf("testkit: scenario has no ticks")
+	}
+	if sc.Load.FreqHz <= 0 {
+		return fmt.Errorf("testkit: scenario needs a positive FreqHz")
+	}
+	if sc.Tracing {
+		h.daemonIn = introspect.New(introspect.WithProcess("daemon"), introspect.WithSpanCapacity(1<<15))
+		h.tsdbSrvIn = introspect.New(introspect.WithProcess("tsdb"), introspect.WithSpanCapacity(1<<15))
+		h.docdbSrvIn = introspect.New(introspect.WithProcess("docdb"), introspect.WithSpanCapacity(1<<15))
+	}
+
+	// Backends and their fault proxies. Clients dial the proxies, so every
+	// byte of both wire protocols crosses the fault-injection layer.
+	h.tsdbDB = tsdb.New()
+	h.tsdbSrv = tsdb.NewServer(h.tsdbDB)
+	h.tsdbSrv.SetTracing(h.tsdbSrvIn)
+	addr, err := h.tsdbSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	h.tsdbAddr = addr
+	h.tsdbProxy = resilience.NewProxy(addr, resilience.Faults{}, sc.Seed)
+	tsdbProxyAddr, err := h.tsdbProxy.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+
+	h.docdbDB = docdb.New()
+	h.docdbSrv = docdb.NewServer(h.docdbDB)
+	h.docdbSrv.SetTracing(h.docdbSrvIn)
+	addr, err = h.docdbSrv.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	h.docdbAddr = addr
+	h.docdbProxy = resilience.NewProxy(addr, resilience.Faults{}, sc.Seed+1)
+	docdbProxyAddr, err := h.docdbProxy.Listen("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+
+	h.tsdbClient, err = tsdb.DialPolicy(tsdbProxyAddr, sc.policy())
+	if err != nil {
+		return err
+	}
+	h.tsdbClient.Transport().SetIntrospection(h.daemonIn, "tsdb")
+	h.docdbClient, err = docdb.DialPolicy(docdbProxyAddr, sc.policy())
+	if err != nil {
+		return err
+	}
+	h.docdbClient.Transport().SetIntrospection(h.daemonIn, "docdb")
+
+	// Daemon with one attached, probed target. The KB, dashboards and
+	// observation entries flow through the same code paths production
+	// uses; only the session loop is driven tick by tick from here.
+	h.daemon, err = core.NewWith(core.WithInflux(tsdbProxyAddr), core.WithMongo(docdbProxyAddr))
+	if err != nil {
+		return err
+	}
+	sys, err := topo.NewPreset(sc.preset())
+	if err != nil {
+		return err
+	}
+	h.target, err = h.daemon.AttachTarget(sys, machine.Config{Seed: sc.Seed}, sc.pipeline())
+	if err != nil {
+		return err
+	}
+	k, err := h.daemon.ProbeContext(context.Background(), sys.Hostname)
+	if err != nil {
+		return err
+	}
+	h.res.KB = k
+	dashes, err := h.daemon.Gen.KindDashboards(k)
+	if err != nil {
+		return err
+	}
+	h.note(0, fmt.Sprintf("setup preset=%s dashboards=%d kb-nodes=%d", sc.preset(), len(dashes), k.Len()))
+
+	metrics := sc.Load.Metrics
+	if len(metrics) == 0 {
+		metrics = defaultMetrics()
+	}
+	for _, m := range metrics {
+		h.res.Measurements = append(h.res.Measurements, tsdb.MeasurementName(m))
+	}
+	h.col = telemetry.NewCollector(nil, sc.pipeline())
+	h.col.Sink = h.tsdbClient
+	h.col.Self = h.daemonIn
+	h.res.Collector = h.col
+	h.session, err = telemetry.NewSession(h.target.PMCD, h.col, telemetry.SessionConfig{
+		Metrics: metrics, FreqHz: sc.Load.FreqHz, Tag: "testkit",
+	})
+	return err
+}
+
+// drive runs the seeded schedule: faults at tick boundaries, one sampling
+// tick at a time, checkpoint writes over the docdb wire, and one event
+// log entry per observable step.
+func (h *harness) drive() error {
+	ctx := context.Background()
+	for tick := uint64(1); tick <= h.sc.Load.Ticks; tick++ {
+		for _, f := range h.sc.Faults {
+			if f.AtTick == tick {
+				if err := h.applyFault(f); err != nil {
+					return err
+				}
+				h.res.Log.Append(Event{Tick: tick, Kind: "fault", Detail: string(f.Kind)})
+			}
+		}
+		if _, err := h.session.RunTicksContext(ctx, 1); err != nil {
+			// Expected for non-degraded scenarios whose sink died. The
+			// detail stays free of addresses/timing so the log replays.
+			h.res.SessionErr = err
+			h.res.Log.Append(Event{Tick: tick, Kind: "note", Detail: "session-error"})
+			break
+		}
+		h.res.BreakerStates = append(h.res.BreakerStates, h.tsdbClient.Transport().BreakerState())
+		if ce := h.sc.Load.CheckpointEvery; ce > 0 && tick%ce == 0 {
+			h.checkpoint(ctx, tick)
+		}
+		h.res.Log.Append(h.tickEvent(tick))
+	}
+	return nil
+}
+
+// tickEvent snapshots the collector's cumulative accounting.
+func (h *harness) tickEvent(tick uint64) Event {
+	return Event{
+		Tick: tick, Kind: "tick",
+		Expected:     h.col.Expected,
+		Inserted:     h.col.Inserted,
+		Zeros:        h.col.Zeros,
+		Lost:         h.col.Lost,
+		Spilled:      h.col.Spilled,
+		Replayed:     h.col.Replayed,
+		SpillDropped: h.col.SpillDropped,
+		Pending:      h.col.PendingSpillFields(),
+		Degraded:     h.col.Degraded(),
+	}
+}
+
+// checkpoint writes one session-progress document through the docdb wire
+// and records the semantic outcome (never the error text, which carries
+// run-specific addresses).
+func (h *harness) checkpoint(ctx context.Context, tick uint64) {
+	doc := docdb.Doc{
+		"_id":      fmt.Sprintf("ck-%03d", tick),
+		"tick":     int(tick),
+		"inserted": int(h.col.Inserted),
+		"lost":     int(h.col.Lost),
+		"pending":  int(h.col.PendingSpillFields()),
+	}
+	if _, err := h.docdbClient.InsertContext(ctx, CheckpointCollection, doc); err != nil {
+		h.res.CheckpointsFailed++
+		h.res.Log.Append(Event{Tick: tick, Kind: "checkpoint", Detail: "failed"})
+		return
+	}
+	h.res.CheckpointsOK++
+	h.res.Log.Append(Event{Tick: tick, Kind: "checkpoint", Detail: "ok"})
+}
+
+// applyFault mutates the stack at a tick boundary.
+func (h *harness) applyFault(f FaultEvent) error {
+	switch f.Kind {
+	case FaultKillTSDB:
+		return h.tsdbSrv.Close()
+	case FaultRestartTSDB:
+		h.tsdbSrv = tsdb.NewServer(h.tsdbDB)
+		h.tsdbSrv.SetTracing(h.tsdbSrvIn)
+		_, err := h.tsdbSrv.Listen(h.tsdbAddr)
+		return err
+	case FaultPartitionTSDB:
+		h.tsdbProxy.Partition()
+	case FaultHealTSDB:
+		h.tsdbProxy.Heal()
+	case FaultDropTSDBConns:
+		h.tsdbProxy.DropConns()
+	case FaultKillDocdb:
+		return h.docdbSrv.Close()
+	case FaultRestartDocdb:
+		h.docdbSrv = docdb.NewServer(h.docdbDB)
+		h.docdbSrv.SetTracing(h.docdbSrvIn)
+		_, err := h.docdbSrv.Listen(h.docdbAddr)
+		return err
+	case FaultDropDocdbConns:
+		h.docdbProxy.DropConns()
+	default:
+		return fmt.Errorf("testkit: unknown fault kind %q", f.Kind)
+	}
+	return nil
+}
+
+// finish attaches the session observation to the KB (the production
+// Monitor epilogue) and assembles traces.
+func (h *harness) finish() {
+	obs := &kb.Observation{
+		ID:      "obs:testkit",
+		Type:    "ObservationInterface",
+		Tag:     "testkit",
+		Host:    h.target.System.Hostname,
+		Command: "testkit",
+		FreqHz:  h.sc.Load.FreqHz,
+		Report: fmt.Sprintf("testkit: %d expected, %d inserted, %d lost, %d evicted",
+			h.col.Expected, h.col.Inserted, h.col.Lost, h.col.SpillDropped),
+	}
+	if h.res.KB != nil {
+		if err := h.res.KB.Attach(obs); err == nil {
+			// Best-effort embedded persist; wire-level docdb traffic is the
+			// checkpoints' job.
+			_ = h.res.KB.Persist(h.daemon.Docs)
+		}
+	}
+	if h.sc.Tracing {
+		c := traceexport.NewCollector()
+		c.Add("daemon", h.daemonIn.Tracer())
+		c.Add("tsdb", h.tsdbSrvIn.Tracer())
+		c.Add("docdb", h.docdbSrvIn.Tracer())
+		h.res.Traces = c.Traces()
+	}
+	h.res.DocdbDB = h.docdbDB
+	h.res.ServerDB = h.tsdbDB
+}
+
+// note appends a free-text event (setup summaries).
+func (h *harness) note(tick uint64, detail string) {
+	h.res.Log.Append(Event{Tick: tick, Kind: "note", Detail: detail})
+}
+
+// close tears the stack down in dependency order.
+func (h *harness) close() {
+	if h.tsdbClient != nil {
+		h.tsdbClient.Close()
+	}
+	if h.docdbClient != nil {
+		h.docdbClient.Close()
+	}
+	if h.tsdbProxy != nil {
+		h.tsdbProxy.Close()
+	}
+	if h.docdbProxy != nil {
+		h.docdbProxy.Close()
+	}
+	if h.tsdbSrv != nil {
+		h.tsdbSrv.Close()
+	}
+	if h.docdbSrv != nil {
+		h.docdbSrv.Close()
+	}
+}

@@ -1,0 +1,90 @@
+package topo
+
+import "testing"
+
+// TestPresetTopologyInvariants pins the structural laws every built-in
+// Table II system must satisfy: self-validation, socket/core/thread
+// count consistency with the CPU spec, globally unique thread ids
+// forming the dense Linux range [0, NumThreads), and every core mapped
+// to a real NUMA node.
+func TestPresetTopologyInvariants(t *testing.T) {
+	for _, name := range Presets() {
+		sys, err := NewPreset(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("%s: Validate: %v", name, err)
+		}
+
+		// Counts must agree with the spec'd geometry.
+		wantCores := sys.CPU.CoresPerSocket * sys.NumSockets()
+		if got := sys.NumCores(); got != wantCores {
+			t.Errorf("%s: NumCores = %d, want %d sockets x %d cores = %d",
+				name, got, sys.NumSockets(), sys.CPU.CoresPerSocket, wantCores)
+		}
+		wantThreads := wantCores * sys.CPU.ThreadsPerCore
+		if got := sys.NumThreads(); got != wantThreads {
+			t.Errorf("%s: NumThreads = %d, want %d cores x %d threads = %d",
+				name, got, wantCores, sys.CPU.ThreadsPerCore, wantThreads)
+		}
+		if got := len(sys.AllCores()); got != wantCores {
+			t.Errorf("%s: AllCores lists %d cores, want %d", name, got, wantCores)
+		}
+
+		// Thread ids: unique and dense over [0, NumThreads) — the Linux
+		// numbering per-CPU metric instance domains rely on.
+		threads := sys.AllThreads()
+		if len(threads) != wantThreads {
+			t.Fatalf("%s: AllThreads lists %d threads, want %d", name, len(threads), wantThreads)
+		}
+		seen := make(map[int]bool, len(threads))
+		for _, th := range threads {
+			if th.ID < 0 || th.ID >= wantThreads {
+				t.Errorf("%s: thread id %d outside [0, %d)", name, th.ID, wantThreads)
+			}
+			if seen[th.ID] {
+				t.Errorf("%s: duplicate thread id %d", name, th.ID)
+			}
+			seen[th.ID] = true
+		}
+
+		// Every core resolves to a real NUMA node.
+		for _, c := range sys.AllCores() {
+			n := sys.NUMAOf(c.ID)
+			if n < 0 || n >= len(sys.NUMA) {
+				t.Errorf("%s: core %d maps to NUMA node %d of %d", name, c.ID, n, len(sys.NUMA))
+			}
+		}
+		if len(sys.NUMA) == 0 {
+			t.Errorf("%s: no NUMA nodes", name)
+		}
+
+		// The roofline anchor must be positive for the widest ISA.
+		if g := sys.PeakGFLOPS(sys.CPU.WidestISA(), sys.NumThreads()); g <= 0 {
+			t.Errorf("%s: PeakGFLOPS = %v", name, g)
+		}
+	}
+}
+
+// TestPresetProbeDeterministic pins that probing a preset twice yields
+// identical documents when the clock is pinned — the property the
+// simulation harness's replay guarantee builds on.
+func TestPresetProbeDeterministic(t *testing.T) {
+	for _, name := range Presets() {
+		sys := MustPreset(name)
+		p := NewProber()
+		probe1, err := p.Probe(sys)
+		if err != nil {
+			t.Fatalf("%s: probe: %v", name, err)
+		}
+		probe2, err := p.Probe(sys)
+		if err != nil {
+			t.Fatalf("%s: reprobe: %v", name, err)
+		}
+		if probe1.System.Hostname != probe2.System.Hostname ||
+			probe1.System.NumThreads() != probe2.System.NumThreads() {
+			t.Errorf("%s: probe not stable across runs", name)
+		}
+	}
+}

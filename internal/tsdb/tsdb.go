@@ -26,7 +26,10 @@ type Point struct {
 	Time int64
 }
 
-// Validate checks the point is storable.
+// Validate checks the point is storable: a named measurement, at least
+// one field, no empty tag/field keys (or empty tag values), and finite
+// field values — NaN/±Inf round-trip through the line protocol but poison
+// aggregations, so they are rejected with ErrNonFiniteField.
 func (p *Point) Validate() error {
 	if p.Measurement == "" {
 		return fmt.Errorf("tsdb: point has no measurement")
@@ -34,9 +37,17 @@ func (p *Point) Validate() error {
 	if len(p.Fields) == 0 {
 		return fmt.Errorf("tsdb: point in %q has no fields", p.Measurement)
 	}
-	for k := range p.Fields {
+	for k, v := range p.Fields {
 		if k == "" {
-			return fmt.Errorf("tsdb: point in %q has an empty field name", p.Measurement)
+			return fmt.Errorf("%w: point in %q has an empty field name", ErrEmptyKey, p.Measurement)
+		}
+		if err := validateFinite(p.Measurement, k, v); err != nil {
+			return err
+		}
+	}
+	for k, v := range p.Tags {
+		if k == "" || v == "" {
+			return fmt.Errorf("%w: point in %q has an empty tag key or value", ErrEmptyKey, p.Measurement)
 		}
 	}
 	return nil
