@@ -15,9 +15,10 @@ go build ./...
 go test -race -coverprofile=coverage.out -covermode=atomic ./...
 
 # Coverage floor: the total must not regress below the baseline recorded
-# when the test substrate landed (measured 79.9%; floor set with a small
-# drift allowance). Raise the floor when coverage grows, never lower it.
-coverage_floor=79.0
+# when the test substrate landed (measured 80.0% when the durability layer
+# landed; floor set with a small drift allowance). Raise the floor when
+# coverage grows, never lower it.
+coverage_floor=79.5
 total=$(go tool cover -func=coverage.out | awk '/^total:/ { gsub(/%/, "", $NF); print $NF }')
 rm -f coverage.out
 echo "coverage: total ${total}% (floor ${coverage_floor}%)"
@@ -40,6 +41,7 @@ fuzz_smoke ./internal/tsdb FuzzDecodeLine
 fuzz_smoke ./internal/tsdb FuzzEncodeDecodeRoundTrip
 fuzz_smoke ./internal/introspect FuzzParseTraceparent
 fuzz_smoke ./internal/docdb FuzzDocdbFrame
+fuzz_smoke ./internal/storage FuzzWALRecord
 
 # Benchmark smoke: every benchmark must still compile and survive one
 # iteration — catches bit-rotted b.Run setups without paying for real
@@ -51,8 +53,10 @@ go test -run NONE -bench . -benchtime 1x ./...
 # Grandfathered exceptions: the deprecated positional wrappers kept for
 # compatibility, and accessors/configuration that perform no cancellable
 # work. Extend the allowlist only when adding another pure accessor.
+# Close is shutdown-path: it must run unconditionally even when every
+# request context is already dead, so it is deliberately context-free.
 wrappers='Probe|Monitor|Observe|ObserveGPUKernel|LiveCARM|Scan|RunSTREAM|RunHPCG|ConstructCARM'
-accessors='AttachTarget|Target|Hosts|KB|SetTelemetrySink|SelfSnapshot|SelfSpans|MetaDashboard'
+accessors='AttachTarget|Target|Hosts|KB|SetTelemetrySink|SelfSnapshot|SelfSpans|MetaDashboard|Close'
 violations=$(grep -h 'func (d \*Daemon) [A-Z]' internal/core/*.go \
     | grep -v 'ctx context\.Context' \
     | grep -Ev "func \(d \*Daemon\) ($wrappers|$accessors)\(" || true)

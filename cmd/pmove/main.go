@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"pmove"
@@ -182,6 +183,8 @@ func cmdMonitor(args []string) error {
 	influx := fs.String("influx", "", "remote tsdb address (host:port, see cmd/superdb); ships telemetry over the resilient client instead of the embedded store")
 	degraded := fs.Bool("degraded", false, "journal telemetry locally across sink outages and replay on reconnect")
 	journalCap := fs.Int("journal-cap", 0, "degraded-mode spill journal bound in points (0 = default)")
+	dataDir := fs.String("data-dir", "", "back the embedded databases (and, with -degraded, the spill journal) with WAL+snapshot directories under this path; state survives a crash and is recovered on the next run")
+	fsync := fs.String("fsync", "always", "WAL fsync policy for -data-dir: always|interval|never")
 	dialTimeout := fs.Duration("dial-timeout", def.DialTimeout, "remote sink connect timeout")
 	opTimeout := fs.Duration("op-timeout", def.ReadTimeout, "remote sink per-operation read/write deadline")
 	retries := fs.Int("retries", def.MaxRetries, "remote sink retry attempts per operation")
@@ -195,10 +198,17 @@ func cmdMonitor(args []string) error {
 	if *selfMon {
 		opts = append(opts, pmove.WithIntrospection())
 	}
+	if *dataDir != "" {
+		opts = append(opts, pmove.WithDataDir(*dataDir, *fsync))
+		if *degraded {
+			pipe.JournalDir = filepath.Join(*dataDir, "telemetry")
+		}
+	}
 	d, _, err := daemonWith(*host, 1, pipe, opts...)
 	if err != nil {
 		return err
 	}
+	defer d.Close()
 	var sink *tsdb.Client
 	if *influx != "" {
 		pol := def

@@ -89,6 +89,12 @@ type Daemon struct {
 	seq     uint64
 	sink    telemetry.PointSink
 
+	// dataDir/fsync back the embedded databases with WAL+snapshot data
+	// directories when set (WithDataDir); both stay "" for the default
+	// zero-config in-memory mode.
+	dataDir string
+	fsync   string
+
 	// kbMu serializes Attach+Persist on the per-host KBs.
 	kbMu sync.Mutex
 }
@@ -373,6 +379,13 @@ func (d *Daemon) monitor(ctx context.Context, req MonitorRequest) (*MonitorResul
 	}
 
 	collector := d.newCollector(t)
+	// Opt-in durable spill journal (Pipeline.JournalDir): backlog from a
+	// crashed predecessor is reloaded here and replayed ahead of fresh
+	// data; the journal is compacted and released when the run ends.
+	if _, err := collector.OpenJournal(); err != nil {
+		return nil, err
+	}
+	defer collector.CloseJournal()
 	sess, err := telemetry.NewSession(t.PMCD, collector, telemetry.SessionConfig{
 		Metrics: metrics, FreqHz: freqHz, Tag: tag, DurationSeconds: durationSeconds,
 	})

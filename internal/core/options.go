@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"time"
 
 	"pmove/internal/abst"
@@ -12,6 +13,7 @@ import (
 	"pmove/internal/introspect"
 	"pmove/internal/introspect/selfexport"
 	"pmove/internal/kb"
+	"pmove/internal/storage"
 	"pmove/internal/telemetry"
 	"pmove/internal/tsdb"
 )
@@ -47,6 +49,17 @@ func WithTelemetrySink(sink telemetry.PointSink) Option {
 	return func(d *Daemon) { d.sink = sink }
 }
 
+// WithDataDir backs the embedded databases with WAL+snapshot data
+// directories under dir (tsdb/ and docdb/ subdirectories), replaying
+// them on construction so KB documents and telemetry survive a daemon
+// crash. fsync selects the durability policy: "always" (ack = durable),
+// "interval" or "never"; "" means always. Open/recovery failures
+// surface from NewWith. Without this option the daemon keeps its
+// zero-config in-memory databases.
+func WithDataDir(dir, fsync string) Option {
+	return func(d *Daemon) { d.dataDir, d.fsync = dir, fsync }
+}
+
 // WithIntrospection enables the self-observability layer: every daemon
 // operation is counted, timed and traced, the telemetry pipeline and
 // resilience transport report their internals, and after each operation
@@ -80,10 +93,36 @@ func NewWith(opts ...Option) (*Daemon, error) {
 	for _, o := range opts {
 		o(d)
 	}
+	if d.dataDir != "" {
+		pol, err := storage.ParseFsyncPolicy(d.fsync)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		ts, err := tsdb.Open(filepath.Join(d.dataDir, "tsdb"), pol)
+		if err != nil {
+			return nil, fmt.Errorf("core: open tsdb data dir: %w", err)
+		}
+		docs, err := docdb.Open(filepath.Join(d.dataDir, "docdb"), pol)
+		if err != nil {
+			ts.Close()
+			return nil, fmt.Errorf("core: open docdb data dir: %w", err)
+		}
+		d.TS, d.Docs = ts, docs
+	}
 	// WithTelemetrySink and WithIntrospection compose in either order:
 	// wire the sink's transport after all options have run.
 	d.wireSinkIntrospection(d.sink)
 	return d, nil
+}
+
+// Close flushes and releases the daemon's durable state: both embedded
+// databases sync their WALs and detach from their data directories.
+// In-memory state stays readable; further writes are refused on durable
+// databases. A no-op for fully in-memory daemons. Not context-bound:
+// Close must run unconditionally on shutdown paths where the request
+// context is already dead.
+func (d *Daemon) Close() error {
+	return errors.Join(d.TS.Close(), d.Docs.Close())
 }
 
 // opStart instruments one public daemon operation: it bumps the op's

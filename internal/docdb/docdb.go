@@ -13,6 +13,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"pmove/internal/storage"
 )
 
 // Doc is a JSON document. The stored form always carries an "_id" string.
@@ -148,12 +150,27 @@ type Collection struct {
 	name string
 	docs map[string]Doc
 	seq  uint64
+	// db points back at the owning database so mutations reach its
+	// write-ahead log; nil only in the zero value (never via DB).
+	db *DB
 }
 
-// DB is a named set of collections.
+// DB is a named set of collections: in-memory by default (New),
+// optionally backed by a write-ahead log + snapshot data directory
+// (Open) so acknowledged mutations survive a crash.
 type DB struct {
 	mu          sync.RWMutex
 	collections map[string]*Collection
+	// compactMu serializes mutations (read side) against Compact/Close/
+	// Crash (write side), so a snapshot is a quiescent point: every WAL
+	// record it claims to cover has committed to memory, and none past
+	// it have. Lock order: compactMu, then Collection.mu, then DB.mu.
+	compactMu sync.RWMutex
+	// store is the durability layer; nil in the default in-memory mode.
+	// closed marks a released durable DB: reads keep working, mutations
+	// are refused rather than silently volatile.
+	store  *storage.Store
+	closed bool
 }
 
 // New creates an empty database.
@@ -167,7 +184,7 @@ func (db *DB) Collection(name string) *Collection {
 	defer db.mu.Unlock()
 	c := db.collections[name]
 	if c == nil {
-		c = &Collection{name: name, docs: map[string]Doc{}}
+		c = &Collection{name: name, docs: map[string]Doc{}, db: db}
 		db.collections[name] = c
 	}
 	return c
@@ -186,12 +203,15 @@ func (db *DB) Collections() []string {
 }
 
 // Insert stores a document, generating an _id when absent, and returns the
-// id. Inserting an id that already exists errors.
+// id. Inserting an id that already exists errors. On a durable DB the
+// fully resolved document (id assigned) is WAL-logged before the insert
+// commits, so replay regenerates identical state including the id.
 func (c *Collection) Insert(d Doc) (string, error) {
 	if d == nil {
 		return "", fmt.Errorf("docdb: cannot insert nil document into %s", c.name)
 	}
 	stored := d.Clone()
+	defer c.beginMutation()()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	id := stored.ID()
@@ -202,6 +222,9 @@ func (c *Collection) Insert(d Doc) (string, error) {
 	}
 	if _, exists := c.docs[id]; exists {
 		return "", fmt.Errorf("docdb: duplicate _id %q in %s", id, c.name)
+	}
+	if err := c.logLocked(walOp{Op: "insert", Collection: c.name, Doc: stored, Seq: c.seq}); err != nil {
+		return "", err
 	}
 	c.docs[id] = stored
 	return id, nil
@@ -259,10 +282,14 @@ func (c *Collection) Count(f *Filter) int {
 func (c *Collection) Replace(id string, d Doc) error {
 	stored := d.Clone()
 	stored["_id"] = id
+	defer c.beginMutation()()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.docs[id]; !ok {
 		return fmt.Errorf("docdb: no document %q in %s", id, c.name)
+	}
+	if err := c.logLocked(walOp{Op: "replace", Collection: c.name, ID: id, Doc: stored}); err != nil {
+		return err
 	}
 	c.docs[id] = stored
 	return nil
@@ -286,23 +313,14 @@ func (c *Collection) Upsert(d Doc) (string, error) {
 // SetField sets a top-level or nested field (dot path; intermediate maps
 // are created) on the document with the given id.
 func (c *Collection) SetField(id, path string, value any) error {
+	defer c.beginMutation()()
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	d, ok := c.docs[id]
-	if !ok {
+	if _, ok := c.docs[id]; !ok {
 		return fmt.Errorf("docdb: no document %q in %s", id, c.name)
 	}
-	parts := strings.Split(path, ".")
-	var cur map[string]any = d
-	for _, p := range parts[:len(parts)-1] {
-		next, ok := cur[p].(map[string]any)
-		if !ok {
-			next = map[string]any{}
-			cur[p] = next
-		}
-		cur = next
-	}
-	// Normalise the value through JSON so reads are consistent.
+	// Normalise the value through JSON so reads are consistent — and so
+	// the WAL-logged form replays to the identical stored value.
 	b, err := json.Marshal(value)
 	if err != nil {
 		return fmt.Errorf("docdb: unencodable value for %s: %w", path, err)
@@ -311,14 +329,43 @@ func (c *Collection) SetField(id, path string, value any) error {
 	if err := json.Unmarshal(b, &norm); err != nil {
 		return err
 	}
-	cur[parts[len(parts)-1]] = norm
+	if err := c.logLocked(walOp{Op: "setfield", Collection: c.name, ID: id, Path: path, Value: norm}); err != nil {
+		return err
+	}
+	c.setFieldLocked(id, path, norm)
 	return nil
 }
 
+// setFieldLocked applies a normalised field write. Callers hold c.mu.
+func (c *Collection) setFieldLocked(id, path string, norm any) {
+	parts := strings.Split(path, ".")
+	var cur map[string]any = c.docs[id]
+	for _, p := range parts[:len(parts)-1] {
+		next, ok := cur[p].(map[string]any)
+		if !ok {
+			next = map[string]any{}
+			cur[p] = next
+		}
+		cur = next
+	}
+	cur[parts[len(parts)-1]] = norm
+}
+
 // Delete removes documents matching the filter, returning how many.
+// Durable DBs log the filter, not the victims: replaying it against the
+// identically reconstructed state deletes the same documents.
 func (c *Collection) Delete(f *Filter) int {
+	defer c.beginMutation()()
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if err := c.logLocked(walOp{Op: "delete", Collection: c.name, Filter: f}); err != nil {
+		return 0
+	}
+	return c.deleteLocked(f)
+}
+
+// deleteLocked removes matching documents. Callers hold c.mu.
+func (c *Collection) deleteLocked(f *Filter) int {
 	n := 0
 	for id, d := range c.docs {
 		if f == nil || f.Matches(d) {

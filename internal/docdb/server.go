@@ -206,7 +206,10 @@ func (s *Server) dispatch(req *request) response {
 	return response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 }
 
-// Close stops the server.
+// Close stops the server: listener and idle connections torn down,
+// in-flight handlers drained (an accepted mutation finishes before the
+// DB is considered final), then the DB's WAL flushed — a graceful
+// shutdown never loses an acknowledged op, whatever the fsync policy.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.ln != nil {
@@ -218,7 +221,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
-	return nil
+	return s.db.Sync()
 }
 
 // Client talks to a Server through the shared resilient transport:

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Data-directory layout. The snapshot is one framed record (seq = the
+// last WAL sequence it covers, data = the caller's state encoding)
+// written atomically; the WAL holds every mutation after it.
+const (
+	walFileName      = "wal.log"
+	snapshotFileName = "snapshot.db"
+)
+
+// Recovered is everything Open found in a data directory.
+type Recovered struct {
+	// Snapshot is the last compacted state (nil when never compacted).
+	Snapshot []byte
+	// SnapshotSeq is the WAL sequence the snapshot covers through.
+	SnapshotSeq uint64
+	// Records are the WAL records newer than the snapshot, in append
+	// order. Records the snapshot already covers (a crash between
+	// snapshot write and WAL rotation leaves an overlap) are filtered
+	// out, so replaying Snapshot then Records is idempotent.
+	Records []Record
+	// Info is the WAL recovery report (torn-tail truncation etc.).
+	Info RecoveryInfo
+}
+
+// Store manages one data directory: a WAL for incremental mutations and
+// an atomically replaced snapshot for compaction.
+type Store struct {
+	dir string
+	pol FsyncPolicy
+	wal *WAL
+}
+
+// Open creates/recovers the data directory and returns the store
+// positioned for appending plus everything recovered from disk.
+func Open(dir string, pol FsyncPolicy) (*Store, Recovered, error) {
+	var rec Recovered
+	if dir == "" {
+		return nil, rec, fmt.Errorf("storage: empty data directory")
+	}
+	if _, err := ParseFsyncPolicy(string(pol)); err != nil {
+		return nil, rec, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, fmt.Errorf("storage: create %s: %w", dir, err)
+	}
+	snapPath := filepath.Join(dir, snapshotFileName)
+	if img, err := os.ReadFile(snapPath); err == nil {
+		// The snapshot is written atomically, so a partial file means the
+		// medium corrupted it — never truncate-and-hope on the snapshot.
+		r, n, derr := DecodeRecord(img)
+		if derr != nil || n != len(img) {
+			if derr == nil {
+				derr = fmt.Errorf("%w: %d trailing bytes", ErrCorruptRecord, len(img)-n)
+			}
+			return nil, rec, fmt.Errorf("storage: snapshot %s: %w", snapPath, derr)
+		}
+		rec.Snapshot = append([]byte(nil), r.Data...)
+		rec.SnapshotSeq = r.Seq
+	} else if !os.IsNotExist(err) {
+		return nil, rec, fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	wal, recs, info, err := OpenWAL(filepath.Join(dir, walFileName), pol)
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.Info = info
+	for _, r := range recs {
+		if r.Seq > rec.SnapshotSeq {
+			rec.Records = append(rec.Records, r)
+		}
+	}
+	// A WAL that restarted numbering below the snapshot horizon (the
+	// rotation completed) must keep assigning sequences above it, or the
+	// next compaction would mask fresh records.
+	if wal.NextSeq() <= rec.SnapshotSeq {
+		wal.mu.Lock()
+		wal.nextSeq = rec.SnapshotSeq + 1
+		wal.mu.Unlock()
+	}
+	return &Store{dir: dir, pol: pol, wal: wal}, rec, nil
+}
+
+// Dir returns the data directory path.
+func (s *Store) Dir() string { return s.dir }
+
+// Policy returns the fsync policy the store was opened with.
+func (s *Store) Policy() FsyncPolicy { return s.pol }
+
+// WALPath returns the log file path (fault injection targets it).
+func (s *Store) WALPath() string { return filepath.Join(s.dir, walFileName) }
+
+// WALSize returns the current log length in bytes.
+func (s *Store) WALSize() int64 { return s.wal.Size() }
+
+// SetSyncInterval overrides the FsyncInterval flush period.
+func (s *Store) SetSyncInterval(d time.Duration) { s.wal.SetSyncInterval(d) }
+
+// Append logs one mutation and returns its sequence number.
+func (s *Store) Append(data []byte) (uint64, error) {
+	return s.wal.Append(data)
+}
+
+// Sync forces the log to stable storage (flush-on-close and the
+// interval policy's checkpoint both come through here).
+func (s *Store) Sync() error { return s.wal.Sync() }
+
+// Compact atomically writes state as the new snapshot covering every
+// record logged so far, then resets the WAL. A crash between the two
+// steps leaves an overlap that Open filters out by sequence number, so
+// compaction is crash-safe at every point.
+func (s *Store) Compact(state []byte) error {
+	lastSeq := s.wal.NextSeq() - 1
+	img, err := AppendRecord(nil, lastSeq, state)
+	if err != nil {
+		return err
+	}
+	// The snapshot must be durable before the WAL shrinks: sync the log
+	// first so the snapshot never covers records the disk has not seen.
+	if err := s.wal.Sync(); err != nil {
+		return err
+	}
+	snapPath := filepath.Join(s.dir, snapshotFileName)
+	if err := writeFileAtomic(snapPath, snapPath+".tmp", img); err != nil {
+		return err
+	}
+	if err := s.wal.Close(); err != nil {
+		return err
+	}
+	if err := os.Remove(s.WALPath()); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: rotate wal: %w", err)
+	}
+	wal, _, _, err := OpenWAL(s.WALPath(), s.pol)
+	if err != nil {
+		return err
+	}
+	wal.mu.Lock()
+	wal.nextSeq = lastSeq + 1
+	wal.mu.Unlock()
+	s.wal = wal
+	return nil
+}
+
+// Close flushes and closes the store.
+func (s *Store) Close() error { return s.wal.Close() }
+
+// Crash simulates dying without a flush: the unsynced WAL suffix is
+// discarded. Test/simulation use only — see WAL.Crash.
+func (s *Store) Crash() error { return s.wal.Crash() }

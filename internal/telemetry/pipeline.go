@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pmove/internal/introspect"
+	"pmove/internal/storage"
 	"pmove/internal/tsdb"
 )
 
@@ -48,6 +49,11 @@ type PipelineConfig struct {
 	// point is dropped (and counted), keeping memory bounded through an
 	// arbitrarily long outage.
 	JournalCap int
+	// JournalDir, when non-empty, persists the spill journal to a
+	// write-ahead log in that directory (same framing as the database
+	// WALs) so an outage backlog survives a collector crash. Opened by
+	// OpenJournal; recovery is at-least-once up to JournalCap.
+	JournalDir string
 	// Seed drives the deterministic jitter.
 	Seed uint64
 }
@@ -103,9 +109,12 @@ type Collector struct {
 	seq       uint64
 
 	// journal holds points spilled while the sink was unreachable
-	// (Degraded mode only), bounded by JournalCap.
-	journal  []tsdb.Point
-	degraded bool
+	// (Degraded mode only), bounded by JournalCap. journalWAL mirrors it
+	// on disk when Cfg.JournalDir is set (see journal.go).
+	journal     []tsdb.Point
+	degraded    bool
+	journalWAL  *storage.WAL
+	journalPath string
 
 	// Cumulative statistics.
 	Expected  uint64 // data points the sampler should have produced
@@ -119,6 +128,12 @@ type Collector struct {
 	Replayed     uint64 // journal points later inserted into the sink
 	SpillDropped uint64 // journal points evicted by the cap — lost for good
 	Degradations uint64 // times the collector entered degraded mode
+	// RecoveredSpill counts data points reloaded from the on-disk
+	// journal by OpenJournal. They were Expected by a previous collector
+	// incarnation, so they join Expected on the left of the conservation
+	// law: Expected + RecoveredSpill == Inserted + Lost + SpillDropped +
+	// PendingSpillFields().
+	RecoveredSpill uint64
 	// QueuedDelay is the backlog the most recent report waited behind
 	// (buffered mode only); MaxLagSeconds the worst insertion lag seen.
 	QueuedDelay   float64
@@ -181,6 +196,7 @@ func (c *Collector) spill(p tsdb.Point) {
 		reg.Counter("telemetry.journal.dropped").Add(uint64(len(dropped.Fields)))
 	}
 	c.journal = append(c.journal, p)
+	c.persistSpill(p)
 	c.Spilled += uint64(len(p.Fields))
 	reg.Counter("telemetry.journal.spilled").Add(uint64(len(p.Fields)))
 	reg.Gauge("telemetry.journal.pending").Set(float64(len(c.journal)))
@@ -211,6 +227,15 @@ func (c *Collector) ReplayContext(ctx context.Context) int {
 	reg := c.Self.Metrics()
 	_, span := c.Self.StartSpan(ctx, "telemetry.replay")
 	defer span.End(nil)
+	before := len(c.journal)
+	defer func() {
+		// Keep the on-disk journal in lock-step with the live backlog:
+		// anything replayed this call is compacted away so a restart
+		// does not re-deliver it.
+		if len(c.journal) != before {
+			c.compactJournal()
+		}
+	}()
 	for len(c.journal) > 0 {
 		p := c.journal[0]
 		if err := c.writePoint(ctx, p); err != nil {

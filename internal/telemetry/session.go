@@ -37,6 +37,13 @@ type SessionStats struct {
 	Replayed     uint64
 	SpillDropped uint64
 	Pending      uint64
+	// Recovered is the collector's cumulative count of data points
+	// reloaded from the on-disk spill journal at startup (OpenJournal) —
+	// the backlog this collector inherited from a crashed predecessor.
+	// Unlike the other counters it is not a per-session delta: recovery
+	// happens before the first session, and the inherited debt is
+	// relevant to every session that replays it.
+	Recovered uint64
 	// Tput is inserted data points per second; ATput excludes zeros
 	// (Table III's "actual" throughput).
 	Tput         float64
@@ -156,6 +163,7 @@ func (s *Session) RunTicksContext(ctx context.Context, n uint64) (stats SessionS
 		Replayed:     s.Collector.Replayed - startReplayed,
 		SpillDropped: s.Collector.SpillDropped - startSpillDropped,
 		Pending:      uint64(s.Collector.PendingSpill()),
+		Recovered:    s.Collector.RecoveredSpill,
 	}
 	dur := float64(n) * interval
 	if dur > 0 {

@@ -3,6 +3,8 @@ package testkit
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"pmove/internal/core"
@@ -12,6 +14,7 @@ import (
 	"pmove/internal/kb"
 	"pmove/internal/machine"
 	"pmove/internal/resilience"
+	"pmove/internal/storage"
 	"pmove/internal/telemetry"
 	"pmove/internal/topo"
 	"pmove/internal/tsdb"
@@ -74,6 +77,20 @@ type harness struct {
 	docdbProxy  *resilience.Proxy
 	docdbClient *docdb.Client
 
+	// Durable-scenario state: the per-server data directories, their WAL
+	// paths (captured at open — a crashed DB no longer knows its path),
+	// the parsed fsync policy, and whether the harness owns (and so
+	// removes) the root directory.
+	fsync        storage.FsyncPolicy
+	dataDir      string
+	ownDataDir   bool
+	tsdbWALPath  string
+	docdbWALPath string
+	// tsdbDown/docdbDown track the kill/restart windows so WAL faults
+	// can insist the target is actually down.
+	tsdbDown  bool
+	docdbDown bool
+
 	// introspectors per process (Tracing scenarios; nil otherwise — every
 	// instrumented path is nil-safe).
 	daemonIn   *introspect.Introspector
@@ -134,7 +151,37 @@ func (h *harness) setup() error {
 
 	// Backends and their fault proxies. Clients dial the proxies, so every
 	// byte of both wire protocols crosses the fault-injection layer.
-	h.tsdbDB = tsdb.New()
+	if sc.Durable {
+		pol, err := storage.ParseFsyncPolicy(sc.Fsync)
+		if err != nil {
+			return fmt.Errorf("testkit: %w", err)
+		}
+		h.fsync = pol
+		h.dataDir = sc.DataDir
+		if h.dataDir == "" {
+			dir, err := os.MkdirTemp("", "testkit-durable-*")
+			if err != nil {
+				return err
+			}
+			h.dataDir = dir
+			h.ownDataDir = true
+		}
+		db, err := tsdb.Open(filepath.Join(h.dataDir, "tsdb"), pol)
+		if err != nil {
+			return err
+		}
+		h.tsdbDB = db
+		h.tsdbWALPath = db.WALPath()
+		ddb, err := docdb.Open(filepath.Join(h.dataDir, "docdb"), pol)
+		if err != nil {
+			return err
+		}
+		h.docdbDB = ddb
+		h.docdbWALPath = ddb.WALPath()
+	} else {
+		h.tsdbDB = tsdb.New()
+		h.docdbDB = docdb.New()
+	}
 	h.tsdbSrv = tsdb.NewServer(h.tsdbDB)
 	h.tsdbSrv.SetTracing(h.tsdbSrvIn)
 	addr, err := h.tsdbSrv.Listen("127.0.0.1:0")
@@ -148,7 +195,6 @@ func (h *harness) setup() error {
 		return err
 	}
 
-	h.docdbDB = docdb.New()
 	h.docdbSrv = docdb.NewServer(h.docdbDB)
 	h.docdbSrv.SetTracing(h.docdbSrvIn)
 	addr, err = h.docdbSrv.Listen("127.0.0.1:0")
@@ -286,8 +332,27 @@ func (h *harness) checkpoint(ctx context.Context, tick uint64) {
 func (h *harness) applyFault(f FaultEvent) error {
 	switch f.Kind {
 	case FaultKillTSDB:
+		// Durable kill = process death: crash the database first
+		// (discarding whatever the fsync policy had not made stable —
+		// the server's flush-on-close must not rescue it), then tear the
+		// listener down. Faults land at tick boundaries, so no write is
+		// in flight when the store detaches.
+		h.tsdbDown = true
+		if h.sc.Durable {
+			if err := h.tsdbDB.Crash(); err != nil {
+				return err
+			}
+		}
 		return h.tsdbSrv.Close()
 	case FaultRestartTSDB:
+		if h.sc.Durable {
+			db, err := tsdb.Open(filepath.Join(h.dataDir, "tsdb"), h.fsync)
+			if err != nil {
+				return fmt.Errorf("testkit: tsdb recovery: %w", err)
+			}
+			h.tsdbDB = db
+		}
+		h.tsdbDown = false
 		h.tsdbSrv = tsdb.NewServer(h.tsdbDB)
 		h.tsdbSrv.SetTracing(h.tsdbSrvIn)
 		_, err := h.tsdbSrv.Listen(h.tsdbAddr)
@@ -299,18 +364,71 @@ func (h *harness) applyFault(f FaultEvent) error {
 	case FaultDropTSDBConns:
 		h.tsdbProxy.DropConns()
 	case FaultKillDocdb:
+		h.docdbDown = true
+		if h.sc.Durable {
+			if err := h.docdbDB.Crash(); err != nil {
+				return err
+			}
+		}
 		return h.docdbSrv.Close()
 	case FaultRestartDocdb:
+		if h.sc.Durable {
+			db, err := docdb.Open(filepath.Join(h.dataDir, "docdb"), h.fsync)
+			if err != nil {
+				return fmt.Errorf("testkit: docdb recovery: %w", err)
+			}
+			h.docdbDB = db
+		}
+		h.docdbDown = false
 		h.docdbSrv = docdb.NewServer(h.docdbDB)
 		h.docdbSrv.SetTracing(h.docdbSrvIn)
 		_, err := h.docdbSrv.Listen(h.docdbAddr)
 		return err
 	case FaultDropDocdbConns:
 		h.docdbProxy.DropConns()
+	case FaultTornTSDBWAL:
+		return h.injectWALTail(h.tsdbWALPath, h.tsdbDown, false, f.Kind)
+	case FaultCorruptTailTSDBWAL:
+		return h.injectWALTail(h.tsdbWALPath, h.tsdbDown, true, f.Kind)
+	case FaultTornDocdbWAL:
+		return h.injectWALTail(h.docdbWALPath, h.docdbDown, false, f.Kind)
 	default:
 		return fmt.Errorf("testkit: unknown fault kind %q", f.Kind)
 	}
 	return nil
+}
+
+// injectWALTail appends crash residue to a WAL: a torn frame (header
+// promising more bytes than follow) or a complete final frame with a
+// mismatched checksum. Recovery must truncate either. Only legal in
+// Durable scenarios while the owning server is down — a live WAL appends
+// past the residue, which would bury it mid-file and (correctly) turn
+// restart into a hard corruption error.
+func (h *harness) injectWALTail(path string, down, corrupt bool, kind FaultKind) error {
+	if !h.sc.Durable {
+		return fmt.Errorf("testkit: %s requires a Durable scenario", kind)
+	}
+	if !down {
+		return fmt.Errorf("testkit: %s requires the server to be killed first", kind)
+	}
+	frame, err := storage.AppendRecord(nil, ^uint64(0), []byte("crash residue: this frame must not survive recovery"))
+	if err != nil {
+		return err
+	}
+	if corrupt {
+		frame[len(frame)-1] ^= 0xff // full frame, bad checksum
+	} else {
+		frame = frame[:len(frame)-9] // header promises 9 missing bytes
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("testkit: %s: %w", kind, err)
+	}
+	if _, err := f.Write(frame); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // finish attaches the session observation to the KB (the production
@@ -349,7 +467,10 @@ func (h *harness) note(tick uint64, detail string) {
 	h.res.Log.Append(Event{Tick: tick, Kind: "note", Detail: detail})
 }
 
-// close tears the stack down in dependency order.
+// close tears the stack down in dependency order. Durable databases are
+// closed (flushing their WALs) and a harness-owned data directory is
+// removed; the recovered in-memory images stay readable for the oracles,
+// which run against the Result after close.
 func (h *harness) close() {
 	if h.tsdbClient != nil {
 		h.tsdbClient.Close()
@@ -368,5 +489,16 @@ func (h *harness) close() {
 	}
 	if h.docdbSrv != nil {
 		h.docdbSrv.Close()
+	}
+	if h.sc.Durable {
+		if h.tsdbDB != nil {
+			h.tsdbDB.Close()
+		}
+		if h.docdbDB != nil {
+			h.docdbDB.Close()
+		}
+		if h.ownDataDir {
+			os.RemoveAll(h.dataDir)
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"pmove/internal/introspect/traceexport"
 	"pmove/internal/resilience"
+	"pmove/internal/storage"
 	"pmove/internal/tsdb"
 )
 
@@ -15,11 +16,13 @@ import (
 // A violated oracle plus the scenario seed is a complete bug report.
 
 // CheckConservation asserts the session's point conservation law: every
-// expected data point is accounted for exactly once as inserted (which
-// includes zero-filled and replayed points), lost to backpressure,
-// evicted from a full journal, or still pending in the journal.
+// expected data point — plus any backlog recovered from a predecessor's
+// on-disk spill journal — is accounted for exactly once as inserted
+// (which includes zero-filled and replayed points), lost to
+// backpressure, evicted from a full journal, or still pending in the
+// journal.
 //
-//	Expected == Inserted + Lost + SpillDropped + Pending
+//	Expected + RecoveredSpill == Inserted + Lost + SpillDropped + Pending
 //
 // An aborted session (non-degraded scenario whose sink died) is exempt:
 // the aborting report's points are the documented leak.
@@ -29,9 +32,9 @@ func CheckConservation(r *Result) error {
 	}
 	c := r.Collector
 	got := c.Inserted + c.Lost + c.SpillDropped + c.PendingSpillFields()
-	if c.Expected != got {
-		return fmt.Errorf("conservation violated: expected %d != inserted %d + lost %d + evicted %d + pending %d = %d",
-			c.Expected, c.Inserted, c.Lost, c.SpillDropped, c.PendingSpillFields(), got)
+	if c.Expected+c.RecoveredSpill != got {
+		return fmt.Errorf("conservation violated: expected %d + recovered %d != inserted %d + lost %d + evicted %d + pending %d = %d",
+			c.Expected, c.RecoveredSpill, c.Inserted, c.Lost, c.SpillDropped, c.PendingSpillFields(), got)
 	}
 	if c.Zeros > c.Expected {
 		// Zero-batched points follow the same insert/spill/evict paths as
@@ -121,6 +124,34 @@ func CheckAttribution(r *Result) error {
 	return nil
 }
 
+// CheckDurableRecovery asserts the durability contract on Durable
+// scenarios running fsync=always: after any number of kill/restart
+// cycles (crash + WAL/snapshot recovery), the server-side tsdb holds
+// exactly as many data points as the collector had acknowledged —
+// fewer means a crash lost an acknowledged write, more means recovery
+// replayed one twice. Policies other than always are allowed to lose
+// their unsynced tail, so only the clean-prefix property (restart
+// succeeding at all) applies to them and the count is not checked.
+func CheckDurableRecovery(r *Result) error {
+	if !r.Scenario.Durable || r.SessionErr != nil {
+		return nil
+	}
+	pol, err := storage.ParseFsyncPolicy(r.Scenario.Fsync)
+	if err != nil || pol != storage.FsyncAlways {
+		return nil
+	}
+	var got uint64
+	for _, m := range r.Measurements {
+		n, _ := r.ServerDB.CountValues(m)
+		got += n
+	}
+	if got != r.Collector.Inserted {
+		return fmt.Errorf("durable recovery violated: server holds %d data points, collector acknowledged %d (fsync=always: no loss, no duplicates)",
+			got, r.Collector.Inserted)
+	}
+	return nil
+}
+
 // CheckCheckpoints asserts the docdb leg's at-least-once accounting:
 // every acknowledged checkpoint is present server-side, and no more
 // documents exist than acknowledged plus failed attempts (a failed
@@ -149,5 +180,6 @@ func (r *Result) Verify() error {
 		CheckNoDuplicateInserts(r),
 		CheckAttribution(r),
 		CheckCheckpoints(r),
+		CheckDurableRecovery(r),
 	)
 }

@@ -42,6 +42,17 @@ const (
 	FaultKillDocdb      FaultKind = "kill-docdb"
 	FaultRestartDocdb   FaultKind = "restart-docdb"
 	FaultDropDocdbConns FaultKind = "drop-docdb-conns"
+
+	// WAL faults (Durable scenarios only, and only while the target
+	// server is down — between its kill and restart): they append the
+	// residue a crash mid-append leaves on disk, which the subsequent
+	// restart must truncate away. Torn writes a frame header promising
+	// more bytes than follow; corrupt-tail writes a complete final frame
+	// whose checksum does not match (indistinguishable from a partially
+	// flushed sector, so recovery treats it as torn).
+	FaultTornTSDBWAL        FaultKind = "torn-tsdb-wal"
+	FaultTornDocdbWAL       FaultKind = "torn-docdb-wal"
+	FaultCorruptTailTSDBWAL FaultKind = "corrupt-tail-tsdb-wal"
 )
 
 // FaultEvent schedules one fault before the given 1-based tick runs.
@@ -96,6 +107,20 @@ type Scenario struct {
 	// fault boundaries; the deterministic-replay scenarios keep it off
 	// and the breaker machine is verified by its own oracle instead.
 	Breaker bool
+	// Durable backs the tsdb/docdb servers with WAL+snapshot data
+	// directories so kill/restart faults exercise crash recovery: a kill
+	// crashes the database (discarding whatever the fsync policy had not
+	// yet made stable) and a restart reopens it from the same directory.
+	// Filesystem paths never enter the event log, so determinism holds.
+	Durable bool
+	// Fsync is the durability policy for Durable scenarios: "always",
+	// "interval" or "never" ("" = always). With "always" the durable
+	// recovery oracle asserts zero acknowledged loss across kills.
+	Fsync string
+	// DataDir roots the server data directories; "" uses a fresh temp
+	// directory removed when the run ends. Set it to inspect the files a
+	// scenario leaves behind or to chain runs over one directory.
+	DataDir string
 }
 
 // defaultMetrics is the harness load when Scenario.Load.Metrics is empty.
@@ -158,11 +183,52 @@ func FromSeed(seed uint64) Scenario {
 	return sc
 }
 
+// DurableFromSeed derives the crash-recovery chaos scenario from one
+// seed: the FromSeed schedule re-rooted onto WAL-backed servers with
+// fsync=always, plus torn-WAL injections while each server is down —
+// the residue of dying mid-append — which the restarts must truncate
+// away. Under fsync=always the durable recovery oracle then demands
+// zero acknowledged loss and zero duplication across the kills.
+func DurableFromSeed(seed uint64) Scenario {
+	sc := FromSeed(seed)
+	sc.Durable = true
+	sc.Fsync = "always"
+	var kill, dKill uint64
+	for _, f := range sc.Faults {
+		switch f.Kind {
+		case FaultKillTSDB:
+			kill = f.AtTick
+		case FaultKillDocdb:
+			dKill = f.AtTick
+		}
+	}
+	// FromSeed guarantees restart >= kill+3 and docdb restart >= dKill+2,
+	// so kill+1 / dKill+1 always land inside the down windows. One bad
+	// tail per window: recovery truncates exactly one torn/corrupt tail;
+	// stacking two would bury the first mid-file, which is (correctly) a
+	// hard corruption error, not a recoverable crash residue. The seed
+	// picks which tail flavour the tsdb gets.
+	tsdbFault := FaultTornTSDBWAL
+	if seed%2 == 1 {
+		tsdbFault = FaultCorruptTailTSDBWAL
+	}
+	sc.Faults = append(sc.Faults,
+		FaultEvent{AtTick: kill + 1, Kind: tsdbFault},
+		FaultEvent{AtTick: dKill + 1, Kind: FaultTornDocdbWAL},
+	)
+	return sc
+}
+
 // Replay re-runs the scenario derived from seed — the one-line repro a
 // failing chaos test prints. The returned result carries the event log
 // and every oracle input.
 func Replay(seed uint64) (*Result, error) {
 	return Run(FromSeed(seed))
+}
+
+// ReplayDurable is Replay over the durable scenario derivation.
+func ReplayDurable(seed uint64) (*Result, error) {
+	return Run(DurableFromSeed(seed))
 }
 
 // ReproLine renders the repro invocation a failure report should carry.

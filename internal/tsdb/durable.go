@@ -1,0 +1,163 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"pmove/internal/storage"
+)
+
+// Durability for the embedded tsdb: Open binds a DB to a data directory
+// managed by internal/storage — every accepted point is appended to the
+// write-ahead log (one line-protocol record per point, the same codec
+// the wire speaks) before it lands in memory, and Open replays
+// snapshot+WAL so a restart reconstructs exactly the acknowledged
+// writes. Compact folds the log into an atomic snapshot.
+//
+// The line protocol is already the canonical, fuzz-hardened encoding of
+// a point (EncodeLine∘DecodeLine is the identity on valid points), so
+// the WAL record body reuses it instead of inventing a second codec.
+
+// Open opens (creating if needed) a durable DB at dir. Recovery order:
+// the snapshot's points first, then every WAL record newer than the
+// snapshot — records the snapshot already covers were filtered out by
+// the storage layer, so replay is idempotent. A torn final WAL record
+// (crash mid-append) is silently truncated; mid-file corruption errors.
+func Open(dir string, pol storage.FsyncPolicy) (*DB, error) {
+	st, rec, err := storage.Open(dir, pol)
+	if err != nil {
+		return nil, err
+	}
+	db := New()
+	replayLine := func(line string) error {
+		p, derr := DecodeLine(line)
+		if derr != nil {
+			return fmt.Errorf("tsdb: recover %s: %w", dir, derr)
+		}
+		db.mu.Lock()
+		db.insertLocked(p)
+		db.mu.Unlock()
+		return nil
+	}
+	if len(rec.Snapshot) > 0 {
+		for _, line := range strings.Split(string(rec.Snapshot), "\n") {
+			if line == "" {
+				continue
+			}
+			if err := replayLine(line); err != nil {
+				st.Close()
+				return nil, err
+			}
+		}
+	}
+	for _, r := range rec.Records {
+		if err := replayLine(string(r.Data)); err != nil {
+			st.Close()
+			return nil, err
+		}
+	}
+	db.mu.Lock()
+	db.store = st
+	db.mu.Unlock()
+	return db, nil
+}
+
+// Durable reports whether the DB is backed by a data directory.
+func (db *DB) Durable() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.store != nil
+}
+
+// WALPath returns the write-ahead log path ("" for in-memory DBs);
+// fault-injection harnesses tear and corrupt it between restarts.
+func (db *DB) WALPath() string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.store == nil {
+		return ""
+	}
+	return db.store.WALPath()
+}
+
+// Sync forces the WAL to stable storage — the flush-on-close barrier
+// and the interval policy's manual checkpoint. No-op in memory.
+func (db *DB) Sync() error {
+	db.mu.RLock()
+	st := db.store
+	db.mu.RUnlock()
+	if st == nil {
+		return nil
+	}
+	return st.Sync()
+}
+
+// snapshotLocked renders the whole store as line protocol, one point
+// per line, measurements in sorted order. Callers hold db.mu.
+func (db *DB) snapshotLocked() ([]byte, error) {
+	names := make([]string, 0, len(db.measurements))
+	for m := range db.measurements {
+		names = append(names, m)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, m := range names {
+		for _, p := range db.measurements[m].points {
+			line, err := EncodeLine(p)
+			if err != nil {
+				return nil, fmt.Errorf("tsdb: snapshot %s: %w", m, err)
+			}
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return []byte(b.String()), nil
+}
+
+// Compact folds the current state into an atomic snapshot and resets
+// the WAL — bounding recovery time and log growth. Crash-safe at every
+// step (see storage.Store.Compact). No-op in memory.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store == nil {
+		return nil
+	}
+	snap, err := db.snapshotLocked()
+	if err != nil {
+		return err
+	}
+	return db.store.Compact(snap)
+}
+
+// Close flushes and releases the data directory. The DB stays readable
+// (it is just memory) but further writes error. No-op in memory.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store == nil {
+		return nil
+	}
+	err := db.store.Close()
+	db.store = nil
+	db.closed = true
+	return err
+}
+
+// Crash simulates the process dying without a flush: the WAL keeps only
+// what the fsync policy had already made stable, and the DB detaches
+// from the directory. With fsync=always no acknowledged point is lost;
+// weaker policies lose the unsynced suffix — which is exactly what the
+// recovery oracles probe. Test/simulation use only.
+func (db *DB) Crash() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.store == nil {
+		return nil
+	}
+	err := db.store.Crash()
+	db.store = nil
+	db.closed = true
+	return err
+}

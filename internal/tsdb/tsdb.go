@@ -15,6 +15,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"pmove/internal/storage"
 )
 
 // Point is one row of a measurement.
@@ -66,11 +68,19 @@ type RetentionPolicy struct {
 	Duration int64 // nanoseconds; 0 = keep forever
 }
 
-// DB is an in-memory time-series database.
+// DB is a time-series database: in-memory by default (New), optionally
+// backed by a write-ahead log + snapshot data directory (Open) so
+// acknowledged writes survive a crash.
 type DB struct {
 	mu           sync.RWMutex
 	measurements map[string]*series
 	retention    RetentionPolicy
+	// store is the durability layer; nil for the zero-config in-memory
+	// mode every embedded use defaults to. closed marks a durable DB
+	// whose directory was released (Close/Crash): still readable, but
+	// writes would be silently volatile, so they are refused.
+	store  *storage.Store
+	closed bool
 	// stats
 	pointsWritten uint64
 	valuesWritten uint64
@@ -98,13 +108,35 @@ func (db *DB) Retention() RetentionPolicy {
 	return db.retention
 }
 
-// WritePoint inserts one point.
+// WritePoint inserts one point. On a durable DB the point is logged to
+// the write-ahead log first (per the open fsync policy) — a nil return
+// means the write is recoverable, not just resident.
 func (db *DB) WritePoint(p Point) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return fmt.Errorf("tsdb: write to closed durable DB")
+	}
+	if db.store != nil {
+		line, err := EncodeLine(p)
+		if err != nil {
+			return err
+		}
+		if _, err := db.store.Append([]byte(line)); err != nil {
+			// Not logged → not acknowledged; the in-memory state must not
+			// run ahead of what recovery can reconstruct.
+			return fmt.Errorf("tsdb: wal append: %w", err)
+		}
+	}
+	db.insertLocked(p)
+	return nil
+}
+
+// insertLocked lands one validated point in memory. Callers hold db.mu.
+func (db *DB) insertLocked(p Point) {
 	s := db.measurements[p.Measurement]
 	if s == nil {
 		s = &series{}
@@ -121,7 +153,6 @@ func (db *DB) WritePoint(p Point) error {
 	}
 	db.pointsWritten++
 	db.valuesWritten += uint64(len(p.Fields))
-	return nil
 }
 
 // WriteBatch inserts points, stopping at the first error.

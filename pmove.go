@@ -90,6 +90,10 @@ var (
 	WithGrafanaToken = core.WithGrafanaToken
 	// WithTelemetrySink redirects telemetry to a remote sink.
 	WithTelemetrySink = core.WithTelemetrySink
+	// WithDataDir backs the embedded databases with WAL+snapshot data
+	// directories ("always"|"interval"|"never" fsync policy) so daemon
+	// state survives a crash; pair with Daemon.Close on shutdown.
+	WithDataDir = core.WithDataDir
 )
 
 // WithIntrospection enables the self-observability layer (metrics,
