@@ -1,11 +1,14 @@
 package pmove
 
 import (
+	"context"
 	"fmt"
+	"sync"
 	"testing"
 
 	"pmove/internal/experiments"
 	"pmove/internal/spmv"
+	"pmove/internal/storage"
 	"pmove/internal/tsdb"
 )
 
@@ -190,6 +193,77 @@ func BenchmarkTSDBWrite(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(fields)), "values/point")
+}
+
+// BenchmarkTSDBWriteParallel sweeps the durable sharded ingest path:
+// writer goroutines (1/4/16) x batch size (1/16/256), each writer
+// appending in time order to its own measurement — the telemetry
+// shape, one shipper per target — against a WAL-backed store with
+// fsync=always. Batch size 1 is the seed ingest discipline (one WAL
+// append + fsync per point); larger batches ride the group commit
+// (one CRC-framed record, one fsync per batch). The points/s metric
+// is the perf trajectory BENCH_7.json records; the acceptance ratio
+// compares g16/b256 against the g1/b1 single-point baseline.
+func BenchmarkTSDBWriteParallel(b *testing.B) {
+	for _, g := range []int{1, 4, 16} {
+		for _, batch := range []int{1, 16, 256} {
+			b.Run(fmt.Sprintf("g%d/b%d", g, batch), func(b *testing.B) {
+				db, err := tsdb.Open(b.TempDir(), storage.FsyncAlways)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				fields := map[string]float64{}
+				for c := 0; c < 8; c++ {
+					fields[fmt.Sprintf("_cpu%d", c)] = float64(c)
+				}
+				ctx := context.Background()
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < g; w++ {
+					n := b.N / g
+					if w < b.N%g {
+						n++
+					}
+					wg.Add(1)
+					go func(w, n int) {
+						defer wg.Done()
+						m := fmt.Sprintf("m%d", w)
+						buf := make([]tsdb.Point, 0, batch)
+						for i := 0; i < n; i++ {
+							p := tsdb.Point{Measurement: m, Fields: fields, Time: int64(i)}
+							if batch == 1 {
+								if err := db.WritePoint(p); err != nil {
+									b.Error(err)
+									return
+								}
+								continue
+							}
+							buf = append(buf, p)
+							if len(buf) == batch {
+								if err := db.WriteBatchContext(ctx, buf); err != nil {
+									b.Error(err)
+									return
+								}
+								buf = buf[:0]
+							}
+						}
+						if len(buf) > 0 {
+							if err := db.WriteBatchContext(ctx, buf); err != nil {
+								b.Error(err)
+							}
+						}
+					}(w, n)
+				}
+				wg.Wait()
+				b.StopTimer()
+				b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "points/s")
+				if points, _ := db.Stats(); points != uint64(b.N) {
+					b.Fatalf("conservation: %d points stored, want %d", points, b.N)
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkTSDBQuery measures SELECT latency over 10k rows.

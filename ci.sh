@@ -39,6 +39,7 @@ fuzz_smoke() {
 }
 fuzz_smoke ./internal/tsdb FuzzDecodeLine
 fuzz_smoke ./internal/tsdb FuzzEncodeDecodeRoundTrip
+fuzz_smoke ./internal/tsdb FuzzBatchFrame
 fuzz_smoke ./internal/introspect FuzzParseTraceparent
 fuzz_smoke ./internal/docdb FuzzDocdbFrame
 fuzz_smoke ./internal/storage FuzzWALRecord
@@ -47,6 +48,41 @@ fuzz_smoke ./internal/storage FuzzWALRecord
 # iteration — catches bit-rotted b.Run setups without paying for real
 # measurement.
 go test -run NONE -bench . -benchtime 1x ./...
+
+# Perf record: sweep the durable sharded-ingest benchmark (writer
+# goroutines x batch size against a WAL with fsync=always) and record
+# the points/s trajectory in BENCH_7.json. Gate: group-committed
+# batches (16 goroutines x batch 256) must hold >=4x the single-point
+# fsync-per-write baseline (1 goroutine x batch 1, the seed ingest
+# discipline).
+go test -run '^$' -bench '^BenchmarkTSDBWriteParallel$' -benchtime 0.3s . > bench7.out
+awk '
+    /^BenchmarkTSDBWriteParallel\// {
+        split($1, name, "/")
+        g = substr(name[2], 2) + 0
+        bsz = name[3]; sub(/^b/, "", bsz); sub(/-[0-9]+$/, "", bsz); bsz += 0
+        for (i = 2; i <= NF; i++) if ($i == "points/s") pps[g "," bsz] = $(i - 1) + 0
+    }
+    END {
+        printf "{\n  \"benchmark\": \"BenchmarkTSDBWriteParallel\",\n  \"fsync\": \"always\",\n  \"rows\": [\n"
+        n = 0
+        for (g = 1; g <= 16; g *= 4) for (b = 1; b <= 256; b *= 16) {
+            if (n++) printf ",\n"
+            printf "    {\"goroutines\": %d, \"batch\": %d, \"points_per_sec\": %.0f}", g, b, pps[g "," b]
+        }
+        base = pps["1,1"]; top = pps["16,256"]
+        printf "\n  ],\n  \"single_point_baseline_points_per_sec\": %.0f,\n", base
+        printf "  \"g16_b256_points_per_sec\": %.0f,\n", top
+        printf "  \"speedup_g16_b256_vs_single_point\": %.2f\n}\n", top / base
+        if (base <= 0 || top < 4 * base) exit 1
+    }
+' bench7.out > BENCH_7.json || {
+    echo "ingest bench gate: g16/b256 did not reach 4x the g1/b1 single-point baseline:" >&2
+    cat bench7.out >&2
+    exit 1
+}
+rm -f bench7.out
+echo "ingest bench: $(grep speedup BENCH_7.json | tr -d ' ,')"
 
 # API gate: the daemon's public surface is context-first. Any NEW exported
 # method on *Daemon must take `ctx context.Context` as its first parameter.
@@ -76,6 +112,24 @@ trace_violations=$(grep -h '^func [A-Z].*Sink' internal/introspect/traceexport/*
 if [ -n "$trace_violations" ]; then
     echo "context-first API gate: exported traceexport funcs taking a Sink must take 'ctx context.Context' first:" >&2
     echo "$trace_violations" >&2
+    exit 1
+fi
+
+# Same rule for the wire clients: every exported method on the tsdb /
+# docdb clients and the superdb remote that crosses the wire must have a
+# context-first form. The context-free names below are grandfathered
+# deprecated wrappers (one-line delegates to the Context twin); pure
+# accessors and the shutdown path are exempt. A NEW context-free wire
+# method fails here — add the ...Context form and wrap it instead.
+client_wrappers='Write|WritePoint|WriteBatch|Query|Ping|Insert|InsertBatch|Upsert|Find|Get|Count|ReportJob|ReportKB|ReportObservation|Hosts|QueryObservation'
+client_accessors='Stats|Transport|Close|SetIntrospection'
+client_violations=$(grep -h 'func (c \*Client) [A-Z]\|func (r \*Remote) [A-Z]' \
+    internal/tsdb/*.go internal/docdb/*.go internal/superdb/*.go \
+    | grep -v 'ctx context\.Context' \
+    | grep -Ev "\) ($client_wrappers|$client_accessors)\(" || true)
+if [ -n "$client_violations" ]; then
+    echo "context-first API gate: exported wire-client methods must take 'ctx context.Context' first:" >&2
+    echo "$client_violations" >&2
     exit 1
 fi
 

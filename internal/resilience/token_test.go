@@ -1,0 +1,83 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestNextOpTokenUnique: tokens are unique under concurrency — the
+// whole idempotency scheme rests on two logical batches never sharing
+// one.
+func TestNextOpTokenUnique(t *testing.T) {
+	const workers, per = 8, 200
+	var mu sync.Mutex
+	seen := make(map[string]bool, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]string, 0, per)
+			for i := 0; i < per; i++ {
+				local = append(local, NextOpToken())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, tok := range local {
+				if seen[tok] {
+					t.Errorf("duplicate token %q", tok)
+					return
+				}
+				seen[tok] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestDedupWindow: record-then-seen semantics and oldest-first eviction
+// at capacity.
+func TestDedupWindow(t *testing.T) {
+	d := NewDedupWindow(3)
+	if d.Seen("a") {
+		t.Fatal("empty window claims to have seen a token")
+	}
+	d.Record("a")
+	d.Record("a") // double record is harmless
+	d.Record("b")
+	d.Record("c")
+	for _, tok := range []string{"a", "b", "c"} {
+		if !d.Seen(tok) {
+			t.Fatalf("token %q lost before capacity", tok)
+		}
+	}
+	d.Record("d") // evicts "a", the oldest
+	if d.Seen("a") {
+		t.Fatal("oldest token survived eviction")
+	}
+	for _, tok := range []string{"b", "c", "d"} {
+		if !d.Seen(tok) {
+			t.Fatalf("token %q evicted out of order", tok)
+		}
+	}
+}
+
+// TestDedupWindowConcurrent: Seen/Record race-cleanly from many
+// goroutines (run under -race).
+func TestDedupWindowConcurrent(t *testing.T) {
+	d := NewDedupWindow(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tok := fmt.Sprintf("w%d-%d", w, i)
+				d.Record(tok)
+				d.Seen(tok)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -123,6 +123,29 @@ func (r *Remote) ReportKBContext(ctx context.Context, k *kb.KB) (err error) {
 	return err
 }
 
+// reportBatchSize chunks observation uploads: large observations ship
+// as a few full frames instead of |rows| round-trips, while staying
+// comfortably under the server's MaxBatchPoints bound.
+const reportBatchSize = 256
+
+// WriteBatch ships a batch of points to the global time-series store
+// with a background context.
+//
+// Deprecated: use WriteBatchContext.
+func (r *Remote) WriteBatch(ps []tsdb.Point) error {
+	return r.WriteBatchContext(context.Background(), ps)
+}
+
+// WriteBatchContext ships a batch of points to the global time-series
+// store in one round-trip (tsdb WRITEB semantics: validated up front,
+// idempotent under retry). Remote thereby satisfies tsdb.BatchWriter,
+// the unified batched write surface.
+func (r *Remote) WriteBatchContext(ctx context.Context, ps []tsdb.Point) (err error) {
+	ctx, span := r.in.StartSpan(ctx, "superdb.write_batch")
+	defer func() { span.End(err) }()
+	return r.TS.WriteBatchContext(ctx, ps)
+}
+
 // ReportObservation uploads one observation with a background context.
 func (r *Remote) ReportObservation(o *kb.Observation, local *tsdb.DB, mode ReportMode) error {
 	return r.ReportObservationContext(context.Background(), o, local, mode)
@@ -140,12 +163,26 @@ func (r *Remote) ReportObservationContext(ctx context.Context, o *kb.Observation
 	}
 	var aggs []Aggregates
 	rawPoints := 0
+	// ModeTS rows accumulate here and ship as chunked batch frames (one
+	// round-trip per reportBatchSize rows) instead of one WRITE per row.
+	var pending []tsdb.Point
+	flush := func() error {
+		if len(pending) == 0 {
+			return nil
+		}
+		if err := r.TS.WriteBatchContext(ctx, pending); err != nil {
+			return err
+		}
+		rawPoints += len(pending)
+		pending = pending[:0]
+		return nil
+	}
 	for _, m := range o.Metrics {
-		res, err := local.Execute(&tsdb.Query{
+		res, err := local.ExecuteContext(ctx, tsdb.QueryRequest{Query: &tsdb.Query{
 			Fields:      m.Fields,
 			Measurement: m.Measurement,
 			TagFilter:   map[string]string{"tag": o.Tag},
-		})
+		}})
 		if err != nil {
 			return fmt.Errorf("superdb: fetch %s: %w", m.Measurement, err)
 		}
@@ -155,16 +192,17 @@ func (r *Remote) ReportObservationContext(ctx context.Context, o *kb.Observation
 				if len(row.Values) == 0 {
 					continue
 				}
-				p := tsdb.Point{
+				pending = append(pending, tsdb.Point{
 					Measurement: m.Measurement,
 					Tags:        map[string]string{"tag": o.Tag, "host": o.Host},
 					Fields:      row.Values,
 					Time:        row.Time,
+				})
+				if len(pending) >= reportBatchSize {
+					if err := flush(); err != nil {
+						return err
+					}
 				}
-				if err := r.TS.WriteContext(ctx, p); err != nil {
-					return err
-				}
-				rawPoints++
 			}
 		case ModeAGG:
 			byField := map[string][]float64{}
@@ -184,6 +222,9 @@ func (r *Remote) ReportObservationContext(ctx context.Context, o *kb.Observation
 		default:
 			return fmt.Errorf("superdb: unknown report mode %q", mode)
 		}
+	}
+	if err := flush(); err != nil {
+		return err
 	}
 	doc, err := docdb.FromValue(map[string]any{
 		"_id":     fmt.Sprintf("obs:%s:%s", o.Host, o.Tag),

@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"pmove/internal/tsdb"
+)
+
+// tickSamples builds one report of several measurements, the shape one
+// monitoring tick produces.
+func tickSamples(n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{
+			Metric: fmt.Sprintf("kernel.metric%d", i),
+			Values: map[string]float64{"_cpu0": float64(i), "_cpu1": float64(i) * 2},
+		}
+	}
+	return out
+}
+
+// TestOfferBatchedUnbatchedEquivalence: the batched shipment path must
+// be accounting-identical to the per-point path — same Expected /
+// Inserted / Zeros / Lost and the same stored data — for the same
+// offered load. Only the wire/WAL granularity differs.
+func TestOfferBatchedUnbatchedEquivalence(t *testing.T) {
+	run := func(unbatched bool) (*Collector, *tsdb.DB) {
+		db := tsdb.New()
+		cfg := DefaultPipeline()
+		cfg.StallProb = 0
+		cfg.Unbatched = unbatched
+		col := NewCollector(db, cfg)
+		for tick := 0; tick < 10; tick++ {
+			now := float64(tick) * 0.1
+			if err := col.Offer(now, tickSamples(5), "t", tick%3 == 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return col, db
+	}
+	b, bdb := run(false)
+	u, udb := run(true)
+	if b.Expected != u.Expected || b.Inserted != u.Inserted || b.Zeros != u.Zeros || b.Lost != u.Lost {
+		t.Fatalf("accounting diverged: batched {E:%d I:%d Z:%d L:%d} vs unbatched {E:%d I:%d Z:%d L:%d}",
+			b.Expected, b.Inserted, b.Zeros, b.Lost,
+			u.Expected, u.Inserted, u.Zeros, u.Lost)
+	}
+	bp, bv := bdb.Stats()
+	up, uv := udb.Stats()
+	if bp != up || bv != uv {
+		t.Fatalf("stored data diverged: batched (%d, %d) vs unbatched (%d, %d)", bp, bv, up, uv)
+	}
+	for _, m := range bdb.Measurements() {
+		bt, bz := bdb.CountValues(m)
+		ut, uz := udb.CountValues(m)
+		if bt != ut || bz != uz {
+			t.Fatalf("%s: batched (%d, %d) vs unbatched (%d, %d)", m, bt, bz, ut, uz)
+		}
+	}
+}
+
+// failingBatchSink accepts single points but fails every batch write —
+// the asymmetric-failure case the degraded path must spill through.
+type failingBatchSink struct{ db *tsdb.DB }
+
+func (s *failingBatchSink) WritePoint(p tsdb.Point) error { return s.db.WritePoint(p) }
+func (s *failingBatchSink) WriteBatchContext(ctx context.Context, ps []tsdb.Point) error {
+	return fmt.Errorf("batch sink down")
+}
+
+// TestOfferBatchFailureSpillsWhole: in Degraded mode a failed batch
+// spills every point of the tick (whole-tick granularity), and the
+// conservation law still balances.
+func TestOfferBatchFailureSpillsWhole(t *testing.T) {
+	db := tsdb.New()
+	cfg := DefaultPipeline()
+	cfg.StallProb = 0
+	cfg.Degraded = true
+	col := NewCollector(db, cfg)
+	col.Sink = &failingBatchSink{db: db}
+	if err := col.Offer(0, tickSamples(4), "t", false); err != nil {
+		t.Fatal(err)
+	}
+	if col.Inserted != 0 {
+		t.Fatalf("failed batch reported %d inserted", col.Inserted)
+	}
+	if col.Spilled != col.Expected || col.PendingSpillFields() != col.Expected {
+		t.Fatalf("spilled %d / pending %d, want all %d expected points",
+			col.Spilled, col.PendingSpillFields(), col.Expected)
+	}
+	if got := col.Inserted + col.Lost + col.SpillDropped + col.PendingSpillFields(); got != col.Expected {
+		t.Fatalf("conservation violated: %d != expected %d", got, col.Expected)
+	}
+	// Non-degraded: the same failure aborts the offer with an error.
+	strict := NewCollector(db, func() PipelineConfig { c := DefaultPipeline(); c.StallProb = 0; return c }())
+	strict.Sink = &failingBatchSink{db: db}
+	if err := strict.Offer(0, tickSamples(4), "t", false); err == nil {
+		t.Fatal("non-degraded batch failure did not abort")
+	}
+}
+
+// TestOfferUnbatchedConfigForcesPerPoint: with Unbatched set, a sink
+// whose batch path always fails is never asked for it — the per-point
+// path carries the tick.
+func TestOfferUnbatchedConfigForcesPerPoint(t *testing.T) {
+	db := tsdb.New()
+	cfg := DefaultPipeline()
+	cfg.StallProb = 0
+	cfg.Unbatched = true
+	col := NewCollector(db, cfg)
+	col.Sink = &failingBatchSink{db: db}
+	if err := col.Offer(0, tickSamples(3), "t", false); err != nil {
+		t.Fatalf("unbatched offer used the batch path: %v", err)
+	}
+	if col.Inserted != col.Expected {
+		t.Fatalf("inserted %d of %d", col.Inserted, col.Expected)
+	}
+}

@@ -54,6 +54,14 @@ type PipelineConfig struct {
 	// WALs) so an outage backlog survives a collector crash. Opened by
 	// OpenJournal; recovery is at-least-once up to JournalCap.
 	JournalDir string
+	// Unbatched disables per-tick batch shipment: every point goes to
+	// the sink as its own WritePoint, the pre-batching behaviour. The
+	// default ships one tick's report as ONE batch write whenever the
+	// sink supports it (BatchPointSink) — one round-trip and one group
+	// commit per tick instead of |instance domain|. The accounting is
+	// identical either way; only failure granularity differs (a batch
+	// fails or spills whole, which is also what a tick loss means).
+	Unbatched bool
 	// Seed drives the deterministic jitter.
 	Seed uint64
 }
@@ -89,6 +97,15 @@ type PointSink interface {
 type ContextPointSink interface {
 	PointSink
 	WritePointContext(ctx context.Context, p tsdb.Point) error
+}
+
+// BatchPointSink is a PointSink that accepts whole batches — the
+// embedded tsdb.DB (group-committed WAL append) and the remote
+// tsdb.Client (one WRITEB round-trip) both satisfy it. The collector
+// ships each tick's report through this path unless Cfg.Unbatched.
+type BatchPointSink interface {
+	PointSink
+	WriteBatchContext(ctx context.Context, ps []tsdb.Point) error
 }
 
 // Collector is the host-side sink: it owns the tsdb handle and the
@@ -328,6 +345,7 @@ func (c *Collector) OfferContext(ctx context.Context, now float64, samples []Sam
 		c.ReplayContext(ctx)
 	}
 	ts := int64(now * 1e9)
+	pts := make([]tsdb.Point, 0, len(samples))
 	for _, s := range samples {
 		if zeroBatch {
 			zeroed := Sample{Metric: s.Metric, Values: map[string]float64{}}
@@ -336,26 +354,50 @@ func (c *Collector) OfferContext(ctx context.Context, now float64, samples []Sam
 			}
 			s = zeroed
 		}
-		p := ToPoint(s, tag, ts)
-		if c.Cfg.Degraded && c.degraded {
-			// Sink known down (the opportunistic Replay above just
-			// probed it): journal without burning the client's retry
-			// budget on every sample.
+		pts = append(pts, ToPoint(s, tag, ts))
+	}
+	switch bs, batchable := c.sink().(BatchPointSink); {
+	case c.Cfg.Degraded && c.degraded:
+		// Sink known down (the opportunistic Replay above just probed
+		// it): journal without burning the client's retry budget on
+		// every sample.
+		for _, p := range pts {
 			c.spill(p)
-		} else if werr := c.writePoint(ctx, p); werr != nil {
+		}
+	case batchable && !c.Cfg.Unbatched && len(pts) > 1:
+		// The whole tick ships as one batch: one round-trip / one group
+		// commit, and — because the batch path is atomic and idempotent
+		// under retry — it lands whole, spills whole, or fails whole,
+		// which is the same granularity a lost tick already has.
+		if werr := bs.WriteBatchContext(ctx, pts); werr != nil {
 			if !c.Cfg.Degraded {
-				err = fmt.Errorf("telemetry: insert %s: %w", s.Metric, werr)
+				err = fmt.Errorf("telemetry: batch insert (%d points): %w", len(pts), werr)
 				return err
 			}
-			c.spill(p)
+			for _, p := range pts {
+				c.spill(p)
+			}
 		} else {
-			c.Inserted += uint64(len(s.Values))
-			reg.Counter("telemetry.points.inserted").Add(uint64(len(s.Values)))
+			c.Inserted += uint64(nValues)
+			reg.Counter("telemetry.points.inserted").Add(uint64(nValues))
 		}
-		if zeroBatch {
-			c.Zeros += uint64(len(s.Values))
-			reg.Counter("telemetry.points.zeros").Add(uint64(len(s.Values)))
+	default:
+		for _, p := range pts {
+			if werr := c.writePoint(ctx, p); werr != nil {
+				if !c.Cfg.Degraded {
+					err = fmt.Errorf("telemetry: insert %s: %w", p.Measurement, werr)
+					return err
+				}
+				c.spill(p)
+			} else {
+				c.Inserted += uint64(len(p.Fields))
+				reg.Counter("telemetry.points.inserted").Add(uint64(len(p.Fields)))
+			}
 		}
+	}
+	if zeroBatch {
+		c.Zeros += uint64(nValues)
+		reg.Counter("telemetry.points.zeros").Add(uint64(nValues))
 	}
 	c.NetBytes += nBytes
 	c.DiskBytes += int64(nValues) * 48 // stored point footprint

@@ -152,6 +152,27 @@ func CheckDurableRecovery(r *Result) error {
 	return nil
 }
 
+// CheckShardStats asserts the sharded engine's merged accounting: the
+// cumulative Stats() counters (per-shard, merged on read) must equal
+// the sum of per-measurement CountValues over everything the server
+// stores. A mismatch means a shard lost or double-counted a write —
+// the cross-stripe conservation law of the lock-striped measurement
+// map. Valid whenever no retention enforcement ran (the harness never
+// does): cumulative write counters and resident data then coincide.
+func CheckShardStats(r *Result) error {
+	_, values := r.ServerDB.Stats()
+	var stored uint64
+	for _, m := range r.ServerDB.Measurements() {
+		n, _ := r.ServerDB.CountValues(m)
+		stored += n
+	}
+	if stored != values {
+		return fmt.Errorf("shard stats violated: merged Stats() reports %d values but measurements hold %d",
+			values, stored)
+	}
+	return nil
+}
+
 // CheckCheckpoints asserts the docdb leg's at-least-once accounting:
 // every acknowledged checkpoint is present server-side, and no more
 // documents exist than acknowledged plus failed attempts (a failed
@@ -178,6 +199,7 @@ func (r *Result) Verify() error {
 		CheckConservation(r),
 		CheckBreakerStates(r),
 		CheckNoDuplicateInserts(r),
+		CheckShardStats(r),
 		CheckAttribution(r),
 		CheckCheckpoints(r),
 		CheckDurableRecovery(r),

@@ -121,6 +121,11 @@ type Scenario struct {
 	// directory removed when the run ends. Set it to inspect the files a
 	// scenario leaves behind or to chain runs over one directory.
 	DataDir string
+	// Unbatched forces the pre-batching shipment path (one WritePoint
+	// per sample instead of one WRITEB batch per tick). Both paths must
+	// uphold the same conservation laws — equivalence scenarios run the
+	// same seed with and without it.
+	Unbatched bool
 }
 
 // defaultMetrics is the harness load when Scenario.Load.Metrics is empty.
@@ -146,6 +151,7 @@ func (sc Scenario) pipeline() telemetry.PipelineConfig {
 	cfg.Seed = sc.Seed
 	cfg.Degraded = sc.Degraded
 	cfg.JournalCap = sc.JournalCap
+	cfg.Unbatched = sc.Unbatched
 	return cfg
 }
 

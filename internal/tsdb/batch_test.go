@@ -1,0 +1,522 @@
+package tsdb
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmove/internal/storage"
+)
+
+// TestShardedStressConservation is the lock-striping stress oracle: 64
+// concurrent writers over 8 measurements, each point written exactly
+// once, and the merged Stats() plus per-measurement CountValues must
+// account for every write. Run under -race this also proves the stripe
+// locking is sound.
+func TestShardedStressConservation(t *testing.T) {
+	const (
+		writers      = 64
+		measurements = 8
+		perWriter    = 50
+	)
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			m := fmt.Sprintf("m%d", w%measurements)
+			for i := 0; i < perWriter; i++ {
+				// Per-writer disjoint timestamps keep the duplicate check
+				// meaningful.
+				p := Point{
+					Measurement: m,
+					Fields:      map[string]float64{"v": float64(i), "w": float64(w)},
+					Time:        int64(w*perWriter + i),
+				}
+				if err := db.WritePoint(p); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	points, values := db.Stats()
+	if want := uint64(writers * perWriter); points != want {
+		t.Fatalf("Stats points = %d, want %d", points, want)
+	}
+	if want := uint64(writers * perWriter * 2); values != want {
+		t.Fatalf("Stats values = %d, want %d", values, want)
+	}
+	var stored uint64
+	names := db.Measurements()
+	if len(names) != measurements {
+		t.Fatalf("got %d measurements, want %d", len(names), measurements)
+	}
+	for _, m := range names {
+		n, _ := db.CountValues(m)
+		stored += n
+	}
+	if stored != values {
+		t.Fatalf("measurements hold %d values, Stats reports %d", stored, values)
+	}
+}
+
+// TestShardedStressBatches mixes concurrent batch writers with readers:
+// conservation must hold and every series must stay time-ordered.
+func TestShardedStressBatches(t *testing.T) {
+	const (
+		writers   = 16
+		batches   = 20
+		batchSize = 8
+	)
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				ps := make([]Point, batchSize)
+				for i := range ps {
+					ps[i] = Point{
+						Measurement: fmt.Sprintf("m%d", (w+i)%8),
+						Fields:      map[string]float64{"v": 1},
+						Time:        int64(w*1e6 + b*batchSize + i),
+					}
+				}
+				if err := db.WriteBatchContext(context.Background(), ps); err != nil {
+					t.Errorf("writer %d batch %d: %v", w, b, err)
+					return
+				}
+				// Interleave reads to exercise the shard RLock paths.
+				db.Stats()
+				db.CountValues("m0")
+			}
+		}(w)
+	}
+	wg.Wait()
+	points, _ := db.Stats()
+	if want := uint64(writers * batches * batchSize); points != want {
+		t.Fatalf("Stats points = %d, want %d", points, want)
+	}
+	for _, m := range db.Measurements() {
+		res, err := db.ExecuteContext(context.Background(), QueryRequest{Query: &Query{Fields: []string{"*"}, Measurement: m}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(res.Rows); i++ {
+			if res.Rows[i].Time < res.Rows[i-1].Time {
+				t.Fatalf("%s: rows out of time order at %d", m, i)
+			}
+		}
+	}
+}
+
+// TestWriteBatchAtomicRejection: a batch with one invalid point is
+// rejected whole — typed *BatchError naming the offending index, zero
+// points applied, no state change anywhere.
+func TestWriteBatchAtomicRejection(t *testing.T) {
+	db := New()
+	ps := []Point{
+		{Measurement: "good", Fields: map[string]float64{"v": 1}, Time: 1},
+		{Measurement: "good", Fields: map[string]float64{"v": 2}, Time: 2},
+		{Measurement: "", Fields: map[string]float64{"v": 3}, Time: 3}, // invalid
+	}
+	err := db.WriteBatchContext(context.Background(), ps)
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("want *BatchError, got %v", err)
+	}
+	if be.Index != 2 || be.Applied != 0 {
+		t.Fatalf("BatchError{Index: %d, Applied: %d}, want {2, 0}", be.Index, be.Applied)
+	}
+	if points, _ := db.Stats(); points != 0 {
+		t.Fatalf("rejected batch left %d points behind (atomicity violated)", points)
+	}
+	if n := len(db.Measurements()); n != 0 {
+		t.Fatalf("rejected batch created %d measurements", n)
+	}
+}
+
+// TestWriteBatchEmptyAndCancelled covers the trivial edges: an empty
+// batch is a no-op, a cancelled context is refused before any work.
+func TestWriteBatchEmptyAndCancelled(t *testing.T) {
+	db := New()
+	if err := db.WriteBatchContext(context.Background(), nil); err != nil {
+		t.Fatalf("empty batch: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := db.WriteBatchContext(ctx, []Point{{Measurement: "m", Fields: map[string]float64{"v": 1}}})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch: %v", err)
+	}
+	if points, _ := db.Stats(); points != 0 {
+		t.Fatalf("cancelled batch applied %d points", points)
+	}
+}
+
+// TestExecuteContextForms: the request-struct query API accepts both a
+// statement and a pre-parsed query, and the deprecated wrappers agree.
+func TestExecuteContextForms(t *testing.T) {
+	db := New()
+	for i := 0; i < 4; i++ {
+		if err := db.WritePoint(Point{Measurement: "m", Fields: map[string]float64{"v": float64(i)}, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byStmt, err := db.ExecuteContext(context.Background(), QueryRequest{Statement: `SELECT v FROM m`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byQuery, err := db.ExecuteContext(context.Background(), QueryRequest{Query: &Query{Fields: []string{"v"}, Measurement: "m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := db.QueryString(`SELECT v FROM m`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byStmt.Rows) != 4 || len(byQuery.Rows) != 4 || len(old.Rows) != 4 {
+		t.Fatalf("rows: stmt=%d query=%d deprecated=%d, want 4 each", len(byStmt.Rows), len(byQuery.Rows), len(old.Rows))
+	}
+	if _, err := db.ExecuteContext(context.Background(), QueryRequest{Statement: "not a query"}); err == nil {
+		t.Fatal("malformed statement accepted")
+	}
+}
+
+// TestDurableBatchGroupCommit: a batch on a durable DB is ONE WAL
+// record; crash + reopen recovers every point of it exactly once.
+func TestDurableBatchGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, storage.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]Point, 10)
+	for i := range ps {
+		ps[i] = Point{Measurement: fmt.Sprintf("m%d", i%3), Fields: map[string]float64{"v": float64(i)}, Time: int64(i)}
+	}
+	if err := db.WriteBatchContext(context.Background(), ps); err != nil {
+		t.Fatal(err)
+	}
+	walPath := db.WALPath()
+	if err := db.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	// Group commit: the whole batch must be a single framed record.
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, err := storage.DecodeAll(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("batch produced %d WAL records, want 1 (group commit)", len(recs))
+	}
+	if !storage.IsBatchBody(recs[0].Data) {
+		t.Fatal("batch WAL record is not a batch envelope")
+	}
+	re, err := Open(dir, storage.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	points, _ := re.Stats()
+	if points != uint64(len(ps)) {
+		t.Fatalf("recovered %d points, want %d", points, len(ps))
+	}
+}
+
+// TestDurableBatchTornRecoversWholeOrNone: a crash that tears the
+// batch's WAL frame discards the WHOLE batch on recovery — never a
+// prefix of it. (Atomicity under crash, the recovery half of the
+// group-commit contract.)
+func TestDurableBatchTornRecoversWholeOrNone(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, storage.FsyncAlways)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A pre-batch point that must survive.
+	if err := db.WritePoint(Point{Measurement: "keep", Fields: map[string]float64{"v": 1}, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	ps := make([]Point, 8)
+	for i := range ps {
+		ps[i] = Point{Measurement: "batch", Fields: map[string]float64{"v": float64(i)}, Time: int64(i)}
+	}
+	if err := db.WriteBatchContext(context.Background(), ps); err != nil {
+		t.Fatal(err)
+	}
+	walPath := db.WALPath()
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the batch record: cut the WAL mid-frame, as a crash mid-append
+	// would have.
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir, storage.FsyncAlways)
+	if err != nil {
+		t.Fatalf("reopen over torn batch: %v", err)
+	}
+	defer re.Close()
+	if n, _ := re.CountValues("keep"); n != 1 {
+		t.Fatalf("pre-batch point lost (%d values)", n)
+	}
+	if n, _ := re.CountValues("batch"); n != 0 {
+		t.Fatalf("torn batch partially recovered: %d values (want whole-or-none = none)", n)
+	}
+}
+
+// TestClientWriteBatchRoundTrip: the WRITEB frame end to end through
+// the resilient client — points land once, queries see them.
+func TestClientWriteBatchRoundTrip(t *testing.T) {
+	db := New()
+	srv, addr := startServer(t, db)
+	defer srv.Close()
+	c, err := DialPolicy(addr, testPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ps := make([]Point, 20)
+	for i := range ps {
+		ps[i] = Point{Measurement: "wire", Fields: map[string]float64{"v": float64(i)}, Time: int64(i)}
+	}
+	if err := c.WriteBatchContext(context.Background(), ps); err != nil {
+		t.Fatal(err)
+	}
+	if points, _ := db.Stats(); points != uint64(len(ps)) {
+		t.Fatalf("server holds %d points, want %d", points, len(ps))
+	}
+	res, err := c.QueryContext(context.Background(), `SELECT v FROM wire`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != len(ps) {
+		t.Fatalf("query sees %d rows, want %d", len(res.Rows), len(ps))
+	}
+	// Client-side validation: an unencodable point never reaches the wire.
+	bad := []Point{{Measurement: "wire", Fields: map[string]float64{"v": 1}}, {Measurement: ""}}
+	var be *BatchError
+	if err := c.WriteBatchContext(context.Background(), bad); !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("want *BatchError{Index: 1}, got %v", err)
+	}
+}
+
+// TestWriteBatchDedupOnRetry: re-sending a WRITEB frame with the same
+// idempotency token (what a client retry after a lost ack does) is
+// acknowledged without re-inserting — batch writes are exactly-once
+// under retry.
+func TestWriteBatchDedupOnRetry(t *testing.T) {
+	db := New()
+	srv, addr := startServer(t, db)
+	defer srv.Close()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	frame := "WRITEB 2 id=test-tok-1\nm v=1 1\nm v=2 2\n"
+	for attempt := 0; attempt < 2; attempt++ {
+		if _, err := conn.Write([]byte(frame)); err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+		resp, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if strings.TrimSpace(resp) != "OK 2" {
+			t.Fatalf("attempt %d: got %q, want OK 2", attempt, resp)
+		}
+	}
+	if points, _ := db.Stats(); points != 2 {
+		t.Fatalf("server holds %d points after duplicate frame, want 2 (dedup)", points)
+	}
+	// A NEW token with the same body is a different logical batch.
+	if _, err := conn.Write([]byte("WRITEB 2 id=test-tok-2\nm v=1 10\nm v=2 20\n")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(resp) != "OK 2" {
+		t.Fatalf("new token: got %q", resp)
+	}
+	if points, _ := db.Stats(); points != 4 {
+		t.Fatalf("server holds %d points, want 4", points)
+	}
+}
+
+// TestWriteBatchStreamSync: a valid header with a rejected body line
+// drains the whole body and leaves the stream in sync (next command
+// answers normally); an invalid header is fatal and closes the
+// connection, because the server cannot know how many lines follow.
+func TestWriteBatchStreamSync(t *testing.T) {
+	db := New()
+	srv, addr := startServer(t, db)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r := bufio.NewReader(conn)
+	// Valid header, one malformed body line: ERR, but the stream stays
+	// usable — the next PING on the same connection answers.
+	if _, err := conn.Write([]byte("WRITEB 2\nm v=1 1\nnot a valid line\nPING\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err := r.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("malformed body line: got %q, want ERR", resp)
+	}
+	resp, err = r.ReadString('\n')
+	if err != nil {
+		t.Fatalf("stream desynced after rejected batch: %v", err)
+	}
+	if strings.TrimSpace(resp) != "PONG" {
+		t.Fatalf("post-rejection ping: got %q, want PONG", resp)
+	}
+	if points, _ := db.Stats(); points != 0 {
+		t.Fatalf("rejected batch applied %d points", points)
+	}
+
+	// Invalid header (unparseable count): ERR, then the server hangs up.
+	conn2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	r2 := bufio.NewReader(conn2)
+	if _, err := conn2.Write([]byte("WRITEB nonsense\n")); err != nil {
+		t.Fatal(err)
+	}
+	conn2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err = r2.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("bad header: got %q, want ERR", resp)
+	}
+	if _, err := r2.ReadString('\n'); err == nil {
+		t.Fatal("connection survived a fatal batch header (desync risk)")
+	}
+
+	// Over-limit n is equally fatal: the server refuses to drain it.
+	conn3, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	r3 := bufio.NewReader(conn3)
+	fmt.Fprintf(conn3, "WRITEB %d\n", MaxBatchPoints+1)
+	conn3.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp, err = r3.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(resp, "ERR") {
+		t.Fatalf("over-limit header: got %q, want ERR", resp)
+	}
+	if _, err := r3.ReadString('\n'); err == nil {
+		t.Fatal("connection survived an over-limit batch header")
+	}
+}
+
+// TestBatcher covers the auto-batcher contract: size-triggered flush,
+// explicit flush of a partial tail, failed batches handed back via
+// OnError, and refusal after Close.
+func TestBatcher(t *testing.T) {
+	db := New()
+	b := NewBatcher(context.Background(), db, BatcherConfig{MaxPoints: 4, FlushInterval: -1})
+	for i := 0; i < 10; i++ {
+		if err := b.Add(Point{Measurement: "m", Fields: map[string]float64{"v": 1}, Time: int64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 10 adds with MaxPoints=4: two full batches shipped, 2 pending.
+	if points, _ := db.Stats(); points != 8 {
+		t.Fatalf("after adds: %d points shipped, want 8", points)
+	}
+	if p := b.Pending(); p != 2 {
+		t.Fatalf("pending = %d, want 2", p)
+	}
+	if err := b.Flush(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if points, _ := db.Stats(); points != 10 {
+		t.Fatalf("after flush: %d points, want 10", points)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Add(Point{Measurement: "m", Fields: map[string]float64{"v": 1}}); err == nil {
+		t.Fatal("closed batcher accepted a point")
+	}
+
+	// Failure path: an invalid point poisons its batch; OnError gets the
+	// whole batch back intact (spill-journal compatibility).
+	var handed []Point
+	fb := NewBatcher(context.Background(), db, BatcherConfig{
+		MaxPoints:     2,
+		FlushInterval: -1,
+		OnError:       func(ps []Point, err error) { handed = append(handed, ps...) },
+	})
+	fb.Add(Point{Measurement: "ok", Fields: map[string]float64{"v": 1}, Time: 1})
+	if err := fb.Add(Point{Measurement: "", Time: 2}); err == nil {
+		t.Fatal("batch with invalid point shipped without error")
+	}
+	if len(handed) != 2 {
+		t.Fatalf("OnError handed back %d points, want the whole batch of 2", len(handed))
+	}
+	fb.Close()
+}
+
+// TestBatcherTimerFlush: a partial batch ships on the interval without
+// any further Adds.
+func TestBatcherTimerFlush(t *testing.T) {
+	db := New()
+	b := NewBatcher(context.Background(), db, BatcherConfig{MaxPoints: 100, FlushInterval: 10 * time.Millisecond})
+	defer b.Close()
+	if err := b.Add(Point{Measurement: "m", Fields: map[string]float64{"v": 1}, Time: 1}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if points, _ := db.Stats(); points == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flush never shipped the buffered point")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,171 @@
+package tsdb
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BatchWriter is the unified batched write surface: the embedded *DB,
+// the wire *Client, and superdb.Remote all provide it, so code built
+// against it (the auto-batcher, the telemetry pipeline) runs unchanged
+// embedded or remote.
+type BatchWriter interface {
+	WriteBatchContext(ctx context.Context, ps []Point) error
+}
+
+// BatcherConfig tunes an auto-batcher.
+type BatcherConfig struct {
+	// MaxPoints flushes when the buffer reaches this size (default 64,
+	// capped at MaxBatchPoints).
+	MaxPoints int
+	// FlushInterval bounds how long a partial batch may sit buffered
+	// before it ships anyway (default 1s). Zero keeps the default;
+	// negative disables the timer entirely (flush only on size/explicit
+	// Flush/Close — what deterministic tests want).
+	FlushInterval time.Duration
+	// OnError receives a batch that failed its flush, with the error.
+	// The points are handed back intact so the caller can re-route them
+	// (e.g. into the telemetry spill journal); with a nil OnError a
+	// failed batch is dropped after the error is returned to whichever
+	// Add/Flush triggered the flush (timer flushes have no caller, so
+	// OnError is the only way to see their failures).
+	OnError func(ps []Point, err error)
+}
+
+// Batcher coalesces single-point writes into batched ones: Add buffers
+// and ships a full batch synchronously; a background timer ships
+// partial batches so buffered points never age past FlushInterval.
+// Cancelling the constructor context stops the timer and makes every
+// subsequent flush fail fast with the context's error. Safe for
+// concurrent use.
+type Batcher struct {
+	w   BatchWriter
+	cfg BatcherConfig
+	ctx context.Context
+
+	mu     sync.Mutex
+	buf    []Point
+	closed bool
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewBatcher starts an auto-batcher over w. ctx is the batcher's
+// lifetime: it is the parent of every timer-triggered flush and
+// cancelling it aborts in-flight retries. Call Close to flush the tail
+// and release the timer.
+func NewBatcher(ctx context.Context, w BatchWriter, cfg BatcherConfig) *Batcher {
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 64
+	}
+	if cfg.MaxPoints > MaxBatchPoints {
+		cfg.MaxPoints = MaxBatchPoints
+	}
+	if cfg.FlushInterval == 0 {
+		cfg.FlushInterval = time.Second
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	b := &Batcher{
+		w:    w,
+		cfg:  cfg,
+		ctx:  ctx,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cfg.FlushInterval > 0 {
+		go b.timerLoop()
+	} else {
+		close(b.done)
+	}
+	return b
+}
+
+func (b *Batcher) timerLoop() {
+	defer close(b.done)
+	t := time.NewTicker(b.cfg.FlushInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			b.Flush(b.ctx) // errors reach OnError; nothing else to tell
+		case <-b.ctx.Done():
+			return
+		case <-b.stop:
+			return
+		}
+	}
+}
+
+// Add buffers one point. When the buffer reaches MaxPoints the full
+// batch ships synchronously and Add returns its outcome — so callers
+// get backpressure and errors on the write path, not silently later.
+func (b *Batcher) Add(p Point) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return fmt.Errorf("tsdb: add to closed batcher")
+	}
+	b.buf = append(b.buf, p)
+	var full []Point
+	if len(b.buf) >= b.cfg.MaxPoints {
+		full = b.buf
+		b.buf = nil
+	}
+	b.mu.Unlock()
+	if full == nil {
+		return nil
+	}
+	return b.ship(b.ctx, full)
+}
+
+// Pending reports how many points are buffered awaiting a flush.
+func (b *Batcher) Pending() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.buf)
+}
+
+// Flush ships whatever is buffered (no-op when empty).
+func (b *Batcher) Flush(ctx context.Context) error {
+	b.mu.Lock()
+	batch := b.buf
+	b.buf = nil
+	b.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	return b.ship(ctx, batch)
+}
+
+// ship writes one batch, routing failures to OnError with the points
+// intact.
+func (b *Batcher) ship(ctx context.Context, batch []Point) error {
+	err := ctx.Err()
+	if err == nil {
+		err = b.w.WriteBatchContext(ctx, batch)
+	}
+	if err != nil && b.cfg.OnError != nil {
+		b.cfg.OnError(batch, err)
+	}
+	return err
+}
+
+// Close flushes the buffered tail and stops the timer. The batcher
+// refuses further Adds. Safe to call twice.
+func (b *Batcher) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	<-b.done
+	return b.Flush(b.ctx)
+}

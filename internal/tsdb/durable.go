@@ -18,6 +18,11 @@ import (
 // The line protocol is already the canonical, fuzz-hardened encoding of
 // a point (EncodeLine∘DecodeLine is the identity on valid points), so
 // the WAL record body reuses it instead of inventing a second codec.
+// Batch writes group-commit: the whole batch is ONE WAL record (a
+// storage batch envelope of line-protocol sub-bodies), so recovery
+// replays a batch entirely or — when the crash tore its frame — not at
+// all. Single-point records keep plain line bodies, so old WALs replay
+// unchanged.
 
 // Open opens (creating if needed) a durable DB at dir. Recovery order:
 // the snapshot's points first, then every WAL record newer than the
@@ -35,9 +40,8 @@ func Open(dir string, pol storage.FsyncPolicy) (*DB, error) {
 		if derr != nil {
 			return fmt.Errorf("tsdb: recover %s: %w", dir, derr)
 		}
-		db.mu.Lock()
-		db.insertLocked(p)
-		db.mu.Unlock()
+		sh := db.shardFor(p.Measurement)
+		sh.insertLocked(p)
 		return nil
 	}
 	if len(rec.Snapshot) > 0 {
@@ -52,6 +56,20 @@ func Open(dir string, pol storage.FsyncPolicy) (*DB, error) {
 		}
 	}
 	for _, r := range rec.Records {
+		if storage.IsBatchBody(r.Data) {
+			items, derr := storage.DecodeBatchBody(r.Data)
+			if derr != nil {
+				st.Close()
+				return nil, fmt.Errorf("tsdb: recover %s: %w", dir, derr)
+			}
+			for _, it := range items {
+				if err := replayLine(string(it)); err != nil {
+					st.Close()
+					return nil, err
+				}
+			}
+			continue
+		}
 		if err := replayLine(string(r.Data)); err != nil {
 			st.Close()
 			return nil, err
@@ -94,16 +112,21 @@ func (db *DB) Sync() error {
 }
 
 // snapshotLocked renders the whole store as line protocol, one point
-// per line, measurements in sorted order. Callers hold db.mu.
+// per line, measurements in sorted order. Callers hold db.mu
+// exclusively (shard locks are not needed: the structural lock excludes
+// all writers).
 func (db *DB) snapshotLocked() ([]byte, error) {
-	names := make([]string, 0, len(db.measurements))
-	for m := range db.measurements {
-		names = append(names, m)
+	var names []string
+	for i := range db.shards {
+		for m := range db.shards[i].measurements {
+			names = append(names, m)
+		}
 	}
 	sort.Strings(names)
 	var b strings.Builder
 	for _, m := range names {
-		for _, p := range db.measurements[m].points {
+		sh := db.shardFor(m)
+		for _, p := range sh.measurements[m].points {
 			line, err := EncodeLine(p)
 			if err != nil {
 				return nil, fmt.Errorf("tsdb: snapshot %s: %w", m, err)

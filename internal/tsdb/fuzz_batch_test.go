@@ -1,0 +1,133 @@
+package tsdb
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// batchFuzzSrv shares one live server across FuzzBatchFrame executions;
+// each execution dials its own connection so a misbehaving input cannot
+// poison the next through connection state.
+var batchFuzzSrv struct {
+	once sync.Once
+	addr string
+	err  error
+}
+
+func batchFuzzAddr(tb testing.TB) string {
+	batchFuzzSrv.once.Do(func() {
+		srv := NewServer(New())
+		batchFuzzSrv.addr, batchFuzzSrv.err = srv.Listen("127.0.0.1:0")
+	})
+	if batchFuzzSrv.err != nil {
+		tb.Fatalf("fuzz server: %v", batchFuzzSrv.err)
+	}
+	return batchFuzzSrv.addr
+}
+
+// fuzzBatchSeq keeps fuzz-minted idempotency tokens unique across
+// executions, so dedup only ever collapses the deliberate resend.
+var fuzzBatchSeq atomic.Uint64
+
+var batchAckRE = regexp.MustCompile(`^(OK [0-9]+|ERR .*)$`)
+
+// FuzzBatchFrame drives the WRITEB wire contract with arbitrary body
+// lines over real TCP: a valid-by-construction header (n == number of
+// body lines actually sent) must yield EXACTLY one well-formed ack per
+// frame — whatever the body lines contain, valid line protocol or
+// binary junk — an identical resend must yield the identical ack (the
+// retry path, with and without an idempotency token), and the stream
+// must stay in sync (a PING on the same connection still pongs).
+// Desync, double-acks, hangs, and panics all fail here before a
+// resilient client ever sees them.
+func FuzzBatchFrame(f *testing.F) {
+	f.Add([]byte("m v=1 1"), byte(0))
+	f.Add([]byte("m v=1 1\nm v=2 2"), byte(1))
+	f.Add([]byte("not line protocol\nm v=3 3"), byte(2))
+	f.Add([]byte(""), byte(3))
+	f.Add([]byte("m,tag=a v=1,w=2 9\nm v=nan 1"), byte(1))
+	f.Add([]byte("\x00\xff\xfe"), byte(2))
+	f.Add([]byte("PING\nQUERY SELECT v FROM m\nWRITEB 1"), byte(3))
+	f.Fuzz(func(t *testing.T, data []byte, mode byte) {
+		lines := strings.Split(string(data), "\n")
+		if len(lines) > 64 {
+			lines = lines[:64]
+		}
+		for i := range lines {
+			// One wire line per body line; CRs would confuse nothing but
+			// keep the frame printable for repro output.
+			lines[i] = strings.ReplaceAll(lines[i], "\r", " ")
+			if len(lines[i]) > 4<<10 {
+				lines[i] = lines[i][:4<<10]
+			}
+		}
+		header := fmt.Sprintf("WRITEB %d", len(lines))
+		if mode&1 != 0 {
+			header += fmt.Sprintf(" id=fz-%x", fuzzBatchSeq.Add(1))
+		}
+		var frame strings.Builder
+		frame.WriteString(header)
+		frame.WriteByte('\n')
+		for _, l := range lines {
+			frame.WriteString(l)
+			frame.WriteByte('\n')
+		}
+
+		conn, err := net.Dial("tcp", batchFuzzAddr(t))
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(10 * time.Second))
+		r := bufio.NewReader(conn)
+
+		readAck := func(what string) string {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("%s for frame %q got no ack: %v", what, frame.String(), err)
+			}
+			ack := strings.TrimSuffix(line, "\n")
+			if !batchAckRE.MatchString(ack) {
+				t.Fatalf("%s for frame %q got malformed ack %q", what, frame.String(), ack)
+			}
+			return ack
+		}
+
+		if _, err := conn.Write([]byte(frame.String())); err != nil {
+			t.Fatalf("write frame: %v", err)
+		}
+		first := readAck("send")
+
+		// Identical resend — the shape of a client retry after a lost
+		// ack. Tokenless frames re-process (same deterministic verdict);
+		// tokened OK frames hit the dedup window. Either way the ack
+		// must be byte-identical.
+		if mode&2 != 0 {
+			if _, err := conn.Write([]byte(frame.String())); err != nil {
+				t.Fatalf("resend frame: %v", err)
+			}
+			if second := readAck("resend"); second != first {
+				t.Fatalf("resend of %q acked %q, first attempt acked %q", frame.String(), second, first)
+			}
+		}
+
+		// The stream must still be in sync after any batch verdict.
+		if _, err := conn.Write([]byte("PING\n")); err != nil {
+			t.Fatalf("write ping: %v", err)
+		}
+		pong, err := r.ReadString('\n')
+		if err != nil {
+			t.Fatalf("ping after frame %q got no response: %v", frame.String(), err)
+		}
+		if strings.TrimSpace(pong) != "PONG" {
+			t.Fatalf("stream desynced after frame %q: ping answered %q", frame.String(), pong)
+		}
+	})
+}

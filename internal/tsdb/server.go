@@ -6,7 +6,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -15,16 +17,40 @@ import (
 	"pmove/internal/resilience"
 )
 
+// MaxBatchPoints bounds one WRITEB frame. The bound keeps a malicious
+// or corrupted header from committing the server to drain an unbounded
+// body; an over-limit batch is rejected fatally (connection closed)
+// because the server will not read its body.
+const MaxBatchPoints = 4096
+
+// dedupWindowSize is how many applied batch tokens the server
+// remembers for retry dedup (see resilience.DedupWindow).
+const dedupWindowSize = 1024
+
 // Server exposes a DB over TCP with a line-oriented protocol:
 //
 //	WRITE <line protocol>     -> "OK" | "ERR <msg>"
+//	WRITEB <n> [id=<tok>]     -> (after n body lines) "OK <n>" | "ERR <msg>"
 //	QUERY <select statement>  -> one JSON document with the Result | "ERR"
 //	PING                      -> "PONG"
+//
+// WRITEB is the batched write frame: the header line announces n, the
+// next n lines are one point of line protocol each, and the server
+// answers with ONE ack for the whole batch — a monitoring tick costs
+// one round-trip instead of |instance domain|. An optional id= token
+// makes the batch idempotent under client retry. The header's bounds
+// are load-bearing for stream sync: a header with a valid n (1..
+// MaxBatchPoints) ALWAYS consumes exactly n body lines before the ack,
+// even when a body line is rejected; an invalid header gets an ERR and
+// the connection is closed, because the server cannot know how many
+// lines the client will send next. Like WRITE/QUERY, the header may
+// carry a leading traceparent= token.
 //
 // The host runs one of these for the target's telemetry shippers (Figure
 // 3: "the host runs ... InfluxDB").
 type Server struct {
-	db *DB
+	db    *DB
+	dedup *resilience.DedupWindow
 
 	mu    sync.Mutex
 	ln    net.Listener
@@ -37,7 +63,11 @@ type Server struct {
 
 // NewServer wraps a DB.
 func NewServer(db *DB) *Server {
-	return &Server{db: db, conns: map[net.Conn]bool{}}
+	return &Server{
+		db:    db,
+		dedup: resilience.NewDedupWindow(dedupWindowSize),
+		conns: map[net.Conn]bool{},
+	}
 }
 
 // SetObserver installs a per-command hook called after every handled
@@ -130,6 +160,15 @@ func (s *Server) handle(conn net.Conn) {
 			s.observe("ping", nil)
 		case "WRITE":
 			s.handleWrite(rest, arrival, w)
+		case "WRITEB":
+			if !s.handleWriteBatch(rest, arrival, sc, w) {
+				// Fatal frame error: the server cannot trust how many
+				// body lines follow, so it answers (if it can) and hangs
+				// up rather than desynchronise the stream. The resilient
+				// client re-verifies sync with PING on reconnect.
+				w.Flush()
+				return
+			}
 		case "QUERY":
 			s.handleQuery(rest, arrival, w)
 		default:
@@ -191,6 +230,85 @@ func (s *Server) handleWrite(rest string, arrivalNanos int64, w *bufio.Writer) {
 		fmt.Fprintln(w, "OK")
 	}
 	s.observe("write", err)
+}
+
+// handleWriteBatch serves one WRITEB frame: header → n body lines →
+// one ack. Returns false on a fatal frame error (invalid header, or
+// the connection dying mid-body) after which the caller must close the
+// connection; true means the stream is in sync regardless of whether
+// the batch was accepted. The queue/parse/insert phases trace under a
+// tsdb.server.writeb span backdated to header arrival.
+func (s *Server) handleWriteBatch(rest string, arrivalNanos int64, sc *bufio.Scanner, w *bufio.Writer) bool {
+	ctx, body := frameContext(rest)
+	in := s.tracing()
+	wctx, op := in.StartSpanAt(ctx, "tsdb.server.writeb", arrivalNanos)
+	_, qs := in.StartSpanAt(wctx, "tsdb.server.queue", arrivalNanos)
+	qs.End(nil)
+
+	nStr, opts, _ := strings.Cut(body, " ")
+	n, err := strconv.Atoi(nStr)
+	if err != nil || n <= 0 || n > MaxBatchPoints {
+		err = fmt.Errorf("tsdb: bad batch header %q (want 1..%d points)", body, MaxBatchPoints)
+		op.End(err)
+		fmt.Fprintf(w, "ERR %v\n", err)
+		s.observe("writeb", err)
+		return false
+	}
+	var token string
+	if v, ok := strings.CutPrefix(strings.TrimSpace(opts), "id="); ok {
+		token = v
+	}
+
+	// The header is valid: from here the body is ALWAYS drained whole so
+	// a rejection leaves the stream in sync.
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		if !sc.Scan() {
+			err = fmt.Errorf("tsdb: connection lost %d/%d lines into batch body", i, n)
+			op.End(err)
+			s.observe("writeb", err)
+			return false
+		}
+		lines = append(lines, sc.Text())
+	}
+
+	_, ps := in.StartSpan(wctx, "tsdb.server.parse")
+	points := make([]Point, len(lines))
+	for i, line := range lines {
+		p, derr := DecodeLine(line)
+		if derr != nil {
+			err = fmt.Errorf("tsdb: batch point %d: %w", i, derr)
+			break
+		}
+		points[i] = p
+	}
+	ps.End(err)
+
+	if err == nil && token != "" && s.dedup.Seen(token) {
+		// Retry of an applied batch: acknowledge without re-inserting.
+		op.End(nil)
+		fmt.Fprintf(w, "OK %d\n", n)
+		s.observe("writeb", nil)
+		return true
+	}
+	if err == nil {
+		_, is := in.StartSpan(wctx, "tsdb.server.insert")
+		err = s.db.WriteBatchContext(wctx, points)
+		is.End(err)
+		if err == nil && token != "" {
+			// Record only after the apply succeeded: a failed batch must
+			// stay retryable.
+			s.dedup.Record(token)
+		}
+	}
+	op.End(err)
+	if err != nil {
+		fmt.Fprintf(w, "ERR %v\n", err)
+	} else {
+		fmt.Fprintf(w, "OK %d\n", n)
+	}
+	s.observe("writeb", err)
+	return true
 }
 
 // handleQuery parses and executes one QUERY frame with parse/exec child
@@ -344,6 +462,59 @@ func (c *Client) WritePoint(p Point) error { return c.Write(p) }
 // retry budget on the in-flight point.
 func (c *Client) WritePointContext(ctx context.Context, p Point) error {
 	return c.WriteContext(ctx, p)
+}
+
+// WriteBatch ships a batch with a background context.
+//
+// Deprecated: use WriteBatchContext.
+func (c *Client) WriteBatch(ps []Point) error {
+	return c.WriteBatchContext(context.Background(), ps)
+}
+
+// WriteBatchContext ships a whole batch in ONE round-trip (a WRITEB
+// frame: header + n body lines + one ack). The batch is encoded — and
+// thereby validated — up front; an unencodable point returns a
+// *BatchError before anything touches the wire. An idempotency token
+// is minted once per call and carried on every retry attempt, so a
+// batch whose ack was lost is acknowledged (not re-applied) by the
+// server's dedup window: batch writes are exactly-once under retry,
+// where single-point WRITEs are only at-least-once. Server-side
+// rejections are permanent (fully read, never retried).
+func (c *Client) WriteBatchContext(ctx context.Context, ps []Point) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	lines := make([]string, len(ps))
+	for i := range ps {
+		line, err := EncodeLine(ps[i])
+		if err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+		lines[i] = line
+	}
+	token := resilience.NextOpToken()
+	return c.tr.DoContext(ctx, func(ctx context.Context, w *resilience.Wire) error {
+		// One buffered write for the whole frame: header + body reach the
+		// kernel together, so a monitoring tick is one syscall + one RTT.
+		var b strings.Builder
+		fmt.Fprintf(&b, "WRITEB %s%d id=%s\n", wireTag(ctx), len(lines), token)
+		for _, line := range lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+		if _, err := io.WriteString(w.Conn, b.String()); err != nil {
+			return err
+		}
+		resp, err := w.R.ReadString('\n')
+		if err != nil {
+			return err
+		}
+		resp = strings.TrimSpace(resp)
+		if !strings.HasPrefix(resp, "OK") {
+			return resilience.Permanent(fmt.Errorf("tsdb: batch write rejected: %s", resp))
+		}
+		return nil
+	})
 }
 
 // Query runs a SELECT statement remotely with a background context.

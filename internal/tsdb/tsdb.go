@@ -8,9 +8,16 @@
 // per-instance metrics to InfluxDB: a per-CPU metric has fields "_cpu0",
 // "_cpu1", …, and a per-NUMA-node metric "_node0", "_node1" (see the
 // paper's Listing 3 queries).
+//
+// The ingest path is built for parallel hardware: the measurement map is
+// striped over lock-sharded partitions (concurrent writers to different
+// measurements never serialize), batches commit to the write-ahead log
+// as one group-committed record (one fsync per batch, atomic recovery),
+// and the wire protocol ships a whole batch per round trip (WRITEB).
 package tsdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -60,6 +67,19 @@ type series struct {
 	points []Point
 }
 
+// add lands one point keeping the series time-ordered. Fast path:
+// append when in time order (the common telemetry case).
+func (s *series) add(p Point) {
+	if n := len(s.points); n == 0 || s.points[n-1].Time <= p.Time {
+		s.points = append(s.points, p)
+		return
+	}
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time > p.Time })
+	s.points = append(s.points, Point{})
+	copy(s.points[i+1:], s.points[i:])
+	s.points[i] = p
+}
+
 // RetentionPolicy bounds how long data is kept (paper: "we rely on the
 // retention policy of InfluxDB which describes for how long the DB keeps
 // data").
@@ -68,30 +88,109 @@ type RetentionPolicy struct {
 	Duration int64 // nanoseconds; 0 = keep forever
 }
 
+// NumShards is the lock-stripe width of the measurement map. Sixteen
+// stripes keep independent telemetry shippers (one per instance domain
+// or per target) off each other's mutexes while the per-read merge of
+// the stats counters stays trivially cheap.
+const NumShards = 16
+
+// shard is one lock stripe: a slice of the measurement map plus its
+// share of the cumulative write counters, merged on read by Stats.
+type shard struct {
+	mu           sync.RWMutex
+	measurements map[string]*series
+	points       uint64 // rows written into this stripe
+	values       uint64 // field values written into this stripe
+}
+
+// insertLocked lands one validated point. Callers hold sh.mu.
+func (sh *shard) insertLocked(p Point) {
+	s := sh.measurements[p.Measurement]
+	if s == nil {
+		s = &series{}
+		sh.measurements[p.Measurement] = s
+	}
+	s.add(p)
+	sh.points++
+	sh.values += uint64(len(p.Fields))
+}
+
+// insertRun lands every point of ps whose shard index (precomputed in
+// idx) equals self, under ONE lock acquisition — the atomic-per-shard
+// leg of a batch write. Consecutive points of the same measurement skip
+// the map lookup, and the stats counters are bumped once per run.
+func (sh *shard) insertRun(ps []Point, idx []uint32, self uint32) {
+	sh.mu.Lock()
+	var lastM string
+	var lastS *series
+	var rows, vals uint64
+	for i := range ps {
+		if idx[i] != self {
+			continue
+		}
+		p := ps[i]
+		s := lastS
+		if s == nil || p.Measurement != lastM {
+			s = sh.measurements[p.Measurement]
+			if s == nil {
+				s = &series{}
+				sh.measurements[p.Measurement] = s
+			}
+			lastM, lastS = p.Measurement, s
+		}
+		s.add(p)
+		rows++
+		vals += uint64(len(p.Fields))
+	}
+	sh.points += rows
+	sh.values += vals
+	sh.mu.Unlock()
+}
+
 // DB is a time-series database: in-memory by default (New), optionally
 // backed by a write-ahead log + snapshot data directory (Open) so
 // acknowledged writes survive a crash.
 type DB struct {
-	mu           sync.RWMutex
-	measurements map[string]*series
-	retention    RetentionPolicy
+	// mu is the structural lock ordering writers against the durability
+	// lifecycle: every mutator holds it SHARED (writers to different
+	// shards proceed in parallel, serialized only on their stripe),
+	// while Compact/Close/Crash hold it EXCLUSIVELY so the store
+	// pointer and the shard contents are stable while a snapshot
+	// renders or the store detaches. It also guards retention/store/
+	// closed. Lock order: db.mu before any shard.mu.
+	mu        sync.RWMutex
+	retention RetentionPolicy
 	// store is the durability layer; nil for the zero-config in-memory
 	// mode every embedded use defaults to. closed marks a durable DB
 	// whose directory was released (Close/Crash): still readable, but
 	// writes would be silently volatile, so they are refused.
 	store  *storage.Store
 	closed bool
-	// stats
-	pointsWritten uint64
-	valuesWritten uint64
+
+	shards [NumShards]shard
 }
 
 // New creates an empty database with an infinite retention policy.
 func New() *DB {
-	return &DB{
-		measurements: make(map[string]*series),
-		retention:    RetentionPolicy{Name: "autogen"},
+	db := &DB{retention: RetentionPolicy{Name: "autogen"}}
+	for i := range db.shards {
+		db.shards[i].measurements = make(map[string]*series)
 	}
+	return db
+}
+
+// shardIndex stripes a measurement name with FNV-1a.
+func shardIndex(measurement string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(measurement); i++ {
+		h = (h ^ uint32(measurement[i])) * 16777619
+	}
+	return h % NumShards
+}
+
+// shardFor returns the stripe owning a measurement.
+func (db *DB) shardFor(measurement string) *shard {
+	return &db.shards[shardIndex(measurement)]
 }
 
 // SetRetention installs a retention policy; EnforceRetention applies it.
@@ -115,8 +214,8 @@ func (db *DB) WritePoint(p Point) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return fmt.Errorf("tsdb: write to closed durable DB")
 	}
@@ -131,66 +230,153 @@ func (db *DB) WritePoint(p Point) error {
 			return fmt.Errorf("tsdb: wal append: %w", err)
 		}
 	}
-	db.insertLocked(p)
+	sh := db.shardFor(p.Measurement)
+	sh.mu.Lock()
+	sh.insertLocked(p)
+	sh.mu.Unlock()
 	return nil
 }
 
-// insertLocked lands one validated point in memory. Callers hold db.mu.
-func (db *DB) insertLocked(p Point) {
-	s := db.measurements[p.Measurement]
-	if s == nil {
-		s = &series{}
-		db.measurements[p.Measurement] = s
-	}
-	// Fast path: append if in time order (the common telemetry case).
-	if n := len(s.points); n == 0 || s.points[n-1].Time <= p.Time {
-		s.points = append(s.points, p)
-	} else {
-		i := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time > p.Time })
-		s.points = append(s.points, Point{})
-		copy(s.points[i+1:], s.points[i:])
-		s.points[i] = p
-	}
-	db.pointsWritten++
-	db.valuesWritten += uint64(len(p.Fields))
+// BatchError reports a rejected batch write: the offending point's
+// index and how many points of the batch were applied. The engine
+// validates the whole batch before touching the log or memory, so
+// Applied is always 0 — a batch lands atomically or not at all — but
+// the field is part of the contract so callers never have to assume it.
+type BatchError struct {
+	// Index is the position of the offending point in the batch.
+	Index int
+	// Applied is how many points of the batch landed before the
+	// failure (0 under the validate-first engine).
+	Applied int
+	// Err is the underlying rejection.
+	Err error
 }
 
-// WriteBatch inserts points, stopping at the first error.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("tsdb: batch point %d (%d applied): %v", e.Index, e.Applied, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// WriteBatch inserts a batch of points with a background context.
+//
+// Deprecated: use WriteBatchContext.
 func (db *DB) WriteBatch(ps []Point) error {
+	return db.WriteBatchContext(context.Background(), ps)
+}
+
+// WriteBatchContext inserts a batch atomically: every point is
+// validated up front (a rejection returns a *BatchError with Applied ==
+// 0 and no state change), a durable DB commits the whole batch as ONE
+// group-committed WAL record (a single fsync amortized over the batch;
+// recovery replays the batch frame entirely or — when the crash tore
+// it — not at all), and the in-memory inserts take each shard lock once
+// per batch rather than once per point. Points of different
+// measurements may interleave with concurrent writers, but a batch is
+// atomic per shard and all-or-nothing against crashes.
+func (db *DB) WriteBatchContext(ctx context.Context, ps []Point) error {
+	if len(ps) == 0 {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("tsdb: batch: %w", err)
+	}
 	for i := range ps {
-		if err := db.WritePoint(ps[i]); err != nil {
-			return fmt.Errorf("tsdb: batch point %d: %w", i, err)
+		if err := ps[i].Validate(); err != nil {
+			return &BatchError{Index: i, Err: err}
 		}
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return fmt.Errorf("tsdb: write to closed durable DB")
+	}
+	if db.store != nil {
+		if err := db.appendBatchLocked(ps); err != nil {
+			return err
+		}
+	}
+	// Precompute each point's stripe, then land the batch one shard at a
+	// time — one lock acquisition per touched stripe, input order
+	// preserved within each.
+	idx := make([]uint32, len(ps))
+	var touched [NumShards]bool
+	for i := range ps {
+		idx[i] = shardIndex(ps[i].Measurement)
+		touched[idx[i]] = true
+	}
+	for s := uint32(0); s < NumShards; s++ {
+		if touched[s] {
+			db.shards[s].insertRun(ps, idx, s)
+		}
+	}
+	return nil
+}
+
+// appendBatchLocked group-commits a validated batch to the WAL as one
+// record (plain line body for a single point, batch envelope
+// otherwise). Callers hold db.mu shared with store non-nil.
+func (db *DB) appendBatchLocked(ps []Point) error {
+	if len(ps) == 1 {
+		line, err := EncodeLine(ps[0])
+		if err != nil {
+			return &BatchError{Index: 0, Err: err}
+		}
+		if _, err := db.store.Append([]byte(line)); err != nil {
+			return &BatchError{Index: 0, Err: fmt.Errorf("tsdb: wal append: %w", err)}
+		}
+		return nil
+	}
+	bodies := make([][]byte, len(ps))
+	for i := range ps {
+		line, err := EncodeLine(ps[i])
+		if err != nil {
+			return &BatchError{Index: i, Err: err}
+		}
+		bodies[i] = []byte(line)
+	}
+	if _, err := db.store.Append(storage.EncodeBatchBody(bodies)); err != nil {
+		return &BatchError{Index: 0, Err: fmt.Errorf("tsdb: wal append: %w", err)}
 	}
 	return nil
 }
 
 // Measurements lists all measurement names, sorted.
 func (db *DB) Measurements() []string {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := make([]string, 0, len(db.measurements))
-	for m := range db.measurements {
-		out = append(out, m)
+	var out []string
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for m := range sh.measurements {
+			out = append(out, m)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Stats reports cumulative write counts: rows and individual field values.
+// Stats reports cumulative write counts: rows and individual field
+// values, merged across the shard stripes on read.
 func (db *DB) Stats() (points, values uint64) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.pointsWritten, db.valuesWritten
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		points += sh.points
+		values += sh.values
+		sh.mu.RUnlock()
+	}
+	return points, values
 }
 
 // CountValues returns the number of stored field values in a measurement,
 // and how many of them are zero — the accounting Table III reports
 // ("Inserted" and "Zeros" columns).
 func (db *DB) CountValues(measurement string) (total, zeros uint64) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := db.measurements[measurement]
+	sh := db.shardFor(measurement)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.measurements[measurement]
 	if s == nil {
 		return 0, 0
 	}
@@ -208,22 +394,27 @@ func (db *DB) CountValues(measurement string) (total, zeros uint64) {
 // EnforceRetention drops points older than now-Duration. Returns the
 // number of points dropped.
 func (db *DB) EnforceRetention(now int64) int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.retention.Duration <= 0 {
 		return 0
 	}
 	cutoff := now - db.retention.Duration
 	dropped := 0
-	for name, s := range db.measurements {
-		i := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time >= cutoff })
-		if i > 0 {
-			dropped += i
-			s.points = append([]Point(nil), s.points[i:]...)
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.Lock()
+		for name, s := range sh.measurements {
+			i := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time >= cutoff })
+			if i > 0 {
+				dropped += i
+				s.points = append([]Point(nil), s.points[i:]...)
+			}
+			if len(s.points) == 0 {
+				delete(sh.measurements, name)
+			}
 		}
-		if len(s.points) == 0 {
-			delete(db.measurements, name)
-		}
+		sh.mu.Unlock()
 	}
 	return dropped
 }
@@ -241,11 +432,50 @@ type Result struct {
 	Rows        []Row
 }
 
-// Execute runs a parsed query.
+// QueryRequest is the request-struct form of a query, mirroring the
+// daemon's context-first convention: either a pre-parsed Query or a
+// SELECT statement to parse (Query wins when both are set).
+type QueryRequest struct {
+	// Statement is a SELECT statement, parsed when Query is nil.
+	Statement string
+	// Query is a pre-parsed query.
+	Query *Query
+}
+
+// Execute runs a parsed query with a background context.
+//
+// Deprecated: use ExecuteContext with a QueryRequest.
 func (db *DB) Execute(q *Query) (*Result, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	s := db.measurements[q.Measurement]
+	return db.ExecuteContext(context.Background(), QueryRequest{Query: q})
+}
+
+// QueryString parses and executes a SELECT statement with a background
+// context.
+//
+// Deprecated: use ExecuteContext with a QueryRequest.
+func (db *DB) QueryString(stmt string) (*Result, error) {
+	return db.ExecuteContext(context.Background(), QueryRequest{Statement: stmt})
+}
+
+// ExecuteContext runs one query from its request form. Only the
+// stripe owning the queried measurement is locked, so reads never
+// block writers of other measurements.
+func (db *DB) ExecuteContext(ctx context.Context, req QueryRequest) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("tsdb: query: %w", err)
+	}
+	q := req.Query
+	if q == nil {
+		var err error
+		q, err = ParseQuery(req.Statement)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sh := db.shardFor(q.Measurement)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.measurements[q.Measurement]
 	res := &Result{Measurement: q.Measurement, Columns: q.Fields}
 	if s == nil {
 		return res, nil
@@ -302,15 +532,6 @@ func (db *DB) Execute(q *Query) (*Result, error) {
 		sort.Strings(res.Columns)
 	}
 	return res, nil
-}
-
-// QueryString parses and executes a SELECT statement.
-func (db *DB) QueryString(stmt string) (*Result, error) {
-	q, err := ParseQuery(stmt)
-	if err != nil {
-		return nil, err
-	}
-	return db.Execute(q)
 }
 
 // MeasurementName converts a PCP metric name to the measurement naming

@@ -14,6 +14,8 @@
 package pmove
 
 import (
+	"context"
+
 	"pmove/internal/abst"
 	"pmove/internal/anomaly"
 	"pmove/internal/carm"
@@ -29,6 +31,7 @@ import (
 	"pmove/internal/ontology"
 	"pmove/internal/resilience"
 	"pmove/internal/spmv"
+	"pmove/internal/storage"
 	"pmove/internal/superdb"
 	"pmove/internal/telemetry"
 	"pmove/internal/topo"
@@ -336,7 +339,40 @@ type (
 	DocDB = docdb.DB
 	// SuperDB is the global performance database (§III-E).
 	SuperDB = superdb.SuperDB
+	// BatchWriter is the unified batched write surface (embedded TSDB,
+	// wire client, and superdb remote all satisfy it).
+	BatchWriter = tsdb.BatchWriter
+	// BatchError reports a rejected batch write: offending index and
+	// how many points applied (0 — batches are atomic).
+	BatchError = tsdb.BatchError
+	// Batcher coalesces single-point writes into batched frames with
+	// size/interval flush.
+	Batcher = tsdb.Batcher
+	// BatcherConfig tunes a Batcher.
+	BatcherConfig = tsdb.BatcherConfig
+	// QueryRequest is the request-struct form of a TSDB query.
+	QueryRequest = tsdb.QueryRequest
 )
+
+// NewBatcher starts an auto-batcher over any BatchWriter; cancelling
+// ctx stops its timer and aborts in-flight flush retries.
+func NewBatcher(ctx context.Context, w BatchWriter, cfg BatcherConfig) *Batcher {
+	return tsdb.NewBatcher(ctx, w, cfg)
+}
+
+// NewTSDB constructs an in-memory embedded time-series store.
+func NewTSDB() *TSDB { return tsdb.New() }
+
+// OpenTSDB opens (or creates) a WAL-backed embedded time-series store
+// under dir. fsync is "always", "interval" or "never" — the same
+// policy names WithDataDir and the -fsync flag accept.
+func OpenTSDB(dir, fsync string) (*TSDB, error) {
+	pol, err := storage.ParseFsyncPolicy(fsync)
+	if err != nil {
+		return nil, err
+	}
+	return tsdb.Open(dir, pol)
+}
 
 // NewSuperDB creates an empty global performance database.
 func NewSuperDB() *SuperDB { return superdb.New() }
