@@ -5,6 +5,7 @@ import (
 	"flag"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"strings"
 
@@ -22,6 +23,7 @@ func cmdIntrospect(args []string) error {
 	duration := fs.Float64("duration", 5, "virtual seconds to monitor")
 	spans := fs.Bool("spans", true, "print the recorded span tree")
 	dashJSON := fs.Bool("dashboard-json", false, "print the meta dashboard JSON instead of a summary")
+	jsonOut := fs.Bool("json", false, "dump the registry snapshot as the /debug/vars JSON document instead of the human-readable report")
 	fs.Parse(args)
 
 	d, _, err := daemonWith(*host, 1, pmove.DefaultPipeline(), pmove.WithIntrospection())
@@ -33,6 +35,11 @@ func cmdIntrospect(args []string) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *jsonOut {
+		// Same encoder the /debug/vars endpoint serves, so tooling can
+		// consume either interchangeably.
+		return pmove.EncodeSelfVars(os.Stdout, pmove.ExposeSourceFor(d.Introspection, nil))
 	}
 	fmt.Printf("%s\n", res.Observation.Report)
 

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strings"
+
+	"pmove/internal/introspect/expose"
+)
+
+// cmdLogs dumps a running daemon's structured log ring through its
+// observability plane (`pmove monitor -expose :9100`, or any process
+// serving an expose.Server). Filters mirror the /logs endpoint exactly —
+// both sides share expose.ParseLogQuery.
+func cmdLogs(args []string) error {
+	fs := flag.NewFlagSet("logs", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:9100", "observability-plane address of the target process")
+	level := fs.String("level", "", "minimum level: debug|info|warn|error")
+	trace := fs.String("trace", "", "only records of this 128-bit trace id (32 hex digits)")
+	component := fs.String("component", "", "only records from this component (e.g. telemetry, transport.tsdb, tsdb.server)")
+	limit := fs.Int("limit", 0, "keep only the newest N matching records (0 = all)")
+	asJSON := fs.Bool("json", false, "print raw JSON records instead of formatted lines")
+	fs.Parse(args)
+
+	// Validate locally before the round trip so flag typos fail fast with
+	// the same message the server would produce.
+	limitStr := ""
+	if *limit > 0 {
+		limitStr = fmt.Sprint(*limit)
+	}
+	if _, err := expose.ParseLogQuery(*level, *trace, *component, limitStr); err != nil {
+		return err
+	}
+
+	q := url.Values{}
+	for k, v := range map[string]string{
+		"level": *level, "trace": *trace, "component": *component, "limit": limitStr,
+	} {
+		if v != "" {
+			q.Set(k, v)
+		}
+	}
+	u := "http://" + *addr + "/logs"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		return fmt.Errorf("is the target running with -expose? %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %s", u, resp.Status)
+	}
+	var recs []expose.LogRecordJSON
+	if err := json.NewDecoder(resp.Body).Decode(&recs); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(recs)
+	}
+	for _, r := range recs {
+		fmt.Println(formatLogRecord(r))
+	}
+	fmt.Printf("%d records\n", len(recs))
+	return nil
+}
+
+// formatLogRecord renders one record as a single grep-friendly line.
+func formatLogRecord(r expose.LogRecordJSON) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-30s %-5s %-20s %s", r.Time, strings.ToUpper(r.Level), r.Component, r.Msg)
+	keys := make([]string, 0, len(r.Fields))
+	for k := range r.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %s=%q", k, r.Fields[k])
+	}
+	if r.Trace != "" {
+		fmt.Fprintf(&b, " trace=%s span=%s", r.Trace, r.Span)
+	}
+	return b.String()
+}

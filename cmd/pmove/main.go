@@ -10,11 +10,15 @@
 //	pmove abst    -arch zen3 -event TOTAL_MEMORY_OPERATIONS
 //	pmove introspect -host icl -duration 5           run a monitored op and dump P-MoVE's own telemetry
 //	pmove trace -host icl -chrome trace.json         distributed-trace a monitored op across daemon + tsdb server
+//	pmove monitor -host icl -expose :9100 -hold 30s  monitor with the live observability plane up for scrapers
+//	pmove logs -addr 127.0.0.1:9100 -level warn      dump/filter a running daemon's structured log ring
 //
 // All state is embedded; -influx/-mongo accept external tsdb/docdb server
 // addresses started with cmd/superdb. `monitor -self-monitor` enables the
 // self-observability layer for a regular run: the daemon's own counters
 // land in the pmove.self.* series next to the target's telemetry.
+// `monitor -expose` additionally serves /metrics (OpenMetrics), /healthz,
+// /readyz, /debug/vars and /logs over HTTP for the run's duration.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"pmove"
 	"pmove/internal/abst"
@@ -34,7 +39,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster|introspect|trace> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster|introspect|trace|logs> [flags]")
 	os.Exit(2)
 }
 
@@ -69,6 +74,8 @@ func main() {
 		err = cmdIntrospect(args)
 	case "trace":
 		err = cmdTrace(args)
+	case "logs":
+		err = cmdLogs(args)
 	default:
 		usage()
 	}
@@ -189,6 +196,8 @@ func cmdMonitor(args []string) error {
 	opTimeout := fs.Duration("op-timeout", def.ReadTimeout, "remote sink per-operation read/write deadline")
 	retries := fs.Int("retries", def.MaxRetries, "remote sink retry attempts per operation")
 	selfMon := fs.Bool("self-monitor", false, "enable the self-observability layer: export P-MoVE's own counters as pmove.self.* and print them after the run")
+	exposeAddr := fs.String("expose", "", "serve the live observability plane on this address (e.g. :9100): /metrics, /healthz, /readyz, /debug/vars, /logs; implies introspection")
+	hold := fs.Duration("hold", 0, "keep the daemon (and its -expose plane) up this long after the run, for scrapers")
 	fs.Parse(args)
 
 	pipe := pmove.DefaultPipeline()
@@ -197,6 +206,9 @@ func cmdMonitor(args []string) error {
 	var opts []pmove.DaemonOption
 	if *selfMon {
 		opts = append(opts, pmove.WithIntrospection())
+	}
+	if *exposeAddr != "" {
+		opts = append(opts, pmove.WithExpose(*exposeAddr))
 	}
 	if *dataDir != "" {
 		opts = append(opts, pmove.WithDataDir(*dataDir, *fsync))
@@ -209,6 +221,17 @@ func cmdMonitor(args []string) error {
 		return err
 	}
 	defer d.Close()
+	// holdOpen runs after the session: with -expose it announces the
+	// plane's bound address, and -hold keeps the process (and so the
+	// plane) up for external scrapers before the deferred Close.
+	holdOpen := func() {
+		if addr := d.ExposeAddr(); addr != "" {
+			fmt.Printf("observability plane: http://%s/metrics\n", addr)
+		}
+		if *hold > 0 {
+			time.Sleep(*hold)
+		}
+	}
 	var sink *tsdb.Client
 	if *influx != "" {
 		pol := def
@@ -243,6 +266,7 @@ func cmdMonitor(args []string) error {
 		if *selfMon {
 			printSelfMetrics(d)
 		}
+		holdOpen()
 		return nil
 	}
 	out, err := pmove.RenderDashboard(d.TS, res.Dashboard, 60)
@@ -253,6 +277,7 @@ func cmdMonitor(args []string) error {
 	if *selfMon {
 		printSelfMetrics(d)
 	}
+	holdOpen()
 	return nil
 }
 

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+
+	"pmove/internal/introspect"
+	"pmove/internal/introspect/expose"
+	"pmove/internal/introspect/logbuf"
+)
 
 // The CLI subcommands run end-to-end against embedded state; these tests
 // pin their exit behaviour (each cmdX returns nil on a healthy run and an
@@ -27,6 +34,51 @@ func TestCmdViews(t *testing.T) {
 func TestCmdMonitor(t *testing.T) {
 	if err := cmdMonitor([]string{"-host", "icl", "-freq", "2", "-duration", "3"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCmdMonitorExpose(t *testing.T) {
+	if err := cmdMonitor([]string{"-host", "icl", "-freq", "2", "-duration", "3",
+		"-expose", "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdMonitor([]string{"-host", "icl", "-freq", "2", "-duration", "3",
+		"-expose", "256.0.0.1:bogus"}); err == nil {
+		t.Fatal("bogus expose address accepted")
+	}
+}
+
+func TestCmdIntrospectJSON(t *testing.T) {
+	if err := cmdIntrospect([]string{"-host", "icl", "-duration", "2", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCmdLogs(t *testing.T) {
+	// Stand a plane up with a few ring records and read it back through
+	// the subcommand, exactly as against `pmove monitor -expose`.
+	logs := logbuf.New(16)
+	logs.With("telemetry").Warn(context.Background(), "sink unreachable", "journal_cap", "256")
+	logs.With("daemon").Info(context.Background(), "op complete", "op", "monitor")
+	srv := expose.NewServer()
+	srv.AddSource(expose.SourceFor(introspect.New(), nil))
+	srv.SetLogs(logs)
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := cmdLogs([]string{"-addr", srv.Addr(), "-level", "warn", "-component", "telemetry"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLogs([]string{"-addr", srv.Addr(), "-json", "-limit", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdLogs([]string{"-addr", srv.Addr(), "-level", "loud"}); err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	if err := cmdLogs([]string{"-addr", "127.0.0.1:1"}); err == nil {
+		t.Fatal("unreachable plane accepted")
 	}
 }
 

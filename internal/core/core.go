@@ -22,6 +22,8 @@ import (
 	"pmove/internal/dashboard"
 	"pmove/internal/docdb"
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/expose"
+	"pmove/internal/introspect/logbuf"
 	"pmove/internal/kb"
 	"pmove/internal/machine"
 	"pmove/internal/pmu"
@@ -82,6 +84,11 @@ type Daemon struct {
 	// Introspection is the self-observability layer; nil when disabled
 	// (every instrumented path is nil-safe and near-free then).
 	Introspection *introspect.Introspector
+	// Logs is the daemon's bounded structured log ring, non-nil once
+	// WithLogBuffer or WithExpose enables it. Components append through
+	// component children (Logs.With); every logbuf method is nil-safe,
+	// so disabled logging costs nothing.
+	Logs *logbuf.Logger
 
 	mu      sync.Mutex
 	targets map[string]*Target
@@ -94,6 +101,14 @@ type Daemon struct {
 	// zero-config in-memory mode.
 	dataDir string
 	fsync   string
+
+	// exposeAddr/logCap hold the WithExpose / WithLogBuffer requests
+	// until NewWith materializes them; exposeSrv and stopSampler are the
+	// running observability plane, released by Close.
+	exposeAddr  string
+	logCap      int
+	exposeSrv   *expose.Server
+	stopSampler func()
 
 	// kbMu serializes Attach+Persist on the per-host KBs.
 	kbMu sync.Mutex
@@ -112,14 +127,17 @@ func (d *Daemon) SetTelemetrySink(sink telemetry.PointSink) {
 
 // wireSinkIntrospection attaches the self-observability layer to a
 // resilient remote sink's transport, so its retries, failures and
-// breaker transitions land in the transport.tsdb.* self metrics.
+// breaker transitions land in the transport.tsdb.* self metrics and the
+// structured log ring.
 func (d *Daemon) wireSinkIntrospection(sink telemetry.PointSink) {
-	if d.Introspection == nil {
+	tc, ok := sink.(*tsdb.Client)
+	if !ok {
 		return
 	}
-	if tc, ok := sink.(*tsdb.Client); ok {
+	if d.Introspection != nil {
 		tc.Transport().SetIntrospection(d.Introspection, "tsdb")
 	}
+	tc.Transport().SetLogger(d.Logs.With("transport.tsdb"))
 }
 
 // newCollector builds the collector for one session, honoring the
@@ -133,6 +151,7 @@ func (d *Daemon) newCollector(t *Target) *telemetry.Collector {
 	c.Sink = d.sink
 	d.mu.Unlock()
 	c.Self = d.Introspection
+	c.Log = d.Logs.With("telemetry")
 	return c
 }
 

@@ -11,8 +11,11 @@ import (
 	"pmove/internal/dashboard"
 	"pmove/internal/docdb"
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/expose"
+	"pmove/internal/introspect/logbuf"
 	"pmove/internal/introspect/selfexport"
 	"pmove/internal/kb"
+	"pmove/internal/resilience"
 	"pmove/internal/storage"
 	"pmove/internal/telemetry"
 	"pmove/internal/tsdb"
@@ -74,6 +77,32 @@ func WithIntrospection(opts ...introspect.Option) Option {
 	}
 }
 
+// WithExpose serves the live observability plane on addr (":9100",
+// "127.0.0.1:0", ...): /metrics (OpenMetrics text over the self
+// registry incl. pmove.self.runtime.* gauges), /healthz, /readyz
+// (breaker/backlog-aware), /debug/vars and /logs. Implies a structured
+// log ring (WithLogBuffer's default capacity unless set explicitly) and
+// auto-enables introspection when WithIntrospection was not given —
+// an exposition over an empty registry would be useless. The bound
+// address is available from Daemon.ExposeAddr; Close stops the server.
+func WithExpose(addr string) Option {
+	return func(d *Daemon) { d.exposeAddr = addr }
+}
+
+// WithLogBuffer enables the daemon's structured log ring with the given
+// capacity in records (<= 0 selects logbuf.DefaultCapacity). The ring
+// collects trace-correlated records from the daemon, the telemetry
+// pipeline and the resilient transports; read it via Daemon.Logs, the
+// /logs endpoint, or `pmove logs`.
+func WithLogBuffer(capacity int) Option {
+	return func(d *Daemon) {
+		if capacity <= 0 {
+			capacity = logbuf.DefaultCapacity
+		}
+		d.logCap = capacity
+	}
+}
+
 // NewWith creates a daemon from functional options. The environment
 // defaults to EnvFromOS(); databases are embedded.
 func NewWith(opts ...Option) (*Daemon, error) {
@@ -109,10 +138,76 @@ func NewWith(opts ...Option) (*Daemon, error) {
 		}
 		d.TS, d.Docs = ts, docs
 	}
+	if d.logCap > 0 || d.exposeAddr != "" {
+		d.Logs = logbuf.New(d.logCap)
+	}
+	if d.exposeAddr != "" && d.Introspection == nil {
+		// Exposition without a registry is an empty page; bring up the
+		// default self-observability layer before anything wires to it.
+		WithIntrospection()(d)
+	}
 	// WithTelemetrySink and WithIntrospection compose in either order:
 	// wire the sink's transport after all options have run.
 	d.wireSinkIntrospection(d.sink)
+	if d.exposeAddr != "" {
+		if err := d.startExpose(); err != nil {
+			d.TS.Close()
+			d.Docs.Close()
+			return nil, err
+		}
+	}
 	return d, nil
+}
+
+// startExpose stands up the observability-plane HTTP server and the
+// runtime-stats sampler. Called from NewWith once all options have run.
+func (d *Daemon) startExpose() error {
+	in := d.Introspection
+	srv := expose.NewServer()
+	srv.AddSource(expose.SourceFor(in, map[string]string{"process": "daemon"}))
+	srv.SetLogs(d.Logs)
+	srv.OnScrape(func() { expose.CollectRuntime(in) })
+	srv.TrackConns(in.Metrics().Gauge(expose.GaugeConns))
+	// Readiness is breaker- and backlog-aware: a daemon whose remote
+	// sink circuit is open, or whose spill journal holds unreplayed
+	// points, is alive (healthz) but not ready to take on new sessions
+	// without degrading them. Both probes read race-safe state: the
+	// mutex-guarded sink/breaker and an atomic registry gauge.
+	srv.AddCheck("telemetry-sink", func() error {
+		d.mu.Lock()
+		sink := d.sink
+		d.mu.Unlock()
+		if tc, ok := sink.(*tsdb.Client); ok {
+			if st := tc.Transport().BreakerState(); st == resilience.BreakerOpen {
+				return fmt.Errorf("sink breaker %s", st)
+			}
+		}
+		return nil
+	})
+	srv.AddCheck("telemetry-backlog", func() error {
+		if n := in.Metrics().Gauge("telemetry.journal.pending").Load(); n > 0 {
+			return fmt.Errorf("%d spilled points awaiting replay", int(n))
+		}
+		return nil
+	})
+	if err := srv.Listen(d.exposeAddr); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	d.exposeSrv = srv
+	d.stopSampler = expose.StartRuntimeSampler(in, 10*time.Second)
+	d.Logs.With("daemon").Info(context.Background(), "observability plane up",
+		"addr", srv.Addr())
+	return nil
+}
+
+// ExposeAddr returns the observability plane's bound listen address
+// ("" when WithExpose was not given) — the base for /metrics, /healthz,
+// /readyz, /debug/vars and /logs.
+func (d *Daemon) ExposeAddr() string {
+	if d.exposeSrv == nil {
+		return ""
+	}
+	return d.exposeSrv.Addr()
 }
 
 // Close flushes and releases the daemon's durable state: both embedded
@@ -122,7 +217,16 @@ func NewWith(opts ...Option) (*Daemon, error) {
 // Close must run unconditionally on shutdown paths where the request
 // context is already dead.
 func (d *Daemon) Close() error {
-	return errors.Join(d.TS.Close(), d.Docs.Close())
+	if d.stopSampler != nil {
+		d.stopSampler()
+		d.stopSampler = nil
+	}
+	var exposeErr error
+	if d.exposeSrv != nil {
+		exposeErr = d.exposeSrv.Close()
+		d.exposeSrv = nil
+	}
+	return errors.Join(exposeErr, d.TS.Close(), d.Docs.Close())
 }
 
 // opStart instruments one public daemon operation: it bumps the op's
@@ -142,12 +246,18 @@ func (d *Daemon) opStart(ctx context.Context, op string) (context.Context, func(
 	return ctx, func(err error) {
 		span.End(err)
 		reg.Gauge("ops.inflight").Add(-1)
-		reg.Histogram("op." + op + ".seconds").Observe(time.Since(start).Seconds())
+		took := time.Since(start)
+		reg.Histogram("op." + op + ".seconds").Observe(took.Seconds())
 		if err != nil {
 			reg.Counter("op." + op + ".errors").Inc()
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				reg.Counter("ops.canceled").Inc()
 			}
+			d.Logs.With("daemon").Error(ctx, "op failed",
+				"op", op, "duration", took.String(), "error", err.Error())
+		} else {
+			d.Logs.With("daemon").Debug(ctx, "op complete",
+				"op", op, "duration", took.String())
 		}
 		d.exportSelf()
 	}

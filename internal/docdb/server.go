@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/logbuf"
 	"pmove/internal/resilience"
 )
 
@@ -49,6 +50,8 @@ type Server struct {
 	wg    sync.WaitGroup
 	obs   func(op string, err error)
 	in    *introspect.Introspector
+	log   *logbuf.Logger
+	slow  time.Duration
 }
 
 // NewServer wraps a DB.
@@ -86,6 +89,43 @@ func (s *Server) observe(op string, err error) {
 	if fn != nil {
 		fn(op, err)
 	}
+}
+
+// SetLogger attaches a structured log ring (conventionally a
+// "docdb.server" component child). Ops slower than slowThreshold emit a
+// warn record carrying the request's wire traceparent; zero logs every
+// op, negative disables the slow-op path (failed ops still log). Ping
+// never logs. A nil logger disables everything.
+func (s *Server) SetLogger(lg *logbuf.Logger, slowThreshold time.Duration) {
+	s.mu.Lock()
+	s.log = lg
+	s.slow = slowThreshold
+	s.mu.Unlock()
+}
+
+// logOp emits the per-op structured record: errors always, slow ops at
+// the threshold. sctx carries the server span (the record's trace
+// identity); the traceparent field is the raw wire tag.
+func (s *Server) logOp(sctx context.Context, op, traceparent string, arrivalNanos int64, err error) {
+	s.mu.Lock()
+	lg, slow := s.log, s.slow
+	s.mu.Unlock()
+	if lg == nil || op == "ping" {
+		return
+	}
+	elapsed := time.Duration(time.Now().UnixNano() - arrivalNanos)
+	if err != nil {
+		lg.Error(sctx, "op failed", "op", op, "duration", elapsed.String(), "error", err.Error())
+		return
+	}
+	if slow < 0 || elapsed < slow {
+		return
+	}
+	kv := []string{"op", op, "duration", elapsed.String()}
+	if traceparent != "" {
+		kv = append(kv, "traceparent", traceparent)
+	}
+	lg.Warn(sctx, "slow op", kv...)
 }
 
 // Listen starts serving and returns the bound address.
@@ -156,6 +196,7 @@ func (s *Server) handle(conn net.Conn) {
 		}
 		is.End(derr)
 		op.End(derr)
+		s.logOp(octx, strings.ToLower(req.Op), req.Traceparent, arrival, derr)
 		s.observe(strings.ToLower(req.Op), derr)
 		if err := enc.Encode(resp); err != nil {
 			return

@@ -101,6 +101,17 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// Bounds returns the histogram's upper bounds (ascending, excluding the
+// implicit +Inf overflow bucket). The returned slice is a copy, so
+// exporters can hold it without re-deriving bucket geometry or racing
+// the registry.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {
@@ -143,6 +154,22 @@ type Metric struct {
 	Sum   float64 // histogram sum
 	// Buckets are cumulative-free per-bucket counts, ascending by LE.
 	Buckets []BucketCount
+}
+
+// Cumulative returns the histogram buckets in cumulative (Prometheus
+// "le") form, ending with the +Inf bucket whose count equals Count.
+// Nil for non-histograms.
+func (m Metric) Cumulative() []BucketCount {
+	if m.Kind != KindHistogram {
+		return nil
+	}
+	out := make([]BucketCount, len(m.Buckets))
+	var running uint64
+	for i, b := range m.Buckets {
+		running += b.Count
+		out[i] = BucketCount{LE: b.LE, Count: running}
+	}
+	return out
 }
 
 // Snapshot is a consistent-enough view of a registry: each metric is read

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/logbuf"
 )
 
 // ErrCircuitOpen is returned (wrapped) when the breaker fast-fails an
@@ -77,6 +78,11 @@ type Transport struct {
 	in   *introspect.Introspector
 	name string
 
+	// log receives structured fault records (retries, breaker opens,
+	// fast-fails, exhausted budgets) correlated to the op's trace;
+	// nil-safe.
+	log *logbuf.Logger
+
 	// sleep and now are swappable for tests.
 	sleep func(time.Duration)
 	now   func() time.Time
@@ -109,6 +115,14 @@ func (t *Transport) SetIntrospection(in *introspect.Introspector, name string) {
 	defer t.mu.Unlock()
 	t.in = in
 	t.name = name
+}
+
+// SetLogger attaches a structured log ring; records land under the
+// given component (conventionally "transport.<name>"). Nil detaches.
+func (t *Transport) SetLogger(l *logbuf.Logger) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.log = l
 }
 
 // count bumps a transport.<name>.<suffix> self counter. Caller holds mu
@@ -206,6 +220,8 @@ func (t *Transport) DoContext(ctx context.Context, op func(ctx context.Context, 
 	defer func() {
 		if n := t.breaker.Opens() - opensBefore; n > 0 {
 			t.count("breaker.opened", n)
+			t.log.Warn(ctx, "circuit opened",
+				"addr", t.addr, "cooldown", t.pol.Breaker.Cooldown.String())
 		}
 	}()
 	for attempt := 0; attempt < attempts; attempt++ {
@@ -241,10 +257,13 @@ func (t *Transport) DoContext(ctx context.Context, op func(ctx context.Context, 
 			if errors.Is(werr, ErrCircuitOpen) {
 				// Retrying cannot help until the cooldown elapses.
 				t.count("fastfails", 1)
+				t.log.Warn(ctx, "fast-fail: circuit open", "addr", t.addr)
 				err = werr
 				return err
 			}
 			t.count("failures", 1)
+			t.log.Warn(ctx, "connect failed",
+				"addr", t.addr, "attempt", fmt.Sprint(attempt+1), "error", werr.Error())
 			lastErr = werr
 			continue
 		}
@@ -268,9 +287,13 @@ func (t *Transport) DoContext(ctx context.Context, op func(ctx context.Context, 
 		t.stats.Failures++
 		t.count("failures", 1)
 		t.breaker.Failure(t.now())
+		t.log.Warn(ctx, "attempt failed, wire dropped",
+			"addr", t.addr, "attempt", fmt.Sprint(attempt+1), "error", oerr.Error())
 		lastErr = oerr
 	}
 	err = fmt.Errorf("resilience: %s: giving up after %d attempts: %w", t.addr, attempts, lastErr)
+	t.log.Error(ctx, "giving up after retry budget",
+		"addr", t.addr, "attempts", fmt.Sprint(attempts), "error", lastErr.Error())
 	return err
 }
 

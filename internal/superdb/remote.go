@@ -7,6 +7,7 @@ import (
 
 	"pmove/internal/docdb"
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/logbuf"
 	"pmove/internal/kb"
 	"pmove/internal/ontology"
 	"pmove/internal/resilience"
@@ -55,6 +56,15 @@ func (r *Remote) SetIntrospection(in *introspect.Introspector) {
 	r.in = in
 	r.Docs.Transport().SetIntrospection(in, "superdb_docs")
 	r.TS.Transport().SetIntrospection(in, "superdb_ts")
+}
+
+// SetLogger routes both transports' degradation events (fast-fails,
+// breaker opens, retry exhaustion) into a structured log ring, tagged
+// per store so `pmove logs -component transport.superdb_ts` isolates
+// one leg. Nil-safe.
+func (r *Remote) SetLogger(l *logbuf.Logger) {
+	r.Docs.Transport().SetLogger(l.With("transport.superdb_docs"))
+	r.TS.Transport().SetLogger(l.With("transport.superdb_ts"))
 }
 
 // Ping verifies both stores answer end to end with a background context.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/logbuf"
 	"pmove/internal/storage"
 	"pmove/internal/tsdb"
 )
@@ -121,6 +122,10 @@ type Collector struct {
 	// child spans around report offers and journal replays. Nil costs
 	// nothing (all introspect methods are nil-safe).
 	Self *introspect.Introspector
+	// Log, when non-nil, receives structured records for degradation
+	// transitions (sink down → spilling, journal drained, cap
+	// evictions), trace-correlated to the offer that observed them.
+	Log *logbuf.Logger
 
 	busyUntil float64
 	seq       uint64
@@ -199,18 +204,22 @@ func (c *Collector) journalCap() int {
 
 // spill journals a point the sink refused, evicting the oldest entry if
 // the journal is at capacity.
-func (c *Collector) spill(p tsdb.Point) {
+func (c *Collector) spill(ctx context.Context, p tsdb.Point) {
 	reg := c.Self.Metrics()
 	if !c.degraded {
 		c.degraded = true
 		c.Degradations++
 		reg.Counter("telemetry.degradations").Inc()
+		c.Log.Warn(ctx, "sink unreachable: entering degraded mode, spilling to journal",
+			"journal_cap", fmt.Sprint(c.journalCap()))
 	}
 	if len(c.journal) >= c.journalCap() {
 		dropped := c.journal[0]
 		c.journal = c.journal[1:]
 		c.SpillDropped += uint64(len(dropped.Fields))
 		reg.Counter("telemetry.journal.dropped").Add(uint64(len(dropped.Fields)))
+		c.Log.Warn(ctx, "journal at capacity: oldest spilled point dropped",
+			"dropped_fields", fmt.Sprint(len(dropped.Fields)))
 	}
 	c.journal = append(c.journal, p)
 	c.persistSpill(p)
@@ -242,8 +251,9 @@ func (c *Collector) Replay() int {
 // replay span.
 func (c *Collector) ReplayContext(ctx context.Context) int {
 	reg := c.Self.Metrics()
-	_, span := c.Self.StartSpan(ctx, "telemetry.replay")
+	ctx, span := c.Self.StartSpan(ctx, "telemetry.replay")
 	defer span.End(nil)
+	wasDegraded := c.degraded
 	before := len(c.journal)
 	defer func() {
 		// Keep the on-disk journal in lock-step with the live backlog:
@@ -269,6 +279,10 @@ func (c *Collector) ReplayContext(ctx context.Context) int {
 	c.journal = nil
 	c.degraded = false
 	reg.Gauge("telemetry.journal.pending").Set(0)
+	if wasDegraded {
+		c.Log.Info(ctx, "journal drained: leaving degraded mode",
+			"replayed", fmt.Sprint(before))
+	}
 	return 0
 }
 
@@ -362,7 +376,7 @@ func (c *Collector) OfferContext(ctx context.Context, now float64, samples []Sam
 		// it): journal without burning the client's retry budget on
 		// every sample.
 		for _, p := range pts {
-			c.spill(p)
+			c.spill(ctx, p)
 		}
 	case batchable && !c.Cfg.Unbatched && len(pts) > 1:
 		// The whole tick ships as one batch: one round-trip / one group
@@ -375,7 +389,7 @@ func (c *Collector) OfferContext(ctx context.Context, now float64, samples []Sam
 				return err
 			}
 			for _, p := range pts {
-				c.spill(p)
+				c.spill(ctx, p)
 			}
 		} else {
 			c.Inserted += uint64(nValues)
@@ -388,7 +402,7 @@ func (c *Collector) OfferContext(ctx context.Context, now float64, samples []Sam
 					err = fmt.Errorf("telemetry: insert %s: %w", p.Measurement, werr)
 					return err
 				}
-				c.spill(p)
+				c.spill(ctx, p)
 			} else {
 				c.Inserted += uint64(len(p.Fields))
 				reg.Counter("telemetry.points.inserted").Add(uint64(len(p.Fields)))

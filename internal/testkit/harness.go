@@ -3,6 +3,7 @@ package testkit
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"time"
@@ -10,6 +11,8 @@ import (
 	"pmove/internal/core"
 	"pmove/internal/docdb"
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/expose"
+	"pmove/internal/introspect/logbuf"
 	"pmove/internal/introspect/traceexport"
 	"pmove/internal/kb"
 	"pmove/internal/machine"
@@ -50,6 +53,16 @@ type Result struct {
 
 	// Traces are the assembled end-to-end traces (Tracing scenarios).
 	Traces []*traceexport.Trace
+
+	// Expose-scenario outputs: the plane's bound address (the server is
+	// torn down when the run ends — the address documents, it does not
+	// serve), one /readyz verdict per completed tick, whether a bounded
+	// post-run replay loop brought readiness back, and the structured log
+	// ring the stack wrote into.
+	ExposeAddr     string
+	ReadyStates    []bool
+	RecoveredReady bool
+	Logs           *logbuf.Logger
 
 	// SessionErr records a session abort (expected for non-degraded
 	// scenarios whose sink dies); the log keeps the events up to it.
@@ -96,6 +109,12 @@ type harness struct {
 	daemonIn   *introspect.Introspector
 	tsdbSrvIn  *introspect.Introspector
 	docdbSrvIn *introspect.Introspector
+
+	// Expose-scenario state: the structured log ring shared by the whole
+	// stack and the observability-plane HTTP server over the daemon-side
+	// registry.
+	logs      *logbuf.Logger
+	exposeSrv *expose.Server
 }
 
 // policy is the fail-fast resilience policy the harness clients use:
@@ -147,6 +166,15 @@ func (h *harness) setup() error {
 		h.daemonIn = introspect.New(introspect.WithProcess("daemon"), introspect.WithSpanCapacity(1<<15))
 		h.tsdbSrvIn = introspect.New(introspect.WithProcess("tsdb"), introspect.WithSpanCapacity(1<<15))
 		h.docdbSrvIn = introspect.New(introspect.WithProcess("docdb"), introspect.WithSpanCapacity(1<<15))
+	}
+	if sc.Expose {
+		// The plane exposes the daemon-side registry; bring it up even when
+		// the scenario does not trace, so readiness probes have gauges.
+		if h.daemonIn == nil {
+			h.daemonIn = introspect.New(introspect.WithProcess("daemon"))
+		}
+		h.logs = logbuf.New(0)
+		h.res.Logs = h.logs
 	}
 
 	// Backends and their fault proxies. Clients dial the proxies, so every
@@ -213,11 +241,15 @@ func (h *harness) setup() error {
 		return err
 	}
 	h.tsdbClient.Transport().SetIntrospection(h.daemonIn, "tsdb")
+	h.tsdbClient.Transport().SetLogger(h.logs.With("transport.tsdb"))
 	h.docdbClient, err = docdb.DialPolicy(docdbProxyAddr, sc.policy())
 	if err != nil {
 		return err
 	}
 	h.docdbClient.Transport().SetIntrospection(h.daemonIn, "docdb")
+	h.docdbClient.Transport().SetLogger(h.logs.With("transport.docdb"))
+	h.tsdbSrv.SetLogger(h.logs.With("tsdb.server"), 100*time.Millisecond)
+	h.docdbSrv.SetLogger(h.logs.With("docdb.server"), 100*time.Millisecond)
 
 	// Daemon with one attached, probed target. The KB, dashboards and
 	// observation entries flow through the same code paths production
@@ -255,11 +287,58 @@ func (h *harness) setup() error {
 	h.col = telemetry.NewCollector(nil, sc.pipeline())
 	h.col.Sink = h.tsdbClient
 	h.col.Self = h.daemonIn
+	h.col.Log = h.logs.With("telemetry")
 	h.res.Collector = h.col
 	h.session, err = telemetry.NewSession(h.target.PMCD, h.col, telemetry.SessionConfig{
 		Metrics: metrics, FreqHz: sc.Load.FreqHz, Tag: "testkit",
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	if sc.Expose {
+		if err := h.startExpose(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startExpose stands the observability plane up over the harness's
+// daemon-side registry, with the same breaker- and backlog-aware
+// readiness probes the production daemon wires (core.WithExpose).
+func (h *harness) startExpose() error {
+	srv := expose.NewServer()
+	srv.AddSource(expose.SourceFor(h.daemonIn, map[string]string{"process": "harness"}))
+	srv.SetLogs(h.logs)
+	srv.OnScrape(func() { expose.CollectRuntime(h.daemonIn) })
+	srv.AddCheck("telemetry-sink", func() error {
+		if st := h.tsdbClient.Transport().BreakerState(); st == resilience.BreakerOpen {
+			return fmt.Errorf("sink breaker %s", st)
+		}
+		return nil
+	})
+	srv.AddCheck("telemetry-backlog", func() error {
+		if n := h.daemonIn.Metrics().Gauge("telemetry.journal.pending").Load(); n > 0 {
+			return fmt.Errorf("%d spilled points awaiting replay", int(n))
+		}
+		return nil
+	})
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	h.exposeSrv = srv
+	h.res.ExposeAddr = srv.Addr()
+	return nil
+}
+
+// ready polls the plane's /readyz over the real socket.
+func (h *harness) ready() bool {
+	resp, err := http.Get("http://" + h.exposeSrv.Addr() + "/readyz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // drive runs the seeded schedule: faults at tick boundaries, one sampling
@@ -287,9 +366,33 @@ func (h *harness) drive() error {
 		if ce := h.sc.Load.CheckpointEvery; ce > 0 && tick%ce == 0 {
 			h.checkpoint(ctx, tick)
 		}
+		if h.sc.Expose {
+			h.res.ReadyStates = append(h.res.ReadyStates, h.ready())
+		}
 		h.res.Log.Append(h.tickEvent(tick))
 	}
+	if h.sc.Expose && h.res.SessionErr == nil {
+		h.recoverReady()
+	}
 	return nil
+}
+
+// recoverReady drives the post-run recovery an operator would: replay
+// the spill journal against the (presumably healed) sink until /readyz
+// reports ready again. Bounded — an unhealed sink leaves
+// RecoveredReady false rather than hanging the run. Wall-clock paced
+// around the breaker cooldown, so nothing here enters the event log.
+func (h *harness) recoverReady() {
+	for i := 0; i < 100; i++ {
+		if h.ready() {
+			h.res.RecoveredReady = true
+			return
+		}
+		// Replay both drains the backlog check and, by writing through
+		// the transport, walks an open breaker through half-open → closed.
+		h.col.Replay()
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // tickEvent snapshots the collector's cumulative accounting.
@@ -355,6 +458,7 @@ func (h *harness) applyFault(f FaultEvent) error {
 		h.tsdbDown = false
 		h.tsdbSrv = tsdb.NewServer(h.tsdbDB)
 		h.tsdbSrv.SetTracing(h.tsdbSrvIn)
+		h.tsdbSrv.SetLogger(h.logs.With("tsdb.server"), 100*time.Millisecond)
 		_, err := h.tsdbSrv.Listen(h.tsdbAddr)
 		return err
 	case FaultPartitionTSDB:
@@ -382,6 +486,7 @@ func (h *harness) applyFault(f FaultEvent) error {
 		h.docdbDown = false
 		h.docdbSrv = docdb.NewServer(h.docdbDB)
 		h.docdbSrv.SetTracing(h.docdbSrvIn)
+		h.docdbSrv.SetLogger(h.logs.With("docdb.server"), 100*time.Millisecond)
 		_, err := h.docdbSrv.Listen(h.docdbAddr)
 		return err
 	case FaultDropDocdbConns:
@@ -472,6 +577,9 @@ func (h *harness) note(tick uint64, detail string) {
 // removed; the recovered in-memory images stay readable for the oracles,
 // which run against the Result after close.
 func (h *harness) close() {
+	if h.exposeSrv != nil {
+		h.exposeSrv.Close()
+	}
 	if h.tsdbClient != nil {
 		h.tsdbClient.Close()
 	}

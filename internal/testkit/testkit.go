@@ -102,6 +102,13 @@ type Scenario struct {
 	// oracle can check per-hop latency conservation. Spans carry wall
 	// time and stay out of the event log.
 	Tracing bool
+	// Expose stands the live observability plane up next to the harness:
+	// an expose.Server over the daemon-side registry with breaker- and
+	// backlog-aware readiness, polled after every tick into
+	// Result.ReadyStates. The poll is an HTTP GET over a real socket —
+	// wall-clock, so expose scenarios assert state transitions (ready →
+	// not-ready → ready), never tick-exact timing.
+	Expose bool
 	// Breaker enables the client circuit breakers. Breaker cooldowns are
 	// wall-clock, so recovery timing can shift semantic outcomes near
 	// fault boundaries; the deterministic-replay scenarios keep it off

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/logbuf"
 	"pmove/internal/resilience"
 )
 
@@ -59,6 +60,8 @@ type Server struct {
 	wg    sync.WaitGroup
 	obs   func(cmd string, err error)
 	in    *introspect.Introspector
+	log   *logbuf.Logger
+	slow  time.Duration
 }
 
 // NewServer wraps a DB.
@@ -97,6 +100,50 @@ func (s *Server) tracing() *introspect.Introspector {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.in
+}
+
+// SetLogger attaches a structured log ring (conventionally a
+// "tsdb.server" component child). Ops slower than slowThreshold emit a
+// warn record carrying the op's wire traceparent, so a slow server-side
+// op joins the client span that carried it on the same 128-bit trace
+// id; a zero threshold logs every op, a negative one disables the
+// slow-op path (failed ops are still logged). A nil logger disables
+// everything.
+func (s *Server) SetLogger(lg *logbuf.Logger, slowThreshold time.Duration) {
+	s.mu.Lock()
+	s.log = lg
+	s.slow = slowThreshold
+	s.mu.Unlock()
+}
+
+func (s *Server) logger() (*logbuf.Logger, time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.log, s.slow
+}
+
+// logOp emits the per-op structured record: errors always, slow ops
+// when the threshold is met. sctx is the span-carrying context (the
+// record's trace identity); wireCtx is the frame context whose
+// traceparent field ties the record back to the bytes on the wire.
+func (s *Server) logOp(sctx, wireCtx context.Context, cmd string, arrivalNanos int64, err error) {
+	lg, slow := s.logger()
+	if lg == nil {
+		return
+	}
+	elapsed := time.Duration(time.Now().UnixNano() - arrivalNanos)
+	if err != nil {
+		lg.Error(sctx, "op failed", "cmd", cmd, "duration", elapsed.String(), "error", err.Error())
+		return
+	}
+	if slow < 0 || elapsed < slow {
+		return
+	}
+	kv := []string{"cmd", cmd, "duration", elapsed.String()}
+	if tp := introspect.TraceparentFromContext(wireCtx); tp != "" {
+		kv = append(kv, "traceparent", tp)
+	}
+	lg.Warn(sctx, "slow op", kv...)
 }
 
 func (s *Server) observe(cmd string, err error) {
@@ -229,6 +276,7 @@ func (s *Server) handleWrite(rest string, arrivalNanos int64, w *bufio.Writer) {
 	} else {
 		fmt.Fprintln(w, "OK")
 	}
+	s.logOp(wctx, ctx, "write", arrivalNanos, err)
 	s.observe("write", err)
 }
 
@@ -251,6 +299,7 @@ func (s *Server) handleWriteBatch(rest string, arrivalNanos int64, sc *bufio.Sca
 		err = fmt.Errorf("tsdb: bad batch header %q (want 1..%d points)", body, MaxBatchPoints)
 		op.End(err)
 		fmt.Fprintf(w, "ERR %v\n", err)
+		s.logOp(wctx, ctx, "writeb", arrivalNanos, err)
 		s.observe("writeb", err)
 		return false
 	}
@@ -266,6 +315,7 @@ func (s *Server) handleWriteBatch(rest string, arrivalNanos int64, sc *bufio.Sca
 		if !sc.Scan() {
 			err = fmt.Errorf("tsdb: connection lost %d/%d lines into batch body", i, n)
 			op.End(err)
+			s.logOp(wctx, ctx, "writeb", arrivalNanos, err)
 			s.observe("writeb", err)
 			return false
 		}
@@ -307,6 +357,7 @@ func (s *Server) handleWriteBatch(rest string, arrivalNanos int64, sc *bufio.Sca
 	} else {
 		fmt.Fprintf(w, "OK %d\n", n)
 	}
+	s.logOp(wctx, ctx, "writeb", arrivalNanos, err)
 	s.observe("writeb", err)
 	return true
 }
@@ -340,6 +391,7 @@ func (s *Server) handleQuery(rest string, arrivalNanos int64, w *bufio.Writer) {
 			w.WriteByte('\n')
 		}
 	}
+	s.logOp(qctx, ctx, "query", arrivalNanos, err)
 	s.observe("query", err)
 }
 

@@ -24,6 +24,8 @@ import (
 	"pmove/internal/dashboard"
 	"pmove/internal/docdb"
 	"pmove/internal/introspect"
+	"pmove/internal/introspect/expose"
+	"pmove/internal/introspect/logbuf"
 	"pmove/internal/introspect/traceexport"
 	"pmove/internal/kb"
 	"pmove/internal/kernels"
@@ -97,6 +99,14 @@ var (
 	// directories ("always"|"interval"|"never" fsync policy) so daemon
 	// state survives a crash; pair with Daemon.Close on shutdown.
 	WithDataDir = core.WithDataDir
+	// WithExpose serves the live observability plane on an address:
+	// /metrics (OpenMetrics), /healthz, /readyz, /debug/vars and /logs.
+	// Implies introspection and a structured log ring; the bound address
+	// is Daemon.ExposeAddr.
+	WithExpose = core.WithExpose
+	// WithLogBuffer enables the daemon's bounded structured log ring
+	// (Daemon.Logs) without the HTTP plane.
+	WithLogBuffer = core.WithLogBuffer
 )
 
 // WithIntrospection enables the self-observability layer (metrics,
@@ -140,6 +150,52 @@ var (
 	// WithTraceSampling sets the head-based trace sampling rate (errored
 	// spans are always kept); seed 0 derives one from the clock.
 	WithTraceSampling = introspect.WithSampling
+)
+
+// Live observability plane (internal/introspect/expose + logbuf): the
+// OpenMetrics/health/vars/logs HTTP surface WithExpose serves, and the
+// trace-correlated structured log ring behind Daemon.Logs.
+type (
+	// ExposeServer is the observability-plane HTTP server (standalone
+	// form of what WithExpose wires into a daemon).
+	ExposeServer = expose.Server
+	// ExposeSource is one metrics registry an ExposeServer scrapes.
+	ExposeSource = expose.Source
+	// LogBuffer is a bounded, concurrency-safe structured log ring.
+	LogBuffer = logbuf.Logger
+	// LogRecord is one structured record in a LogBuffer.
+	LogRecord = logbuf.Record
+	// LogField is one key/value pair on a LogRecord.
+	LogField = logbuf.Field
+	// LogLevel is a LogBuffer severity.
+	LogLevel = logbuf.Level
+	// LogQuery filters LogBuffer.Filter by level, trace and component.
+	LogQuery = logbuf.Query
+)
+
+// Log levels.
+const (
+	LogDebug = logbuf.Debug
+	LogInfo  = logbuf.Info
+	LogWarn  = logbuf.Warn
+	LogError = logbuf.Error
+)
+
+// Observability-plane functions.
+var (
+	// NewExposeServer creates an empty observability-plane server; add
+	// sources/checks then Listen.
+	NewExposeServer = expose.NewServer
+	// ExposeSourceFor adapts an Introspector into an ExposeSource.
+	ExposeSourceFor = expose.SourceFor
+	// NewLogBuffer creates a structured log ring (capacity <= 0 selects
+	// the default).
+	NewLogBuffer = logbuf.New
+	// ParseLogLevel parses "debug"|"info"|"warn"|"error".
+	ParseLogLevel = logbuf.ParseLevel
+	// EncodeSelfVars writes registries as the /debug/vars JSON document
+	// (`pmove introspect -json` shares this encoder).
+	EncodeSelfVars = expose.EncodeVars
 )
 
 // Distributed tracing (internal/introspect + traceexport): 128-bit trace
