@@ -284,6 +284,86 @@ func BenchmarkTSDBQuery(b *testing.B) {
 	}
 }
 
+// BenchmarkQueryAggregate sweeps the aggregation engine: worker count
+// (1/4/16) x dataset size (1e4/1e6 points), each iteration running the
+// same windowed mean+p99 scan with the result cache bypassed so the
+// stripe fan-out is what's measured. The raw/* rows are the baseline
+// the engine replaces: materialize every matching row (one map
+// allocation per point) and fold the mean client-side — the only way
+// to aggregate before the engine existed. ci.sh records the points/s
+// trajectory in BENCH_9.json and gates w16 at n=1e6 against raw
+// (>=2x, any machine) and against w1 (>=2x, only with >=4 CPUs —
+// stripe parallelism cannot speed up a single core).
+func BenchmarkQueryAggregate(b *testing.B) {
+	sizes := []int{10000, 1000000}
+	dbs := map[int]*tsdb.DB{}
+	for _, n := range sizes {
+		db := tsdb.New()
+		batch := make([]tsdb.Point, 0, 4096)
+		ctx := context.Background()
+		for i := 0; i < n; i++ {
+			batch = append(batch, tsdb.Point{
+				Measurement: "m", Tags: map[string]string{"tag": "t"},
+				Fields: map[string]float64{"f": float64(i%997) / 4},
+				Time:   int64(i),
+			})
+			if len(batch) == cap(batch) {
+				if err := db.WriteBatchContext(ctx, batch); err != nil {
+					b.Fatal(err)
+				}
+				batch = batch[:0]
+			}
+		}
+		if len(batch) > 0 {
+			if err := db.WriteBatchContext(ctx, batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		dbs[n] = db
+	}
+	aggQ, err := tsdb.ParseQuery(`SELECT mean("f"), p99("f") FROM "m" WHERE tag="t" GROUP BY time(65536)`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rawQ, err := tsdb.ParseQuery(`SELECT "f" FROM "m" WHERE tag="t"`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, n := range sizes {
+		db := dbs[n]
+		b.Run(fmt.Sprintf("raw/n%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := db.ExecuteContext(ctx, tsdb.QueryRequest{Query: rawQ})
+				if err != nil || len(res.Rows) != n {
+					b.Fatalf("rows=%d err=%v", len(res.Rows), err)
+				}
+				sum := 0.0
+				for _, r := range res.Rows {
+					sum += r.Values["f"]
+				}
+				if sum == 0 {
+					b.Fatal("empty fold")
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+		})
+		for _, w := range []int{1, 4, 16} {
+			b.Run(fmt.Sprintf("w%d/n%d", w, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := db.ExecuteContext(ctx, tsdb.QueryRequest{
+						Query: aggQ, Workers: w, SkipCache: true,
+					})
+					if err != nil || len(res.Rows) == 0 {
+						b.Fatalf("rows=%d err=%v", len(res.Rows), err)
+					}
+				}
+				b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+			})
+		}
+	}
+}
+
 // BenchmarkKBGenerate measures full knowledge-base generation for the
 // 88-thread skx (the probe -> KB path of Figure 3).
 func BenchmarkKBGenerate(b *testing.B) {

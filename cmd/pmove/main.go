@@ -39,7 +39,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster|introspect|trace|logs> [flags]")
+	fmt.Fprintln(os.Stderr, "usage: pmove <probe|views|monitor|observe|carm|bench|abst|whatif|scan|cluster|introspect|trace|logs|query> [flags]")
 	os.Exit(2)
 }
 
@@ -76,6 +76,8 @@ func main() {
 		err = cmdTrace(args)
 	case "logs":
 		err = cmdLogs(args)
+	case "query":
+		err = cmdQuery(args)
 	default:
 		usage()
 	}

@@ -138,3 +138,28 @@ func TestCmdCluster(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCmdQuery(t *testing.T) {
+	// Generated aggregate summaries, windowed, repeated so the second
+	// pass exercises the result cache.
+	if err := cmdQuery([]string{"-host", "csl", "-kernel", "ddot", "-threads", "4",
+		"-freq", "8", "-agg", "mean", "-window", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+	// A verbatim statement runs as-is (cache bypassed, fixed workers).
+	if err := cmdQuery([]string{"-host", "csl", "-kernel", "ddot", "-threads", "4",
+		"-freq", "8", "-stmt", `SELECT p99("_cpu0"), count("_cpu0") FROM "kernel_percpu_cpu_idle" GROUP BY time(250ms)`,
+		"-workers", "4", "-nocache"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdQuery([]string{"-host", "csl", "-stmt", `SELECT FROM`}); err == nil {
+		t.Fatal("unparseable statement accepted")
+	}
+	if err := cmdQuery([]string{"-host", "csl", "-kernel", "ddot", "-threads", "4",
+		"-freq", "8", "-agg", "p200"}); err == nil {
+		t.Fatal("out-of-range percentile accepted")
+	}
+	if err := cmdQuery([]string{"-host", "pdp11"}); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}

@@ -149,6 +149,12 @@ func NewWith(opts ...Option) (*Daemon, error) {
 	// WithTelemetrySink and WithIntrospection compose in either order:
 	// wire the sink's transport after all options have run.
 	d.wireSinkIntrospection(d.sink)
+	if d.Introspection != nil {
+		// Embedded store self-observability: query-cache hit/miss/evict
+		// counters land in the same registry (pmove.self.query.cache.*).
+		// After, not before, the durable branch — Open replaces d.TS.
+		d.TS.SetIntrospection(d.Introspection)
+	}
 	if d.exposeAddr != "" {
 		if err := d.startExpose(); err != nil {
 			d.TS.Close()

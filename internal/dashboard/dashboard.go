@@ -7,9 +7,11 @@
 package dashboard
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"pmove/internal/kb"
@@ -25,12 +27,50 @@ type Datasource struct {
 }
 
 // Target is one query of a panel: the measurement and the instance-field
-// parameter ("params": "_cpu0" in Listing 1).
+// parameter ("params": "_cpu0" in Listing 1). Agg, when set, turns the
+// target into an aggregated query (mean/min/max/sum/count/pNN of the
+// field) and Window adds GROUP BY time(Window) downsampling — how the
+// generator encodes the averages the paper's figures imply instead of
+// shipping raw rows to the renderer.
 type Target struct {
 	Datasource  Datasource `json:"datasource"`
 	Measurement string     `json:"measurement"`
 	Params      string     `json:"params"`
-	Tag         string     `json:"tag,omitempty"` // observation tag filter
+	Tag         string     `json:"tag,omitempty"`    // observation tag filter
+	Agg         string     `json:"agg,omitempty"`    // aggregate fn ("mean", "p99", …)
+	Window      string     `json:"window,omitempty"` // GROUP BY time interval ("5s")
+}
+
+// Query renders the target as the tsdb query it issues. Aggregated
+// targets are built through the canonical SELECT grammar, so an
+// invalid Agg/Window surfaces as a parse error here, not downstream.
+func (t Target) Query() (*tsdb.Query, error) {
+	if t.Agg == "" {
+		if t.Window != "" {
+			return nil, fmt.Errorf("dashboard: target window %q requires an aggregate", t.Window)
+		}
+		q := &tsdb.Query{
+			Fields:      []string{t.Params},
+			Measurement: t.Measurement,
+			TagFilter:   map[string]string{},
+		}
+		if t.Params == "" {
+			q.Fields = []string{"*"}
+		}
+		if t.Tag != "" {
+			q.TagFilter["tag"] = t.Tag
+		}
+		return q, nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s(%q) FROM %q", t.Agg, t.Params, t.Measurement)
+	if t.Tag != "" {
+		fmt.Fprintf(&b, " WHERE tag=%q", t.Tag)
+	}
+	if t.Window != "" {
+		fmt.Fprintf(&b, " GROUP BY time(%s)", t.Window)
+	}
+	return tsdb.ParseQuery(b.String())
 }
 
 // Panel is one chart.
@@ -105,6 +145,13 @@ func (d *Dashboard) Validate() error {
 type Generator struct {
 	DatasourceUID string
 
+	// Agg, when set, makes every generated target an aggregated query
+	// (e.g. "mean" — the shape the paper's Table/figure averages imply)
+	// and Window adds GROUP BY time(Window) downsampling. Set them
+	// before generating; empty keeps the raw-series targets.
+	Agg    string
+	Window string
+
 	mu     sync.Mutex
 	nextID int
 }
@@ -152,6 +199,8 @@ func (g *Generator) FromView(v *kb.View) (*Dashboard, error) {
 				Datasource:  g.ds(),
 				Measurement: t.DBName,
 				Params:      t.FieldName,
+				Agg:         g.Agg,
+				Window:      g.Window,
 			})
 		}
 		sort.Slice(p.Targets, func(i, j int) bool {
@@ -190,6 +239,8 @@ func (g *Generator) ForObservation(o *kb.Observation) (*Dashboard, error) {
 				Measurement: m.Measurement,
 				Params:      f,
 				Tag:         o.Tag,
+				Agg:         g.Agg,
+				Window:      g.Window,
 			})
 		}
 		d.Panels = append(d.Panels, p)
@@ -197,31 +248,36 @@ func (g *Generator) ForObservation(o *kb.Observation) (*Dashboard, error) {
 	return d, d.Validate()
 }
 
-// FetchSeries runs a panel target against the tsdb, returning time-ordered
-// (ns, value) pairs.
+// FetchSeries runs a panel target against the tsdb with a background
+// context, returning time-ordered (ns, value) pairs.
 func FetchSeries(db *tsdb.DB, t Target) ([]int64, []float64, error) {
-	q := &tsdb.Query{
-		Fields:      []string{t.Params},
-		Measurement: t.Measurement,
-		TagFilter:   map[string]string{},
-	}
-	if t.Params == "" {
-		q.Fields = []string{"*"}
-	}
-	if t.Tag != "" {
-		q.TagFilter["tag"] = t.Tag
-	}
-	res, err := db.Execute(q)
+	return FetchSeriesContext(context.Background(), db, t)
+}
+
+// FetchSeriesContext runs a panel target against the tsdb, returning
+// time-ordered (ns, value) pairs. Aggregated targets (Agg set) read
+// their value from the aggregate column — one pair per GROUP BY
+// window, or a single pair for the whole range.
+func FetchSeriesContext(ctx context.Context, db *tsdb.DB, t Target) ([]int64, []float64, error) {
+	q, err := t.Query()
 	if err != nil {
 		return nil, nil, err
+	}
+	res, err := db.ExecuteContext(ctx, tsdb.QueryRequest{Query: q})
+	if err != nil {
+		return nil, nil, err
+	}
+	col := t.Params
+	if len(q.Aggregates) > 0 {
+		col = q.Aggregates[0].Column()
 	}
 	var ts []int64
 	var vs []float64
 	for _, row := range res.Rows {
-		if v, ok := row.Values[t.Params]; ok {
+		if v, ok := row.Values[col]; ok {
 			ts = append(ts, row.Time)
 			vs = append(vs, v)
-		} else if t.Params == "" {
+		} else if col == "" {
 			for _, v := range row.Values {
 				ts = append(ts, row.Time)
 				vs = append(vs, v)

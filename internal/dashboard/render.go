@@ -32,7 +32,14 @@ func RenderPanelASCII(db *tsdb.DB, p Panel, width int) (string, error) {
 				globalMax = v
 			}
 		}
-		all = append(all, seriesData{label: t.Measurement + " " + t.Params, ts: ts, vs: vs})
+		label := t.Measurement + " " + t.Params
+		if t.Agg != "" {
+			label = fmt.Sprintf("%s %s(%s)", t.Measurement, t.Agg, t.Params)
+			if t.Window != "" {
+				label += " by " + t.Window
+			}
+		}
+		all = append(all, seriesData{label: label, ts: ts, vs: vs})
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s ==\n", p.Title)

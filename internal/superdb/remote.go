@@ -188,6 +188,15 @@ func (r *Remote) ReportObservationContext(ctx context.Context, o *kb.Observation
 		return nil
 	}
 	for _, m := range o.Metrics {
+		if mode == ModeAGG && !hasStar(m.Fields) {
+			sq := summaryQuery(m.Measurement, map[string]string{"tag": o.Tag}, m.Fields)
+			res, err := local.ExecuteContext(ctx, tsdb.QueryRequest{Query: sq})
+			if err != nil {
+				return fmt.Errorf("superdb: aggregate %s: %w", m.Measurement, err)
+			}
+			aggs = append(aggs, summaryFromResult(m.Measurement, m.Fields, res)...)
+			continue
+		}
 		res, err := local.ExecuteContext(ctx, tsdb.QueryRequest{Query: &tsdb.Query{
 			Fields:      m.Fields,
 			Measurement: m.Measurement,
@@ -295,4 +304,23 @@ func (r *Remote) QueryObservationContext(ctx context.Context, host, tag, measure
 		q.Fields = []string{"*"}
 	}
 	return r.TS.QueryContext(ctx, q.String())
+}
+
+// AggregateObservationContext summarises one uploaded observation's
+// measurement on the server: one aggregate SELECT over the wire
+// (count/min/max/mean/p50/p99 per field), executed by the remote
+// store's parallel engine, mapped back into Aggregates rows. The
+// fields must be named — the aggregate grammar has no '*'.
+func (r *Remote) AggregateObservationContext(ctx context.Context, host, tag, measurement string, fields []string) (aggs []Aggregates, err error) {
+	ctx, span := r.in.StartSpan(ctx, "superdb.aggregate_observation")
+	defer func() { span.End(err) }()
+	if len(fields) == 0 || hasStar(fields) {
+		return nil, fmt.Errorf("superdb: aggregate observation needs named fields")
+	}
+	q := summaryQuery(measurement, map[string]string{"tag": tag, "host": host}, fields)
+	res, err := r.TS.QueryContext(ctx, q.String())
+	if err != nil {
+		return nil, err
+	}
+	return summaryFromResult(measurement, fields, res), nil
 }

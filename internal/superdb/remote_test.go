@@ -1,6 +1,8 @@
 package superdb
 
 import (
+	"context"
+	"math"
 	"testing"
 
 	"pmove/internal/docdb"
@@ -97,5 +99,53 @@ func TestDialRemoteFailures(t *testing.T) {
 	_, tsAddr := startServers(t)
 	if _, err := DialRemote("127.0.0.1:1", tsAddr); err == nil {
 		t.Fatal("half-open dial succeeded")
+	}
+}
+
+// TestAggregateObservationRemote summarises an uploaded observation on
+// the server: the wire-level aggregate SELECT must reproduce the same
+// statistics the local fold computes, and the star/empty field shapes
+// are rejected before touching the wire.
+func TestAggregateObservationRemote(t *testing.T) {
+	docAddr, tsAddr := startServers(t)
+	r, err := DialRemote(docAddr, tsAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	local := tsdb.New()
+	obs := seedObservation(t, local, "skx", "remote-sum")
+	if err := r.ReportObservation(obs, local, ModeTS); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	aggs, err := r.AggregateObservationContext(ctx, "skx", "remote-sum",
+		"perfevent_hwcounters_X", []string{"_cpu0", "_cpu1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(aggs) != 2 {
+		t.Fatalf("aggregate rows: %+v", aggs)
+	}
+	byField := map[string]Aggregates{}
+	for _, a := range aggs {
+		byField[a.Field] = a
+	}
+	// _cpu0 carries 0..9, _cpu1 carries 0,2,..,18 (seedObservation).
+	c0 := byField["_cpu0"]
+	if c0.Count != 10 || c0.Min != 0 || c0.Max != 9 || math.Abs(c0.Mean-4.5) > 1e-9 {
+		t.Errorf("_cpu0 aggregates: %+v", c0)
+	}
+	c1 := byField["_cpu1"]
+	if c1.Count != 10 || c1.Max != 18 || math.Abs(c1.Mean-9) > 1e-9 {
+		t.Errorf("_cpu1 aggregates: %+v", c1)
+	}
+
+	if _, err := r.AggregateObservationContext(ctx, "skx", "remote-sum", "perfevent_hwcounters_X", nil); err == nil {
+		t.Fatal("empty field list accepted")
+	}
+	if _, err := r.AggregateObservationContext(ctx, "skx", "remote-sum", "perfevent_hwcounters_X", []string{"*"}); err == nil {
+		t.Fatal("star field accepted")
 	}
 }

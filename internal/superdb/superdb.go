@@ -8,6 +8,7 @@
 package superdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -70,6 +71,82 @@ func aggregate(measurement, field string, vs []float64) Aggregates {
 	return a
 }
 
+// hasStar reports whether a field list selects all fields — the one
+// shape the aggregate engine cannot plan, since it needs field names.
+func hasStar(fields []string) bool {
+	for _, f := range fields {
+		if f == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// dedupeSorted returns the distinct field names, sorted — the order the
+// legacy client-side fold reported aggregates in.
+func dedupeSorted(fields []string) []string {
+	seen := map[string]struct{}{}
+	out := make([]string, 0, len(fields))
+	for _, f := range fields {
+		if _, ok := seen[f]; ok {
+			continue
+		}
+		seen[f] = struct{}{}
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// summaryQuery builds the one-shot aggregate query computing every
+// Aggregates column (count/min/max/mean/p50/p99 per field) — what the
+// legacy path fetched row by row and folded client-side.
+func summaryQuery(measurement string, tags map[string]string, fields []string) *tsdb.Query {
+	var aggs []tsdb.Aggregate
+	for _, f := range dedupeSorted(fields) {
+		aggs = append(aggs,
+			tsdb.Aggregate{Fn: "count", Field: f},
+			tsdb.Aggregate{Fn: "min", Field: f},
+			tsdb.Aggregate{Fn: "max", Field: f},
+			tsdb.Aggregate{Fn: "mean", Field: f},
+			tsdb.Aggregate{Fn: "p", Field: f, Pct: 50},
+			tsdb.Aggregate{Fn: "p", Field: f, Pct: 99},
+		)
+	}
+	return &tsdb.Query{Aggregates: aggs, Measurement: measurement, TagFilter: tags}
+}
+
+// summaryFromResult maps the aggregate query's single row back into
+// Aggregates values, skipping fields with no samples (the legacy fold
+// never emitted a row for an absent field).
+func summaryFromResult(measurement string, fields []string, res *tsdb.Result) []Aggregates {
+	if res == nil || len(res.Rows) == 0 {
+		return nil
+	}
+	row := res.Rows[0]
+	var out []Aggregates
+	for _, f := range dedupeSorted(fields) {
+		col := func(fn string, pct float64) float64 {
+			return row.Values[tsdb.Aggregate{Fn: fn, Field: f, Pct: pct}.Column()]
+		}
+		cnt := col("count", 0)
+		if cnt == 0 {
+			continue
+		}
+		out = append(out, Aggregates{
+			Measurement: measurement,
+			Field:       f,
+			Count:       int(cnt),
+			Min:         col("min", 0),
+			Max:         col("max", 0),
+			Mean:        col("mean", 0),
+			P50:         col("p", 50),
+			P99:         col("p", 99),
+		})
+	}
+	return out
+}
+
 func quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -126,6 +203,17 @@ func (s *SuperDB) ReportObservation(o *kb.Observation, local *tsdb.DB, mode Repo
 	var aggs []Aggregates
 	rawPoints := 0
 	for _, m := range o.Metrics {
+		if mode == ModeAGG && !hasStar(m.Fields) {
+			// One aggregate query computes the whole summary on the
+			// engine instead of materializing raw rows to fold here.
+			sq := summaryQuery(m.Measurement, map[string]string{"tag": o.Tag}, m.Fields)
+			res, err := local.ExecuteContext(context.Background(), tsdb.QueryRequest{Query: sq})
+			if err != nil {
+				return fmt.Errorf("superdb: aggregate %s: %w", m.Measurement, err)
+			}
+			aggs = append(aggs, summaryFromResult(m.Measurement, m.Fields, res)...)
+			continue
+		}
 		q := &tsdb.Query{
 			Fields:      m.Fields,
 			Measurement: m.Measurement,

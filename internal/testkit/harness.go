@@ -64,9 +64,25 @@ type Result struct {
 	RecoveredReady bool
 	Logs           *logbuf.Logger
 
+	// QueryOutcomes holds one entry per completed tick for
+	// QueryEveryTick scenarios. Whether a query succeeds near a
+	// partition boundary depends on wall-clock read timeouts, so
+	// outcomes live here and never in the event log — replay stays
+	// byte-identical with queries on or off.
+	QueryOutcomes []QueryOutcome
+
 	// SessionErr records a session abort (expected for non-degraded
 	// scenarios whose sink dies); the log keeps the events up to it.
 	SessionErr error
+}
+
+// QueryOutcome records one per-tick aggregate query through the
+// resilient client: whether the wire round trip succeeded and how many
+// windows the result carried.
+type QueryOutcome struct {
+	Tick uint64
+	OK   bool
+	Rows int
 }
 
 // harness is the live stack of one simulation run.
@@ -369,6 +385,9 @@ func (h *harness) drive() error {
 		if h.sc.Expose {
 			h.res.ReadyStates = append(h.res.ReadyStates, h.ready())
 		}
+		if h.sc.QueryEveryTick {
+			h.res.QueryOutcomes = append(h.res.QueryOutcomes, h.queryTick(ctx, tick))
+		}
 		h.res.Log.Append(h.tickEvent(tick))
 	}
 	if h.sc.Expose && h.res.SessionErr == nil {
@@ -393,6 +412,23 @@ func (h *harness) recoverReady() {
 		h.col.Replay()
 		time.Sleep(10 * time.Millisecond)
 	}
+}
+
+// queryTick runs the per-tick aggregate probe through the resilient
+// client. An error is an outcome, not a harness failure: during a
+// partition window the query SHOULD fail, and the chaos scenarios
+// assert exactly that shape around the fault boundaries.
+func (h *harness) queryTick(ctx context.Context, tick uint64) QueryOutcome {
+	stmt := fmt.Sprintf(`SELECT count(%q), mean(%q) FROM %q WHERE tag=%q GROUP BY time(1s)`,
+		"_cpu0", "_cpu0", h.res.Measurements[0], "testkit")
+	out := QueryOutcome{Tick: tick}
+	res, err := h.tsdbClient.QueryContext(ctx, stmt)
+	if err != nil {
+		return out
+	}
+	out.OK = true
+	out.Rows = len(res.Rows)
+	return out
 }
 
 // tickEvent snapshots the collector's cumulative accounting.

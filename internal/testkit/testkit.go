@@ -133,6 +133,14 @@ type Scenario struct {
 	// uphold the same conservation laws — equivalence scenarios run the
 	// same seed with and without it.
 	Unbatched bool
+	// QueryEveryTick issues one wire-level aggregate query per completed
+	// tick through the resilient tsdb client (count+mean over the first
+	// session measurement), exercising the query engine under the same
+	// fault schedule the writes face. Outcomes land in
+	// Result.QueryOutcomes ONLY, never the event log: whether a query
+	// succeeds during a partition window depends on wall-clock read
+	// timeouts, and the log must replay byte-identically.
+	QueryEveryTick bool
 }
 
 // defaultMetrics is the harness load when Scenario.Load.Metrics is empty.

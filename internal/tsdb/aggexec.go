@@ -1,0 +1,346 @@
+package tsdb
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Aggregation execution: a parsed aggregate query is planned into one
+// scan per field, the matching span of the (time-sorted) series is
+// located by binary search, split into contiguous stripes, and the
+// stripes are scanned by a bounded worker pool — each worker folds its
+// stripes into partial per-window aggregates, and the coordinator
+// merges partials in stripe order so the result is deterministic for a
+// fixed dataset regardless of scheduling. Workers observe context
+// cancellation between stripes, never mid-stripe, so a cancelled query
+// releases the shard read lock promptly without tearing any partial.
+//
+// The scan holds the owning shard's RLock for its whole duration:
+// series.add shifts points in place on out-of-order inserts, so
+// workers may not retain the slice past the lock. Writers to other
+// measurements (other stripes of the measurement map) are unaffected.
+
+// aggStripeSize is the stripe granularity of the parallel scan — small
+// enough that cancellation is responsive and stripes load-balance,
+// large enough that per-stripe bookkeeping is noise.
+const aggStripeSize = 4096
+
+// fieldAgg is the partial aggregate of one field within one window.
+type fieldAgg struct {
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+	samples []float64 // retained only when a percentile asks for the distribution
+}
+
+func (fa *fieldAgg) observe(v float64, keepSamples bool) {
+	if fa.count == 0 {
+		fa.min, fa.max = v, v
+	} else {
+		if v < fa.min {
+			fa.min = v
+		}
+		if v > fa.max {
+			fa.max = v
+		}
+	}
+	fa.count++
+	fa.sum += v
+	if keepSamples {
+		fa.samples = append(fa.samples, v)
+	}
+}
+
+// merge folds o into fa. Partials are merged in stripe order, so the
+// fold order — and with it the floating-point sum — is deterministic.
+func (fa *fieldAgg) merge(o *fieldAgg) {
+	if o.count == 0 {
+		return
+	}
+	if fa.count == 0 {
+		fa.min, fa.max = o.min, o.max
+	} else {
+		if o.min < fa.min {
+			fa.min = o.min
+		}
+		if o.max > fa.max {
+			fa.max = o.max
+		}
+	}
+	fa.count += o.count
+	fa.sum += o.sum
+	fa.samples = append(fa.samples, o.samples...)
+}
+
+// aggPlan is the execution plan of an aggregate query: the distinct
+// fields to observe and, per field, whether percentiles force sample
+// retention.
+type aggPlan struct {
+	fields      []string
+	keepSamples []bool
+	fieldIdx    map[string]int
+}
+
+func planAggregates(q *Query) *aggPlan {
+	p := &aggPlan{fieldIdx: map[string]int{}}
+	for _, a := range q.Aggregates {
+		i, ok := p.fieldIdx[a.Field]
+		if !ok {
+			i = len(p.fields)
+			p.fieldIdx[a.Field] = i
+			p.fields = append(p.fields, a.Field)
+			p.keepSamples = append(p.keepSamples, false)
+		}
+		if a.Fn == "p" {
+			p.keepSamples[i] = true
+		}
+	}
+	return p
+}
+
+// windowStart floors t to the start of its GROUP BY window (Euclidean
+// floor, so negative timestamps window consistently).
+func windowStart(t, w int64) int64 {
+	q := t / w
+	if t%w != 0 && t < 0 {
+		q--
+	}
+	return q * w
+}
+
+// windowAggs is the per-window state of one scan stripe: window start
+// → one fieldAgg per planned field.
+type windowAggs map[int64][]fieldAgg
+
+// scanStripe folds pts[lo:hi] into per-window partial aggregates.
+func scanStripe(pts []Point, lo, hi int, q *Query, plan *aggPlan) windowAggs {
+	out := windowAggs{}
+	for i := lo; i < hi; i++ {
+		p := &pts[i]
+		if q.From != 0 && p.Time < q.From {
+			continue
+		}
+		if q.To != 0 && p.Time > q.To {
+			continue
+		}
+		match := true
+		for k, v := range q.TagFilter {
+			if p.Tags[k] != v {
+				match = false
+				break
+			}
+		}
+		if !match {
+			continue
+		}
+		win := int64(0)
+		if q.GroupBy > 0 {
+			win = windowStart(p.Time, q.GroupBy)
+		}
+		states := out[win]
+		if states == nil {
+			states = make([]fieldAgg, len(plan.fields))
+			out[win] = states
+		}
+		for fi, f := range plan.fields {
+			if v, ok := p.Fields[f]; ok {
+				states[fi].observe(v, plan.keepSamples[fi])
+			}
+		}
+	}
+	return out
+}
+
+// quantile returns the q∈[0,1] quantile of sorted by linear
+// interpolation — the same estimator internal/superdb reports, so
+// engine percentiles and the legacy client-side fold agree.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(i)
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// value renders one aggregate from its merged field state. Valid only
+// when fa.count > 0 (except count, which is always defined).
+func (a Aggregate) value(fa *fieldAgg) float64 {
+	switch a.Fn {
+	case "count":
+		return float64(fa.count)
+	case "sum":
+		return fa.sum
+	case "min":
+		return fa.min
+	case "max":
+		return fa.max
+	case "mean":
+		return fa.sum / float64(fa.count)
+	case "p":
+		s := append([]float64(nil), fa.samples...)
+		sort.Float64s(s)
+		return quantile(s, a.Pct/100)
+	}
+	return math.NaN()
+}
+
+// aggColumns is the result column list, in query order.
+func aggColumns(q *Query) []string {
+	cols := make([]string, len(q.Aggregates))
+	for i, a := range q.Aggregates {
+		cols[i] = a.Column()
+	}
+	return cols
+}
+
+// defaultQueryWorkers bounds the scan pool when the request does not
+// pin one: the machine's parallelism, capped at the shard width.
+func defaultQueryWorkers() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > NumShards {
+		w = NumShards
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// execAggregate runs an aggregate query. The caller has validated that
+// q carries only aggregates.
+func (db *DB) execAggregate(ctx context.Context, q *Query, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = defaultQueryWorkers()
+	}
+	plan := planAggregates(q)
+	res := &Result{Measurement: q.Measurement, Columns: aggColumns(q)}
+
+	sh := db.shardFor(q.Measurement)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.measurements[q.Measurement]
+	if s == nil {
+		return res, nil
+	}
+	pts := s.points
+	// The series is time-sorted: binary-search the matching span.
+	lo, hi := 0, len(pts)
+	if q.From != 0 {
+		lo = sort.Search(len(pts), func(i int) bool { return pts[i].Time >= q.From })
+	}
+	if q.To != 0 {
+		hi = sort.Search(len(pts), func(i int) bool { return pts[i].Time > q.To })
+	}
+	if lo >= hi {
+		return res, nil
+	}
+
+	span := hi - lo
+	nstripes := (span + aggStripeSize - 1) / aggStripeSize
+	if workers > nstripes {
+		workers = nstripes
+	}
+
+	var merged windowAggs
+	if workers == 1 {
+		// Sequential path: one fold over the span, no pool.
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tsdb: query: %w", err)
+		}
+		merged = scanStripe(pts, lo, hi, q, plan)
+	} else {
+		partials := make([]windowAggs, nstripes)
+		var next int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					if ctx.Err() != nil {
+						return
+					}
+					i := int(atomic.AddInt64(&next, 1) - 1)
+					if i >= nstripes {
+						return
+					}
+					slo := lo + i*aggStripeSize
+					shi := slo + aggStripeSize
+					if shi > hi {
+						shi = hi
+					}
+					partials[i] = scanStripe(pts, slo, shi, q, plan)
+				}
+			}()
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("tsdb: query: %w", err)
+		}
+		merged = windowAggs{}
+		for _, part := range partials {
+			for win, states := range part {
+				dst := merged[win]
+				if dst == nil {
+					dst = make([]fieldAgg, len(plan.fields))
+					merged[win] = dst
+				}
+				for fi := range states {
+					dst[fi].merge(&states[fi])
+				}
+			}
+		}
+	}
+
+	wins := make([]int64, 0, len(merged))
+	for w := range merged {
+		wins = append(wins, w)
+	}
+	sort.Slice(wins, func(i, j int) bool { return wins[i] < wins[j] })
+	for _, win := range wins {
+		states := merged[win]
+		any := false
+		for fi := range states {
+			if states[fi].count > 0 {
+				any = true
+				break
+			}
+		}
+		if !any {
+			continue
+		}
+		t := win
+		if q.GroupBy <= 0 {
+			t = q.From
+		}
+		row := Row{Time: t, Values: map[string]float64{}}
+		for _, a := range q.Aggregates {
+			fa := &states[plan.fieldIdx[a.Field]]
+			if a.Fn == "count" {
+				row.Values[a.Column()] = float64(fa.count)
+				continue
+			}
+			if fa.count == 0 {
+				continue
+			}
+			row.Values[a.Column()] = a.value(fa)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}

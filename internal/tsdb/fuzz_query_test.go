@@ -1,0 +1,100 @@
+package tsdb
+
+import (
+	"testing"
+)
+
+// queriesEqual compares parsed queries structurally. Float comparison
+// uses == (percentiles are finite by construction: aggFn bounds them
+// to [0,100], rejecting NaN).
+func queriesEqual(a, b *Query) bool {
+	if a.Measurement != b.Measurement || a.From != b.From || a.To != b.To ||
+		a.GroupBy != b.GroupBy ||
+		len(a.Fields) != len(b.Fields) || len(a.Aggregates) != len(b.Aggregates) ||
+		len(a.TagFilter) != len(b.TagFilter) {
+		return false
+	}
+	for i := range a.Fields {
+		if a.Fields[i] != b.Fields[i] {
+			return false
+		}
+	}
+	for i := range a.Aggregates {
+		if a.Aggregates[i] != b.Aggregates[i] {
+			return false
+		}
+	}
+	for k, v := range a.TagFilter {
+		if bv, ok := b.TagFilter[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzParseQuery asserts the query parser's contract over arbitrary
+// statements: never panic, and every accepted statement renders to a
+// canonical form (Query.String — the query-cache key) that parses back
+// to the same query, byte-stably. The canonical form must be a fixed
+// point: parse → String → parse → String yields identical text, or the
+// cache would key the same plan under different strings.
+func FuzzParseQuery(f *testing.F) {
+	f.Add(`SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle" WHERE tag="278e26c2"`)
+	f.Add(`SELECT * FROM "m"`)
+	f.Add(`SELECT mean("_cpu0") FROM "m" GROUP BY time(5s)`)
+	f.Add(`SELECT p99("f"), count("f") FROM "m" WHERE tag="x" AND time >= 5 AND time <= 99 GROUP BY time(250ms)`)
+	f.Add(`SELECT p99.9("f") FROM "m"`)
+	f.Add(`SELECT sum("f") FROM "m" GROUP BY time(300000000000)`)
+	f.Add(`select min("f"), max("f") from "m" where "time"="tagval"`)
+	f.Add(`SELECT "f" FROM "m" WHERE k='raw val' AND time = 7`)
+	f.Add(`SELECT "a\"b" FROM "m\\n"`)
+	f.Add(`SELECT count("f") FROM "m" WHERE "and"="x" AND "group"="y"`)
+	f.Add(`SELECT mean("f") FROM "m" WHERE time >= -5 GROUP BY time(1h30m)`)
+	f.Add(`SELECT "f" FROM "m" WHERE tag<"x"`)
+	f.Add(`SELECT FROM "m"`)
+	f.Add(`SELECT mean("f"), "g" FROM "m"`)
+	f.Add(`SELECT pNaN("f") FROM "m"`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, stmt string) {
+		q, err := ParseQuery(stmt)
+		if err != nil {
+			return // rejection is a valid outcome; panics are not
+		}
+		canon := q.String()
+		q2, err := ParseQuery(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not parse: %v", canon, stmt, err)
+		}
+		if !queriesEqual(q, q2) {
+			t.Fatalf("round trip changed the query:\n first: %+v\nsecond: %+v\n  stmt: %q\n canon: %q", q, q2, stmt, canon)
+		}
+		canon2 := q2.String()
+		if canon2 != canon {
+			t.Fatalf("canonical form unstable: %q then %q (stmt %q)", canon, canon2, stmt)
+		}
+		// Shape invariants every accepted query upholds.
+		if len(q.Fields) > 0 && len(q.Aggregates) > 0 {
+			t.Fatalf("accepted mixed raw/aggregate query %q: %+v", stmt, q)
+		}
+		if len(q.Fields) == 0 && len(q.Aggregates) == 0 {
+			t.Fatalf("accepted empty field list %q: %+v", stmt, q)
+		}
+		if q.GroupBy > 0 && len(q.Aggregates) == 0 {
+			t.Fatalf("accepted GROUP BY without aggregates %q: %+v", stmt, q)
+		}
+		if q.GroupBy < 0 {
+			t.Fatalf("accepted negative GROUP BY %q: %+v", stmt, q)
+		}
+		for _, a := range q.Aggregates {
+			switch a.Fn {
+			case "mean", "min", "max", "sum", "count":
+			case "p":
+				if !(a.Pct >= 0 && a.Pct <= 100) {
+					t.Fatalf("percentile out of range in %q: %+v", stmt, a)
+				}
+			default:
+				t.Fatalf("unknown aggregate fn in %q: %+v", stmt, a)
+			}
+		}
+	})
+}

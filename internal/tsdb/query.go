@@ -2,29 +2,94 @@ package tsdb
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// Query is the SELECT subset P-MoVE auto-generates (Listing 3):
+// Aggregate is one aggregation column of a SELECT: fn applied to a
+// field. Fn is one of "mean", "min", "max", "sum", "count" or "p"
+// (percentile, with Pct in [0,100] — p50, p99, p99.9 …).
+type Aggregate struct {
+	Fn    string
+	Field string
+	// Pct is the percentile when Fn == "p"; ignored otherwise.
+	Pct float64
+}
+
+// fnLabel renders the function name ("mean", "p99", "p99.9", …).
+func (a Aggregate) fnLabel() string {
+	if a.Fn == "p" {
+		return "p" + strconv.FormatFloat(a.Pct, 'f', -1, 64)
+	}
+	return a.Fn
+}
+
+// Column is the result-column name of the aggregate, e.g. "mean(_cpu0)".
+func (a Aggregate) Column() string {
+	return a.fnLabel() + "(" + a.Field + ")"
+}
+
+// Query is the SELECT subset P-MoVE auto-generates (Listing 3), plus
+// the aggregation surface the dashboards fold it into:
 //
 //	SELECT "_cpu0", "_cpu1" FROM "kernel_percpu_cpu_idle"
 //	    WHERE tag="278e26c2-..." [AND time >= <ns> AND time <= <ns>]
 //
-// Fields may be "*". Tag comparisons are equality only.
+//	SELECT mean("_cpu0"), p99("_cpu0") FROM "kernel_percpu_cpu_idle"
+//	    WHERE tag="278e26c2-..." GROUP BY time(5s)
+//
+// Fields may be "*". Tag comparisons are equality only. A query holds
+// either raw Fields or Aggregates, never both.
 type Query struct {
 	Fields      []string
+	Aggregates  []Aggregate
 	Measurement string
 	TagFilter   map[string]string
 	From, To    int64 // ns bounds; 0 = unbounded
+	// GroupBy is the window width in nanoseconds (GROUP BY time(...));
+	// 0 folds the whole time range into one row. Valid only with
+	// Aggregates.
+	GroupBy int64
 }
 
-// String renders the query back to its canonical text form.
+// queryKeywords are the bare words the parser claims; tag keys that
+// collide must be quoted in the canonical rendering.
+var queryKeywords = map[string]bool{
+	"select": true, "from": true, "where": true, "and": true,
+	"group": true, "by": true, "time": true,
+}
+
+// bareKeySafe reports whether a tag key re-tokenizes as the same single
+// bare word — otherwise the canonical form quotes it.
+func bareKeySafe(k string) bool {
+	if k == "" {
+		return false
+	}
+	if queryKeywords[strings.ToLower(k)] {
+		return false
+	}
+	return !strings.ContainsAny(k, tokenStops)
+}
+
+// String renders the query back to its canonical text form: aggregate
+// columns before raw fields, WHERE conditions with tag keys sorted,
+// time bounds last, then GROUP BY. ParseQuery(q.String()) reproduces q
+// exactly, and the rendering is the query-cache key.
 func (q *Query) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")
-	for i, f := range q.Fields {
-		if i > 0 {
+	n := 0
+	for _, a := range q.Aggregates {
+		if n > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s(%q)", a.fnLabel(), a.Field)
+		n++
+	}
+	for _, f := range q.Fields {
+		if n > 0 {
 			b.WriteString(", ")
 		}
 		if f == "*" {
@@ -32,11 +97,21 @@ func (q *Query) String() string {
 		} else {
 			fmt.Fprintf(&b, "%q", f)
 		}
+		n++
 	}
 	fmt.Fprintf(&b, " FROM %q", q.Measurement)
+	keys := make([]string, 0, len(q.TagFilter))
+	for k := range q.TagFilter {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var conds []string
-	for k, v := range q.TagFilter {
-		conds = append(conds, fmt.Sprintf("%s=%q", k, v))
+	for _, k := range keys {
+		kk := k
+		if !bareKeySafe(k) {
+			kk = strconv.Quote(k)
+		}
+		conds = append(conds, fmt.Sprintf("%s=%q", kk, q.TagFilter[k]))
 	}
 	if q.From != 0 {
 		conds = append(conds, fmt.Sprintf("time >= %d", q.From))
@@ -48,8 +123,14 @@ func (q *Query) String() string {
 		b.WriteString(" WHERE ")
 		b.WriteString(strings.Join(conds, " AND "))
 	}
+	if q.GroupBy > 0 {
+		fmt.Fprintf(&b, " GROUP BY time(%s)", time.Duration(q.GroupBy))
+	}
 	return b.String()
 }
+
+// tokenStops are the bytes that terminate a bare word.
+const tokenStops = " \t\n,=<>*\"'()"
 
 // tokenizer for the query text.
 type tokenizer struct {
@@ -63,8 +144,10 @@ func (t *tokenizer) skipSpace() {
 	}
 }
 
-// next returns the next token: a quoted string (unquoted), a symbol
-// (, = < > ), or a bare word.
+// next returns the next token: a quoted string (decoded), a symbol
+// (, = < > ( ) *), or a bare word. Double-quoted strings honour Go
+// escape sequences (the canonical renderer emits %q); single-quoted
+// strings are taken raw for line-protocol compatibility.
 func (t *tokenizer) next() (string, bool, error) {
 	t.skipSpace()
 	if t.pos >= len(t.s) {
@@ -72,10 +155,26 @@ func (t *tokenizer) next() (string, bool, error) {
 	}
 	c := t.s[t.pos]
 	switch c {
-	case '"', '\'':
-		quote := c
+	case '"':
 		end := t.pos + 1
-		for end < len(t.s) && t.s[end] != quote {
+		for end < len(t.s) && t.s[end] != '"' {
+			if t.s[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(t.s) {
+			return "", false, fmt.Errorf("tsdb: unterminated quote at %d", t.pos)
+		}
+		tok, uerr := strconv.Unquote(t.s[t.pos : end+1])
+		if uerr != nil {
+			return "", false, fmt.Errorf("tsdb: bad quoted string at %d: %v", t.pos, uerr)
+		}
+		t.pos = end + 1
+		return tok, true, nil
+	case '\'':
+		end := t.pos + 1
+		for end < len(t.s) && t.s[end] != '\'' {
 			end++
 		}
 		if end >= len(t.s) {
@@ -84,7 +183,7 @@ func (t *tokenizer) next() (string, bool, error) {
 		tok := t.s[t.pos+1 : end]
 		t.pos = end + 1
 		return tok, true, nil
-	case ',', '=', '*':
+	case ',', '=', '*', '(', ')':
 		t.pos++
 		return string(c), false, nil
 	case '<', '>':
@@ -96,7 +195,7 @@ func (t *tokenizer) next() (string, bool, error) {
 		return string(c), false, nil
 	}
 	end := t.pos
-	for end < len(t.s) && !strings.ContainsRune(" \t\n,=<>*\"'", rune(t.s[end])) {
+	for end < len(t.s) && !strings.ContainsRune(tokenStops, rune(t.s[end])) {
 		end++
 	}
 	tok := t.s[t.pos:end]
@@ -104,7 +203,122 @@ func (t *tokenizer) next() (string, bool, error) {
 	return tok, false, nil
 }
 
-// ParseQuery parses the SELECT subset.
+// peek returns the next token without consuming it.
+func (t *tokenizer) peek() (string, bool, error) {
+	save := t.pos
+	tok, quoted, err := t.next()
+	t.pos = save
+	return tok, quoted, err
+}
+
+// aggFn resolves an aggregate function name: mean/min/max/sum/count,
+// or pNN with NN a percentile in [0,100].
+func aggFn(tok string) (string, float64, error) {
+	l := strings.ToLower(tok)
+	switch l {
+	case "mean", "min", "max", "sum", "count":
+		return l, 0, nil
+	}
+	if len(l) > 1 && l[0] == 'p' {
+		if v, err := strconv.ParseFloat(l[1:], 64); err == nil && v >= 0 && v <= 100 {
+			return "p", v, nil
+		}
+	}
+	return "", 0, fmt.Errorf("tsdb: unknown aggregate function %q", tok)
+}
+
+// parseAggregate consumes `(field)` after fn was recognised.
+func parseAggregate(tz *tokenizer, fn string, pct float64) (Aggregate, error) {
+	var a Aggregate
+	open, _, err := tz.next()
+	if err != nil {
+		return a, err
+	}
+	if open != "(" {
+		return a, fmt.Errorf("tsdb: expected '(' after aggregate function, got %q", open)
+	}
+	field, quoted, err := tz.next()
+	if err != nil {
+		return a, err
+	}
+	if field == "" && !quoted {
+		return a, fmt.Errorf("tsdb: aggregate has no field argument")
+	}
+	if field == "*" && !quoted {
+		return a, fmt.Errorf("tsdb: aggregates require a named field, not *")
+	}
+	closeTok, cq, err := tz.next()
+	if err != nil {
+		return a, err
+	}
+	if cq || closeTok != ")" {
+		return a, fmt.Errorf("tsdb: expected ')' closing aggregate, got %q", closeTok)
+	}
+	return Aggregate{Fn: fn, Field: field, Pct: pct}, nil
+}
+
+// parseGroupBy consumes `BY time(<interval>)` after GROUP was read.
+// The interval is a Go duration ("5s", "1m30s") or a raw nanosecond
+// integer; it must be positive.
+func parseGroupBy(tz *tokenizer) (int64, error) {
+	by, bq, err := tz.next()
+	if err != nil {
+		return 0, err
+	}
+	if bq || !strings.EqualFold(by, "by") {
+		return 0, fmt.Errorf("tsdb: expected BY after GROUP, got %q", by)
+	}
+	tw, tq, err := tz.next()
+	if err != nil {
+		return 0, err
+	}
+	if tq || !strings.EqualFold(tw, "time") {
+		return 0, fmt.Errorf("tsdb: GROUP BY supports only time(...), got %q", tw)
+	}
+	open, _, err := tz.next()
+	if err != nil {
+		return 0, err
+	}
+	if open != "(" {
+		return 0, fmt.Errorf("tsdb: expected '(' after GROUP BY time, got %q", open)
+	}
+	ival, iq, err := tz.next()
+	if err != nil {
+		return 0, err
+	}
+	if ival == "" && !iq {
+		return 0, fmt.Errorf("tsdb: GROUP BY time() has no interval")
+	}
+	var ns int64
+	if v, perr := strconv.ParseInt(ival, 10, 64); perr == nil {
+		ns = v
+	} else if d, derr := time.ParseDuration(ival); derr == nil {
+		ns = int64(d)
+	} else {
+		return 0, fmt.Errorf("tsdb: bad GROUP BY interval %q", ival)
+	}
+	if ns <= 0 {
+		return 0, fmt.Errorf("tsdb: GROUP BY interval must be positive, got %q", ival)
+	}
+	closeTok, cq, err := tz.next()
+	if err != nil {
+		return 0, err
+	}
+	if cq || closeTok != ")" {
+		return 0, fmt.Errorf("tsdb: expected ')' closing GROUP BY time, got %q", closeTok)
+	}
+	rest, rq, err := tz.next()
+	if err != nil {
+		return 0, err
+	}
+	if rest != "" || rq {
+		return 0, fmt.Errorf("tsdb: unexpected token %q after GROUP BY", rest)
+	}
+	return ns, nil
+}
+
+// ParseQuery parses the SELECT subset (raw fields or aggregate calls,
+// equality tag filters, time bounds, GROUP BY time windowing).
 func ParseQuery(stmt string) (*Query, error) {
 	tz := &tokenizer{s: stmt}
 	word, _, err := tz.next()
@@ -115,69 +329,108 @@ func ParseQuery(stmt string) (*Query, error) {
 		return nil, fmt.Errorf("tsdb: expected SELECT, got %q", word)
 	}
 	q := &Query{TagFilter: map[string]string{}}
-	// Field list.
+	// Field list: raw fields, or aggregate calls fn(field).
 	for {
 		tok, quoted, err := tz.next()
 		if err != nil {
 			return nil, err
 		}
-		if tok == "" {
+		if tok == "" && !quoted {
 			return nil, fmt.Errorf("tsdb: unexpected end of query in field list")
 		}
 		if !quoted && strings.EqualFold(tok, "from") {
 			break
 		}
-		if tok == "," {
+		if !quoted && tok == "," {
 			continue
+		}
+		if !quoted {
+			if nxt, nq, perr := tz.peek(); perr == nil && !nq && nxt == "(" {
+				fn, pct, ferr := aggFn(tok)
+				if ferr != nil {
+					return nil, ferr
+				}
+				a, aerr := parseAggregate(tz, fn, pct)
+				if aerr != nil {
+					return nil, aerr
+				}
+				q.Aggregates = append(q.Aggregates, a)
+				continue
+			}
 		}
 		q.Fields = append(q.Fields, tok)
 	}
-	if len(q.Fields) == 0 {
+	if len(q.Fields) == 0 && len(q.Aggregates) == 0 {
 		return nil, fmt.Errorf("tsdb: empty field list")
 	}
+	if len(q.Fields) > 0 && len(q.Aggregates) > 0 {
+		return nil, fmt.Errorf("tsdb: cannot mix raw fields and aggregates in one SELECT")
+	}
 	// Measurement.
-	meas, _, err := tz.next()
+	meas, mq, err := tz.next()
 	if err != nil {
 		return nil, err
 	}
-	if meas == "" {
+	if meas == "" && !mq {
 		return nil, fmt.Errorf("tsdb: missing measurement after FROM")
 	}
 	q.Measurement = meas
-	// Optional WHERE.
-	tok, _, err := tz.next()
+	// Optional WHERE / GROUP BY.
+	tok, tq, err := tz.next()
 	if err != nil {
 		return nil, err
 	}
-	if tok == "" {
+	switch {
+	case tok == "" && !tq:
 		return q, nil
-	}
-	if !strings.EqualFold(tok, "where") {
+	case !tq && strings.EqualFold(tok, "group"):
+		gb, gerr := parseGroupBy(tz)
+		if gerr != nil {
+			return nil, gerr
+		}
+		q.GroupBy = gb
+		if len(q.Aggregates) == 0 {
+			return nil, fmt.Errorf("tsdb: GROUP BY time requires aggregate fields")
+		}
+		return q, nil
+	case !tq && strings.EqualFold(tok, "where"):
+	default:
 		return nil, fmt.Errorf("tsdb: expected WHERE, got %q", tok)
 	}
 	for {
-		key, _, err := tz.next()
+		key, kq, err := tz.next()
 		if err != nil {
 			return nil, err
 		}
-		if key == "" {
+		if key == "" && !kq {
 			break
 		}
-		if strings.EqualFold(key, "and") {
+		if !kq && strings.EqualFold(key, "and") {
 			continue
+		}
+		if !kq && strings.EqualFold(key, "group") {
+			gb, gerr := parseGroupBy(tz)
+			if gerr != nil {
+				return nil, gerr
+			}
+			q.GroupBy = gb
+			if len(q.Aggregates) == 0 {
+				return nil, fmt.Errorf("tsdb: GROUP BY time requires aggregate fields")
+			}
+			return q, nil
 		}
 		op, _, err := tz.next()
 		if err != nil {
 			return nil, err
 		}
-		val, _, err := tz.next()
+		val, vq, err := tz.next()
 		if err != nil {
 			return nil, err
 		}
-		if val == "" {
+		if val == "" && !vq {
 			return nil, fmt.Errorf("tsdb: condition on %q has no value", key)
 		}
-		if strings.EqualFold(key, "time") {
+		if !kq && strings.EqualFold(key, "time") {
 			ns, perr := strconv.ParseInt(val, 10, 64)
 			if perr != nil {
 				return nil, fmt.Errorf("tsdb: bad time literal %q: %v", val, perr)

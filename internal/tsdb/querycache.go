@@ -1,0 +1,200 @@
+package tsdb
+
+import (
+	"container/list"
+	"sync"
+
+	"pmove/internal/introspect"
+)
+
+// queryCache memoizes aggregate query results keyed on the canonical
+// Query.String() rendering. Correctness is version-based: a reader
+// snapshots the queried measurement's version BEFORE scanning, and the
+// fill is accepted only if the version is unchanged when the scan
+// completes — a write that lands mid-scan bumps the version (before
+// the write is acknowledged), so a stale fill is rejected instead of
+// cached. A cache hit therefore never returns data older than the last
+// acknowledged write to that measurement.
+//
+// The cache is a bounded LRU; hit/miss/evict/invalidation counts are
+// exported as pmove.self.query.cache.* when introspection is attached.
+type queryCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List               // front = most recently used
+	entries map[string]*list.Element // canonical statement → element
+	byMeas  map[string]map[string]struct{}
+	// versions counts acknowledged invalidations per measurement. A
+	// measurement is registered on first read so a later invalidation
+	// (including invalidateAll) always outruns an in-flight fill.
+	versions map[string]uint64
+
+	hits, misses, evictions, invalidations *introspect.Counter
+}
+
+type cacheEntry struct {
+	key         string
+	measurement string
+	res         *Result
+}
+
+// defaultQueryCacheCap bounds the cache; dashboards re-issue a small
+// working set of canonical queries, so a few hundred entries suffice.
+const defaultQueryCacheCap = 256
+
+func newQueryCache(capacity int) *queryCache {
+	if capacity <= 0 {
+		capacity = defaultQueryCacheCap
+	}
+	return &queryCache{
+		cap:      capacity,
+		lru:      list.New(),
+		entries:  map[string]*list.Element{},
+		byMeas:   map[string]map[string]struct{}{},
+		versions: map[string]uint64{},
+	}
+}
+
+// setIntrospection attaches the self-observability counters. All
+// counter methods are nil-safe, so the cache works unwired.
+func (c *queryCache) setIntrospection(in *introspect.Introspector) {
+	m := in.Metrics()
+	c.mu.Lock()
+	c.hits = m.Counter("query.cache.hits")
+	c.misses = m.Counter("query.cache.misses")
+	c.evictions = m.Counter("query.cache.evictions")
+	c.invalidations = m.Counter("query.cache.invalidations")
+	c.mu.Unlock()
+}
+
+// version snapshots (registering if new) the measurement's version.
+// Callers take it before scanning and hand it back to put.
+func (c *queryCache) version(measurement string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.versions[measurement]
+	if !ok {
+		// Register so invalidateAll bumps this measurement too, even if
+		// no targeted write ever touches it (retention drops).
+		c.versions[measurement] = 0
+	}
+	return v
+}
+
+// get returns a deep copy of the cached result for key, if any.
+func (c *queryCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	res := el.Value.(*cacheEntry).res
+	c.hits.Inc()
+	c.mu.Unlock()
+	return copyResult(res), true
+}
+
+// put caches res under key iff the measurement's version still equals
+// the pre-scan snapshot — otherwise a write landed mid-scan and the
+// fill is discarded. The cached copy is private; get copies on the way
+// out and callers keep their own copy on the way in.
+func (c *queryCache) put(key, measurement string, version uint64, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.versions[measurement] != version {
+		return
+	}
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&cacheEntry{key: key, measurement: measurement, res: res})
+	c.entries[key] = el
+	set := c.byMeas[measurement]
+	if set == nil {
+		set = map[string]struct{}{}
+		c.byMeas[measurement] = set
+	}
+	set[key] = struct{}{}
+	for c.lru.Len() > c.cap {
+		c.evictLocked(c.lru.Back())
+		c.evictions.Inc()
+	}
+}
+
+// evictLocked removes one element. Callers hold c.mu.
+func (c *queryCache) evictLocked(el *list.Element) {
+	if el == nil {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	if set := c.byMeas[e.measurement]; set != nil {
+		delete(set, e.key)
+		if len(set) == 0 {
+			delete(c.byMeas, e.measurement)
+		}
+	}
+}
+
+// invalidate drops every cached result for the measurement and bumps
+// its version. Writers call it after the write is visible in memory
+// and before acknowledging, so acknowledged data is never shadowed by
+// a stale hit.
+func (c *queryCache) invalidate(measurement string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.versions[measurement]++
+	c.invalidations.Inc()
+	set := c.byMeas[measurement]
+	for key := range set {
+		c.evictLocked(c.entries[key])
+	}
+}
+
+// invalidateAll drops everything and bumps every registered version —
+// the retention enforcer's path, where many measurements shrink at
+// once.
+func (c *queryCache) invalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for m := range c.versions {
+		c.versions[m]++
+	}
+	c.invalidations.Inc()
+	for c.lru.Len() > 0 {
+		c.evictLocked(c.lru.Back())
+	}
+}
+
+// stats returns the live entry count (tests and Stats surfaces).
+func (c *queryCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// copyResult deep-copies a result so cache-resident rows are never
+// aliased by callers.
+func copyResult(res *Result) *Result {
+	out := &Result{
+		Measurement: res.Measurement,
+		Columns:     append([]string(nil), res.Columns...),
+	}
+	if res.Rows != nil {
+		out.Rows = make([]Row, len(res.Rows))
+		for i, r := range res.Rows {
+			vals := make(map[string]float64, len(r.Values))
+			for k, v := range r.Values {
+				vals[k] = v
+			}
+			out.Rows[i] = Row{Time: r.Time, Values: vals}
+		}
+	}
+	return out
+}

@@ -94,6 +94,9 @@ func (s *Server) SetTracing(in *introspect.Introspector) {
 	s.mu.Lock()
 	s.in = in
 	s.mu.Unlock()
+	// The served DB's query-cache counters belong to the same
+	// self-observability plane (pmove.self.query.cache.*).
+	s.db.SetIntrospection(in)
 }
 
 func (s *Server) tracing() *introspect.Introspector {
@@ -374,8 +377,9 @@ func (s *Server) handleQuery(rest string, arrivalNanos int64, w *bufio.Writer) {
 	var res *Result
 	if err == nil {
 		var es *introspect.ActiveSpan
-		_, es = in.StartSpan(qctx, "tsdb.server.exec")
-		res, err = s.db.Execute(q)
+		var ectx context.Context
+		ectx, es = in.StartSpan(qctx, "tsdb.server.exec")
+		res, err = s.db.ExecuteContext(ectx, QueryRequest{Query: q})
 		es.End(err)
 	}
 	op.End(err)

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"sync"
 
+	"pmove/internal/introspect"
 	"pmove/internal/storage"
 )
 
@@ -168,15 +169,26 @@ type DB struct {
 	closed bool
 
 	shards [NumShards]shard
+
+	// qcache memoizes aggregate query results; writers invalidate it
+	// per measurement before acknowledging (see querycache.go).
+	qcache *queryCache
 }
 
 // New creates an empty database with an infinite retention policy.
 func New() *DB {
-	db := &DB{retention: RetentionPolicy{Name: "autogen"}}
+	db := &DB{retention: RetentionPolicy{Name: "autogen"}, qcache: newQueryCache(0)}
 	for i := range db.shards {
 		db.shards[i].measurements = make(map[string]*series)
 	}
 	return db
+}
+
+// SetIntrospection attaches the self-observability plane: query-cache
+// hit/miss/evict/invalidation counters land in the introspector's
+// registry as query.cache.* (exported with the pmove.self. prefix).
+func (db *DB) SetIntrospection(in *introspect.Introspector) {
+	db.qcache.setIntrospection(in)
 }
 
 // shardIndex stripes a measurement name with FNV-1a.
@@ -234,6 +246,9 @@ func (db *DB) WritePoint(p Point) error {
 	sh.mu.Lock()
 	sh.insertLocked(p)
 	sh.mu.Unlock()
+	// Invalidate after the point is visible and before acknowledging:
+	// a cache hit must never be older than an acknowledged write.
+	db.qcache.invalidate(p.Measurement)
 	return nil
 }
 
@@ -309,6 +324,16 @@ func (db *DB) WriteBatchContext(ctx context.Context, ps []Point) error {
 		if touched[s] {
 			db.shards[s].insertRun(ps, idx, s)
 		}
+	}
+	// Invalidate every written measurement after the batch is visible
+	// and before acknowledging (deduplicated — batches repeat names).
+	seen := make(map[string]struct{}, 4)
+	for i := range ps {
+		if _, ok := seen[ps[i].Measurement]; ok {
+			continue
+		}
+		seen[ps[i].Measurement] = struct{}{}
+		db.qcache.invalidate(ps[i].Measurement)
 	}
 	return nil
 }
@@ -416,6 +441,9 @@ func (db *DB) EnforceRetention(now int64) int {
 		}
 		sh.mu.Unlock()
 	}
+	if dropped > 0 {
+		db.qcache.invalidateAll()
+	}
 	return dropped
 }
 
@@ -440,6 +468,13 @@ type QueryRequest struct {
 	Statement string
 	// Query is a pre-parsed query.
 	Query *Query
+	// Workers bounds the parallel scan pool of an aggregate query;
+	// <= 0 selects min(GOMAXPROCS, NumShards). 1 forces the sequential
+	// single-goroutine scan.
+	Workers int
+	// SkipCache bypasses the query-result cache (both lookup and
+	// fill) — benchmarking and freshness-critical reads.
+	SkipCache bool
 }
 
 // Execute runs a parsed query with a background context.
@@ -459,7 +494,10 @@ func (db *DB) QueryString(stmt string) (*Result, error) {
 
 // ExecuteContext runs one query from its request form. Only the
 // stripe owning the queried measurement is locked, so reads never
-// block writers of other measurements.
+// block writers of other measurements. Aggregate queries run on the
+// parallel windowed engine (aggexec.go) behind the invalidation-
+// correct result cache (querycache.go); raw SELECTs materialize rows
+// on one goroutine as before.
 func (db *DB) ExecuteContext(ctx context.Context, req QueryRequest) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("tsdb: query: %w", err)
@@ -471,6 +509,33 @@ func (db *DB) ExecuteContext(ctx context.Context, req QueryRequest) (*Result, er
 		if err != nil {
 			return nil, err
 		}
+	}
+	// Pre-parsed queries arrive unvalidated; hold them to the same
+	// shape rules ParseQuery enforces.
+	if len(q.Aggregates) > 0 && len(q.Fields) > 0 {
+		return nil, fmt.Errorf("tsdb: cannot mix raw fields and aggregates in one SELECT")
+	}
+	if q.GroupBy > 0 && len(q.Aggregates) == 0 {
+		return nil, fmt.Errorf("tsdb: GROUP BY time requires aggregate fields")
+	}
+	if len(q.Aggregates) > 0 {
+		key := q.String()
+		if !req.SkipCache {
+			if res, ok := db.qcache.get(key); ok {
+				return res, nil
+			}
+		}
+		ver := db.qcache.version(q.Measurement)
+		res, err := db.execAggregate(ctx, q, req.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if !req.SkipCache {
+			// The cache keeps its own copy; the caller's result stays
+			// private either way.
+			db.qcache.put(key, q.Measurement, ver, copyResult(res))
+		}
+		return res, nil
 	}
 	sh := db.shardFor(q.Measurement)
 	sh.mu.RLock()

@@ -408,7 +408,19 @@ type (
 	BatcherConfig = tsdb.BatcherConfig
 	// QueryRequest is the request-struct form of a TSDB query.
 	QueryRequest = tsdb.QueryRequest
+	// Query is the parsed SELECT subset (raw fields or aggregates,
+	// equality tag filters, time bounds, GROUP BY time windowing).
+	Query = tsdb.Query
+	// Aggregate is one aggregation column of a Query
+	// (mean/min/max/sum/count/pNN of a field).
+	Aggregate = tsdb.Aggregate
+	// QueryResult is a query result: columns plus rows.
+	QueryResult = tsdb.Result
 )
+
+// ParseQuery parses a SELECT statement into its Query form; the
+// rendering Query.String is canonical (ParseQuery(q.String()) == q).
+func ParseQuery(stmt string) (*Query, error) { return tsdb.ParseQuery(stmt) }
 
 // NewBatcher starts an auto-batcher over any BatchWriter; cancelling
 // ctx stops its timer and aborts in-flight flush retries.
