@@ -11,24 +11,27 @@ import (
 )
 
 // Aggregation execution: a parsed aggregate query is planned into one
-// scan per field, the matching span of the (time-sorted) series is
-// located by binary search, split into contiguous stripes, and the
-// stripes are scanned by a bounded worker pool — each worker folds its
-// stripes into partial per-window aggregates, and the coordinator
-// merges partials in stripe order so the result is deterministic for a
-// fixed dataset regardless of scheduling. Workers observe context
-// cancellation between stripes, never mid-stripe, so a cancelled query
-// releases the shard read lock promptly without tearing any partial.
+// scan per field, the matching series of the measurement are split into
+// scan units — one per overlapping sealed block plus one per non-empty
+// head — and the units are scanned by a bounded worker pool. Each
+// worker folds its units into partial per-window aggregates, and the
+// coordinator merges partials in unit order so the result is
+// deterministic for a fixed dataset regardless of scheduling. Workers
+// observe context cancellation between units, never mid-unit, so a
+// cancelled query releases the shard read lock promptly without tearing
+// any partial.
+//
+// Sealed blocks give the scan two levels of shortcut: a block wholly
+// inside the query's time bounds whose rows share one GROUP BY window
+// folds straight from its footer (count/zeros/min/max/sum per field) —
+// no decompression at all — and every other block decodes ONCE into a
+// per-worker scratch buffer that is reused across units instead of
+// materializing []Point.
 //
 // The scan holds the owning shard's RLock for its whole duration:
-// series.add shifts points in place on out-of-order inserts, so
-// workers may not retain the slice past the lock. Writers to other
+// writers shift head columns in place on out-of-order inserts, so
+// workers may not retain head slices past the lock. Writers to other
 // measurements (other stripes of the measurement map) are unaffected.
-
-// aggStripeSize is the stripe granularity of the parallel scan — small
-// enough that cancellation is responsive and stripes load-balance,
-// large enough that per-stripe bookkeeping is noise.
-const aggStripeSize = 4096
 
 // fieldAgg is the partial aggregate of one field within one window.
 type fieldAgg struct {
@@ -57,7 +60,7 @@ func (fa *fieldAgg) observe(v float64, keepSamples bool) {
 	}
 }
 
-// merge folds o into fa. Partials are merged in stripe order, so the
+// merge folds o into fa. Partials are merged in unit order, so the
 // fold order — and with it the floating-point sum — is deterministic.
 func (fa *fieldAgg) merge(o *fieldAgg) {
 	if o.count == 0 {
@@ -78,13 +81,34 @@ func (fa *fieldAgg) merge(o *fieldAgg) {
 	fa.samples = append(fa.samples, o.samples...)
 }
 
+// foldFooter merges a sealed block's per-field footer into fa — the
+// whole-block fast path that never touches the compressed stream. The
+// footer's sum was accumulated in row order at seal time, so the fold
+// is the same association a decoded scan would produce.
+func (fa *fieldAgg) foldFooter(f *blockField) {
+	if fa.count == 0 {
+		fa.min, fa.max = f.min, f.max
+	} else {
+		if f.min < fa.min {
+			fa.min = f.min
+		}
+		if f.max > fa.max {
+			fa.max = f.max
+		}
+	}
+	fa.count += f.count
+	fa.sum += f.sum
+}
+
 // aggPlan is the execution plan of an aggregate query: the distinct
 // fields to observe and, per field, whether percentiles force sample
-// retention.
+// retention. anySamples disables the footer fast path — percentiles
+// need the raw distribution.
 type aggPlan struct {
 	fields      []string
 	keepSamples []bool
 	fieldIdx    map[string]int
+	anySamples  bool
 }
 
 func planAggregates(q *Query) *aggPlan {
@@ -99,6 +123,7 @@ func planAggregates(q *Query) *aggPlan {
 		}
 		if a.Fn == "p" {
 			p.keepSamples[i] = true
+			p.anySamples = true
 		}
 	}
 	return p
@@ -114,47 +139,122 @@ func windowStart(t, w int64) int64 {
 	return q * w
 }
 
-// windowAggs is the per-window state of one scan stripe: window start
+// windowAggs is the per-window state of one scan unit: window start
 // → one fieldAgg per planned field.
 type windowAggs map[int64][]fieldAgg
 
-// scanStripe folds pts[lo:hi] into per-window partial aggregates.
-func scanStripe(pts []Point, lo, hi int, q *Query, plan *aggPlan) windowAggs {
-	out := windowAggs{}
+// aggUnit is one work item of the parallel scan: a sealed block of a
+// matching series, or (b == nil) the series' mutable head.
+type aggUnit struct {
+	s *memSeries
+	b *block
+}
+
+// aggScratch is a per-worker decode buffer: one timestamp slice and one
+// value slice per planned field, reused across every block the worker
+// scans — decode happens once per block, allocation once per worker.
+type aggScratch struct {
+	times []int64
+	cols  [][]float64
+}
+
+// blockFooterOnly reports whether a sealed block can fold from its
+// footer alone: every row inside the time bounds (0 = unbounded) and
+// every row in the same GROUP BY window.
+func blockFooterOnly(b *block, q *Query) bool {
+	if (q.From != 0 && b.minT < q.From) || (q.To != 0 && b.maxT > q.To) {
+		return false
+	}
+	return q.GroupBy <= 0 || windowStart(b.minT, q.GroupBy) == windowStart(b.maxT, q.GroupBy)
+}
+
+// foldColumns folds decoded (or head) columns into per-window partials.
+// cols is aligned with plan.fields; a nil column means the unit does
+// not carry that field. NaN cells are absent values.
+func foldColumns(out windowAggs, times []int64, cols [][]float64, q *Query, plan *aggPlan) {
+	lo, hi := timeBounds(times, q.From, q.To)
+	var curStates []fieldAgg
+	curWin := int64(0)
 	for i := lo; i < hi; i++ {
-		p := &pts[i]
-		if q.From != 0 && p.Time < q.From {
-			continue
-		}
-		if q.To != 0 && p.Time > q.To {
-			continue
-		}
-		match := true
-		for k, v := range q.TagFilter {
-			if p.Tags[k] != v {
-				match = false
-				break
-			}
-		}
-		if !match {
-			continue
-		}
 		win := int64(0)
 		if q.GroupBy > 0 {
-			win = windowStart(p.Time, q.GroupBy)
+			win = windowStart(times[i], q.GroupBy)
 		}
-		states := out[win]
-		if states == nil {
-			states = make([]fieldAgg, len(plan.fields))
-			out[win] = states
+		if curStates == nil || win != curWin {
+			curStates = out[win]
+			if curStates == nil {
+				curStates = make([]fieldAgg, len(plan.fields))
+				out[win] = curStates
+			}
+			curWin = win
 		}
-		for fi, f := range plan.fields {
-			if v, ok := p.Fields[f]; ok {
-				states[fi].observe(v, plan.keepSamples[fi])
+		for fi := range cols {
+			if cols[fi] == nil {
+				continue
+			}
+			if v := cols[fi][i]; v == v {
+				curStates[fi].observe(v, plan.keepSamples[fi])
 			}
 		}
 	}
-	return out
+}
+
+// scanUnit folds one unit into per-window partial aggregates.
+func scanUnit(u aggUnit, q *Query, plan *aggPlan, sc *aggScratch) (windowAggs, error) {
+	out := windowAggs{}
+	if u.b == nil {
+		cols := make([][]float64, len(plan.fields))
+		for fi, f := range plan.fields {
+			if ci, ok := u.s.fields[f]; ok {
+				cols[fi] = u.s.head.cols[ci]
+			}
+		}
+		foldColumns(out, u.s.head.times, cols, q, plan)
+		return out, nil
+	}
+	b := u.b
+	if !plan.anySamples && blockFooterOnly(b, q) {
+		win := int64(0)
+		if q.GroupBy > 0 {
+			win = windowStart(b.minT, q.GroupBy)
+		}
+		states := make([]fieldAgg, len(plan.fields))
+		found := false
+		for fi, f := range plan.fields {
+			if bi := b.fieldIndex(f); bi >= 0 {
+				states[fi].foldFooter(&b.fields[bi])
+				found = true
+			}
+		}
+		if found {
+			out[win] = states
+		}
+		return out, nil
+	}
+	times, err := b.decodeTimes(sc.times)
+	if err != nil {
+		return nil, err
+	}
+	sc.times = times
+	if cap(sc.cols) < len(plan.fields) {
+		sc.cols = make([][]float64, len(plan.fields))
+	}
+	cols := sc.cols[:len(plan.fields)]
+	for fi, f := range plan.fields {
+		bi := b.fieldIndex(f)
+		if bi < 0 {
+			cols[fi] = nil
+			continue
+		}
+		col, err := b.decodeField(bi, cols[fi])
+		if err != nil {
+			return nil, err
+		}
+		cols[fi] = col
+	}
+	sc.cols = cols
+	foldColumns(out, times, cols, q, plan)
+	return out, nil
 }
 
 // quantile returns the q∈[0,1] quantile of sorted by linear
@@ -177,6 +277,79 @@ func quantile(sorted []float64, q float64) float64 {
 	return sorted[i]*(1-frac) + sorted[i+1]*frac
 }
 
+// selectKth partially reorders s so s[k] holds its sorted-order value,
+// everything left of k is <= it and everything right is >= it —
+// Hoare quickselect with median-of-three pivoting, O(n) expected. The
+// order statistics it produces are exactly the sorted ones, so the
+// quantile estimate is unchanged; only the full O(n log n) sort per
+// window is gone.
+func selectKth(s []float64, k int) float64 {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if s[mid] < s[lo] {
+			s[mid], s[lo] = s[lo], s[mid]
+		}
+		if s[hi] < s[lo] {
+			s[hi], s[lo] = s[lo], s[hi]
+		}
+		if s[hi] < s[mid] {
+			s[hi], s[mid] = s[mid], s[hi]
+		}
+		pivot := s[mid]
+		i, j := lo, hi
+		for i <= j {
+			for s[i] < pivot {
+				i++
+			}
+			for s[j] > pivot {
+				j--
+			}
+			if i <= j {
+				s[i], s[j] = s[j], s[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return s[k]
+}
+
+// quantileSelect computes the same linear-interpolation estimate as
+// quantile, but via selection instead of a full sort.
+func quantileSelect(s []float64, q float64) float64 {
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return s[0]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	if i >= n-1 {
+		return selectKth(s, n-1)
+	}
+	vi := selectKth(s, i)
+	// After selectKth, s[i+1:] holds only values >= s[i]; the (i+1)-th
+	// order statistic is their minimum.
+	vj := s[i+1]
+	for _, v := range s[i+2:] {
+		if v < vj {
+			vj = v
+		}
+	}
+	frac := pos - float64(i)
+	return vi*(1-frac) + vj*frac
+}
+
 // value renders one aggregate from its merged field state. Valid only
 // when fa.count > 0 (except count, which is always defined).
 func (a Aggregate) value(fa *fieldAgg) float64 {
@@ -193,8 +366,11 @@ func (a Aggregate) value(fa *fieldAgg) float64 {
 		return fa.sum / float64(fa.count)
 	case "p":
 		s := append([]float64(nil), fa.samples...)
-		sort.Float64s(s)
-		return quantile(s, a.Pct/100)
+		if len(s) <= 64 {
+			sort.Float64s(s)
+			return quantile(s, a.Pct/100)
+		}
+		return quantileSelect(s, a.Pct/100)
 	}
 	return math.NaN()
 }
@@ -233,78 +409,102 @@ func (db *DB) execAggregate(ctx context.Context, q *Query, workers int) (*Result
 	sh := db.shardFor(q.Measurement)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	s := sh.measurements[q.Measurement]
-	if s == nil {
+	m := sh.measurements[q.Measurement]
+	if m == nil {
 		return res, nil
 	}
-	pts := s.points
-	// The series is time-sorted: binary-search the matching span.
-	lo, hi := 0, len(pts)
-	if q.From != 0 {
-		lo = sort.Search(len(pts), func(i int) bool { return pts[i].Time >= q.From })
+	// Build the unit list in deterministic order: series in creation
+	// order, each series' blocks in seal order, head last.
+	var units []aggUnit
+	for _, s := range m.series {
+		if !s.matchTags(q.TagFilter) {
+			continue
+		}
+		for _, b := range s.blocks {
+			if (q.From != 0 && b.maxT < q.From) || (q.To != 0 && b.minT > q.To) {
+				continue
+			}
+			units = append(units, aggUnit{s: s, b: b})
+		}
+		if minT, maxT, ok := s.head.timeRange(); ok {
+			if (q.From != 0 && maxT < q.From) || (q.To != 0 && minT > q.To) {
+				continue
+			}
+			units = append(units, aggUnit{s: s})
+		}
 	}
-	if q.To != 0 {
-		hi = sort.Search(len(pts), func(i int) bool { return pts[i].Time > q.To })
-	}
-	if lo >= hi {
+	if len(units) == 0 {
 		return res, nil
 	}
-
-	span := hi - lo
-	nstripes := (span + aggStripeSize - 1) / aggStripeSize
-	if workers > nstripes {
-		workers = nstripes
+	if workers > len(units) {
+		workers = len(units)
 	}
 
 	var merged windowAggs
 	if workers == 1 {
-		// Sequential path: one fold over the span, no pool.
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("tsdb: query: %w", err)
+		// Sequential path: one fold over the units, no pool.
+		var sc aggScratch
+		for _, u := range units {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("tsdb: query: %w", err)
+			}
+			part, err := scanUnit(u, q, plan, &sc)
+			if err != nil {
+				return nil, err
+			}
+			mergeWindowAggs(&merged, part, plan)
 		}
-		merged = scanStripe(pts, lo, hi, q, plan)
 	} else {
-		partials := make([]windowAggs, nstripes)
+		partials := make([]windowAggs, len(units))
 		var next int64
 		var wg sync.WaitGroup
+		var errMu sync.Mutex
+		var firstErr error
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				var sc aggScratch
 				for {
 					if ctx.Err() != nil {
 						return
 					}
-					i := int(atomic.AddInt64(&next, 1) - 1)
-					if i >= nstripes {
+					errMu.Lock()
+					failed := firstErr != nil
+					errMu.Unlock()
+					if failed {
 						return
 					}
-					slo := lo + i*aggStripeSize
-					shi := slo + aggStripeSize
-					if shi > hi {
-						shi = hi
+					i := int(atomic.AddInt64(&next, 1) - 1)
+					if i >= len(units) {
+						return
 					}
-					partials[i] = scanStripe(pts, slo, shi, q, plan)
+					part, err := scanUnit(units[i], q, plan, &sc)
+					if err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+					partials[i] = part
 				}
 			}()
 		}
 		wg.Wait()
+		if firstErr != nil {
+			return nil, firstErr
+		}
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("tsdb: query: %w", err)
 		}
-		merged = windowAggs{}
 		for _, part := range partials {
-			for win, states := range part {
-				dst := merged[win]
-				if dst == nil {
-					dst = make([]fieldAgg, len(plan.fields))
-					merged[win] = dst
-				}
-				for fi := range states {
-					dst[fi].merge(&states[fi])
-				}
-			}
+			mergeWindowAggs(&merged, part, plan)
 		}
+	}
+	if merged == nil {
+		merged = windowAggs{}
 	}
 
 	wins := make([]int64, 0, len(merged))
@@ -343,4 +543,22 @@ func (db *DB) execAggregate(ctx context.Context, q *Query, workers int) (*Result
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil
+}
+
+// mergeWindowAggs folds one unit's partials into the accumulated map,
+// in call (= unit) order.
+func mergeWindowAggs(merged *windowAggs, part windowAggs, plan *aggPlan) {
+	if *merged == nil {
+		*merged = windowAggs{}
+	}
+	for win, states := range part {
+		dst := (*merged)[win]
+		if dst == nil {
+			dst = make([]fieldAgg, len(plan.fields))
+			(*merged)[win] = dst
+		}
+		for fi := range states {
+			dst[fi].merge(&states[fi])
+		}
+	}
 }

@@ -1,0 +1,483 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Sealed-block storage: the immutable, compressed half of the columnar
+// engine. A block holds up to blockRows samples of ONE series as
+// columns — a delta-of-delta varint timestamp column plus, per field, a
+// presence bitmap and a Gorilla XOR-compressed float64 value stream —
+// and carries a footer per field (count/zeros/min/max/sum) plus the
+// block's time range, so retention can drop whole blocks in O(1) and
+// aggregate scans over fully-covered windows never decompress at all.
+//
+// The blob is self-contained: the same bytes live in memory, in the
+// snapshot file, and (conceptually) on any future wire — encode once at
+// seal time, reuse everywhere. decodeBlock re-parses a blob into its
+// meta (footers + column offsets) with every length and invariant
+// checked, so a corrupt snapshot errors instead of tearing the scan;
+// FuzzBlockDecode holds the decoder to "never panic, never over-read".
+
+// blockRows is the seal threshold: a series head that reaches this many
+// rows is compressed into one immutable block (~InfluxDB TSM / Prometheus
+// chunk granularity; also the scan work unit, so parallelism and
+// cancellation keep the old stripe responsiveness).
+const blockRows = 4096
+
+// blockMagic tags a block blob (format v1).
+const blockMagic = 0xB1
+
+// Decoder limits: a corrupt length field must not drive allocations or
+// loops past what the blob itself can back.
+const (
+	maxBlockRows     = 1 << 20
+	maxBlockFields   = 1 << 12
+	maxFieldNameSize = 1 << 10
+)
+
+var errBlockCorrupt = errors.New("tsdb: corrupt block")
+
+// blockField is one field column of a sealed block: its footer
+// aggregates and the offsets of its presence bitmap and XOR stream
+// inside the blob.
+type blockField struct {
+	name           string
+	count, zeros   uint64
+	min, max, sum  float64
+	bmOff, bmLen   int
+	valOff, valLen int
+}
+
+// block is one sealed, immutable, compressed run of a series.
+type block struct {
+	rows       int
+	values     int // present field values across all columns
+	minT, maxT int64
+	blob       []byte
+	tsOff      int
+	tsLen      int
+	fields     []blockField
+}
+
+// fieldIndex finds a field column by name, -1 when the block has none.
+func (b *block) fieldIndex(name string) int {
+	for i := range b.fields {
+		if b.fields[i].name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// bitWriter appends an MSB-first bit stream.
+type bitWriter struct {
+	buf  []byte
+	free uint // unused low bits in the last byte
+}
+
+// writeBits appends the low nb bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, nb uint) {
+	v <<= 64 - nb // left-align
+	for nb > 0 {
+		if w.free == 0 {
+			w.buf = append(w.buf, 0)
+			w.free = 8
+		}
+		take := w.free
+		if take > nb {
+			take = nb
+		}
+		w.buf[len(w.buf)-1] |= byte(v>>(64-take)) << (w.free - take)
+		v <<= take
+		nb -= take
+		w.free -= take
+	}
+}
+
+// bitReader consumes an MSB-first bit stream with hard bounds checks.
+type bitReader struct {
+	buf []byte
+	pos uint // bit position
+}
+
+// readBits reads nb bits (nb <= 64), erroring instead of over-reading.
+func (r *bitReader) readBits(nb uint) (uint64, error) {
+	if uint(len(r.buf))*8-r.pos < nb {
+		return 0, errBlockCorrupt
+	}
+	var v uint64
+	for nb > 0 {
+		avail := 8 - r.pos&7
+		take := avail
+		if take > nb {
+			take = nb
+		}
+		chunk := uint64(r.buf[r.pos>>3]>>(avail-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.pos += take
+		nb -= take
+	}
+	return v, nil
+}
+
+// encodeBlock compresses rows of a series (aligned columns, NaN =
+// absent) into a sealed block. times must be non-decreasing and
+// non-empty; columns with no present values are dropped.
+func encodeBlock(times []int64, names []string, cols [][]float64) (*block, error) {
+	rows := len(times)
+	if rows == 0 {
+		return nil, fmt.Errorf("tsdb: encode empty block")
+	}
+	blob := make([]byte, 0, 16+rows)
+	blob = append(blob, blockMagic)
+	blob = binary.AppendUvarint(blob, uint64(rows))
+	blob = binary.AppendVarint(blob, times[0])
+	blob = binary.AppendVarint(blob, times[rows-1])
+
+	// Timestamp column: first value, first delta, then delta-of-deltas —
+	// all zigzag varints (telemetry ticks make the dods almost all zero,
+	// one byte each).
+	ts := make([]byte, 0, rows+8)
+	var prevT, prevD int64
+	for i, t := range times {
+		switch i {
+		case 0:
+			ts = binary.AppendVarint(ts, t)
+		case 1:
+			d := t - prevT
+			ts = binary.AppendVarint(ts, d)
+			prevD = d
+		default:
+			d := t - prevT
+			ts = binary.AppendVarint(ts, d-prevD)
+			prevD = d
+		}
+		prevT = t
+	}
+	blob = binary.AppendUvarint(blob, uint64(len(ts)))
+	blob = append(blob, ts...)
+
+	// Field sections, skipping columns with nothing present in this run.
+	type section struct {
+		name            string
+		count, zeros    uint64
+		minV, maxV, sum float64
+		bitmap, stream  []byte
+	}
+	var secs []section
+	for ci, name := range names {
+		col := cols[ci]
+		bitmap := make([]byte, (rows+7)/8)
+		var vw bitWriter
+		var count, zeros uint64
+		var minV, maxV, sum float64
+		var prevBits uint64
+		var lz, sig uint
+		windowValid := false
+		for r := 0; r < rows; r++ {
+			v := col[r]
+			if v != v { // NaN sentinel: field absent in this row
+				continue
+			}
+			bitmap[r>>3] |= 1 << (r & 7)
+			bitsV := math.Float64bits(v)
+			if count == 0 {
+				vw.writeBits(bitsV, 64)
+				minV, maxV, sum = v, v, v
+			} else {
+				xor := prevBits ^ bitsV
+				if xor == 0 {
+					vw.writeBits(0, 1)
+				} else {
+					l := uint(bits.LeadingZeros64(xor))
+					if l > 31 {
+						l = 31
+					}
+					tz := uint(bits.TrailingZeros64(xor))
+					if windowValid && l >= lz && tz >= 64-lz-sig {
+						vw.writeBits(2, 2) // '1','0': reuse window
+						vw.writeBits(xor>>(64-lz-sig), sig)
+					} else {
+						s := 64 - l - tz
+						vw.writeBits(3, 2) // '1','1': new window
+						vw.writeBits(uint64(l), 5)
+						vw.writeBits(uint64(s&63), 6) // 64 encodes as 0
+						vw.writeBits(xor>>tz, s)
+						lz, sig = l, s
+						windowValid = true
+					}
+				}
+				if v < minV {
+					minV = v
+				}
+				if v > maxV {
+					maxV = v
+				}
+				sum += v
+			}
+			if v == 0 {
+				zeros++
+			}
+			count++
+			prevBits = bitsV
+		}
+		if count == 0 {
+			continue
+		}
+		secs = append(secs, section{
+			name: name, count: count, zeros: zeros,
+			minV: minV, maxV: maxV, sum: sum,
+			bitmap: bitmap, stream: vw.buf,
+		})
+	}
+	blob = binary.AppendUvarint(blob, uint64(len(secs)))
+	for _, s := range secs {
+		blob = binary.AppendUvarint(blob, uint64(len(s.name)))
+		blob = append(blob, s.name...)
+		blob = binary.AppendUvarint(blob, s.count)
+		blob = binary.AppendUvarint(blob, s.zeros)
+		blob = binary.LittleEndian.AppendUint64(blob, math.Float64bits(s.minV))
+		blob = binary.LittleEndian.AppendUint64(blob, math.Float64bits(s.maxV))
+		blob = binary.LittleEndian.AppendUint64(blob, math.Float64bits(s.sum))
+		blob = binary.AppendUvarint(blob, uint64(len(s.bitmap)))
+		blob = append(blob, s.bitmap...)
+		blob = binary.AppendUvarint(blob, uint64(len(s.stream)))
+		blob = append(blob, s.stream...)
+	}
+	// Re-parsing the freshly built blob keeps one authoritative format
+	// reader and guarantees anything we sealed will decode.
+	return decodeBlock(blob)
+}
+
+// decodeBlock parses a block blob into its meta: time range, per-field
+// footers, and column offsets. Every length is bounds-checked and every
+// structural invariant verified, so arbitrary bytes yield an error, not
+// a panic or an over-read; the columns themselves stay compressed.
+func decodeBlock(blob []byte) (*block, error) {
+	p := 0
+	uvar := func() (uint64, error) {
+		v, n := binary.Uvarint(blob[p:])
+		if n <= 0 {
+			return 0, errBlockCorrupt
+		}
+		p += n
+		return v, nil
+	}
+	ivar := func() (int64, error) {
+		v, n := binary.Varint(blob[p:])
+		if n <= 0 {
+			return 0, errBlockCorrupt
+		}
+		p += n
+		return v, nil
+	}
+	if len(blob) == 0 || blob[0] != blockMagic {
+		return nil, errBlockCorrupt
+	}
+	p = 1
+	rows64, err := uvar()
+	if err != nil || rows64 == 0 || rows64 > maxBlockRows {
+		return nil, errBlockCorrupt
+	}
+	rows := int(rows64)
+	minT, err := ivar()
+	if err != nil {
+		return nil, err
+	}
+	maxT, err := ivar()
+	if err != nil || maxT < minT {
+		return nil, errBlockCorrupt
+	}
+	tsLen64, err := uvar()
+	if err != nil || tsLen64 > uint64(len(blob)-p) {
+		return nil, errBlockCorrupt
+	}
+	b := &block{rows: rows, minT: minT, maxT: maxT, blob: blob, tsOff: p, tsLen: int(tsLen64)}
+	p += int(tsLen64)
+	nf64, err := uvar()
+	if err != nil || nf64 > maxBlockFields {
+		return nil, errBlockCorrupt
+	}
+	bmLen := (rows + 7) / 8
+	for i := uint64(0); i < nf64; i++ {
+		var f blockField
+		nameLen, err := uvar()
+		if err != nil || nameLen == 0 || nameLen > maxFieldNameSize || nameLen > uint64(len(blob)-p) {
+			return nil, errBlockCorrupt
+		}
+		f.name = string(blob[p : p+int(nameLen)])
+		p += int(nameLen)
+		if f.count, err = uvar(); err != nil || f.count == 0 || f.count > uint64(rows) {
+			return nil, errBlockCorrupt
+		}
+		if f.zeros, err = uvar(); err != nil || f.zeros > f.count {
+			return nil, errBlockCorrupt
+		}
+		if len(blob)-p < 24 {
+			return nil, errBlockCorrupt
+		}
+		f.min = math.Float64frombits(binary.LittleEndian.Uint64(blob[p:]))
+		f.max = math.Float64frombits(binary.LittleEndian.Uint64(blob[p+8:]))
+		f.sum = math.Float64frombits(binary.LittleEndian.Uint64(blob[p+16:]))
+		p += 24
+		// Stored values are validated finite, so min/max are finite and
+		// ordered. The sum may overflow to ±Inf (finite additions can
+		// saturate) but can never be NaN.
+		if f.min > f.max || math.IsNaN(f.min) || math.IsInf(f.min, 0) ||
+			math.IsNaN(f.max) || math.IsInf(f.max, 0) || math.IsNaN(f.sum) {
+			return nil, errBlockCorrupt
+		}
+		gotBM, err := uvar()
+		if err != nil || gotBM != uint64(bmLen) || gotBM > uint64(len(blob)-p) {
+			return nil, errBlockCorrupt
+		}
+		f.bmOff, f.bmLen = p, bmLen
+		var present uint64
+		for _, by := range blob[p : p+bmLen] {
+			present += uint64(bits.OnesCount8(by))
+		}
+		if present != f.count {
+			return nil, errBlockCorrupt
+		}
+		// Bits past the last row must be clear or the popcount check is
+		// meaningless.
+		if rows%8 != 0 && blob[p+bmLen-1]>>(rows%8) != 0 {
+			return nil, errBlockCorrupt
+		}
+		p += bmLen
+		valLen, err := uvar()
+		if err != nil || valLen > uint64(len(blob)-p) {
+			return nil, errBlockCorrupt
+		}
+		f.valOff, f.valLen = p, int(valLen)
+		p += int(valLen)
+		if b.fieldIndex(f.name) >= 0 {
+			return nil, errBlockCorrupt
+		}
+		b.fields = append(b.fields, f)
+		b.values += int(f.count)
+	}
+	if p != len(blob) {
+		return nil, errBlockCorrupt
+	}
+	return b, nil
+}
+
+// decodeTimes decompresses the timestamp column into dst (reused when
+// it has capacity), verifying it is sorted and matches the footer range.
+func (b *block) decodeTimes(dst []int64) ([]int64, error) {
+	if cap(dst) < b.rows {
+		dst = make([]int64, b.rows)
+	}
+	dst = dst[:b.rows]
+	data := b.blob[b.tsOff : b.tsOff+b.tsLen]
+	p := 0
+	var prevT, prevD int64
+	for i := 0; i < b.rows; i++ {
+		v, n := binary.Varint(data[p:])
+		if n <= 0 {
+			return nil, errBlockCorrupt
+		}
+		p += n
+		switch i {
+		case 0:
+			prevT = v
+		case 1:
+			prevD = v
+			prevT += v
+		default:
+			prevD += v
+			prevT += prevD
+		}
+		if i > 0 && prevT < dst[i-1] {
+			return nil, errBlockCorrupt
+		}
+		dst[i] = prevT
+	}
+	if p != len(data) || dst[0] != b.minT || dst[b.rows-1] != b.maxT {
+		return nil, errBlockCorrupt
+	}
+	return dst, nil
+}
+
+// decodeField decompresses field column fi into dst aligned with the
+// block's rows: dst[r] is the value, or NaN where the row has none.
+func (b *block) decodeField(fi int, dst []float64) ([]float64, error) {
+	f := &b.fields[fi]
+	if cap(dst) < b.rows {
+		dst = make([]float64, b.rows)
+	}
+	dst = dst[:b.rows]
+	bitmap := b.blob[f.bmOff : f.bmOff+f.bmLen]
+	br := bitReader{buf: b.blob[f.valOff : f.valOff+f.valLen]}
+	nan := math.NaN()
+	var prevBits uint64
+	var lz, sig uint = 0, 64
+	first := true
+	for r := 0; r < b.rows; r++ {
+		if bitmap[r>>3]>>(r&7)&1 == 0 {
+			dst[r] = nan
+			continue
+		}
+		if first {
+			v, err := br.readBits(64)
+			if err != nil {
+				return nil, err
+			}
+			prevBits = v
+			first = false
+		} else {
+			c, err := br.readBits(1)
+			if err != nil {
+				return nil, err
+			}
+			if c == 1 {
+				c2, err := br.readBits(1)
+				if err != nil {
+					return nil, err
+				}
+				if c2 == 1 {
+					l, err := br.readBits(5)
+					if err != nil {
+						return nil, err
+					}
+					s, err := br.readBits(6)
+					if err != nil {
+						return nil, err
+					}
+					lz, sig = uint(l), uint(s)
+					if sig == 0 {
+						sig = 64
+					}
+					if lz+sig > 64 {
+						return nil, errBlockCorrupt
+					}
+				}
+				m, err := br.readBits(sig)
+				if err != nil {
+					return nil, err
+				}
+				prevBits ^= m << (64 - lz - sig)
+			}
+		}
+		v := math.Float64frombits(prevBits)
+		if v != v { // NaN never enters a valid block; refuse the sentinel
+			return nil, errBlockCorrupt
+		}
+		dst[r] = v
+	}
+	// Only sub-byte zero padding may remain unread.
+	if rem := uint(len(br.buf))*8 - br.pos; rem >= 8 {
+		return nil, errBlockCorrupt
+	} else if rem > 0 {
+		if pad, err := br.readBits(rem); err != nil || pad != 0 {
+			return nil, errBlockCorrupt
+		}
+	}
+	return dst, nil
+}

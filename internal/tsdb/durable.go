@@ -1,7 +1,10 @@
 package tsdb
 
 import (
+	"bytes"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
@@ -23,6 +26,18 @@ import (
 // replays a batch entirely or — when the crash tore its frame — not at
 // all. Single-point records keep plain line bodies, so old WALs replay
 // unchanged.
+//
+// Snapshots are columnar: sealed blocks are written in their compressed
+// wire form (the same bytes resident in memory — zero re-encoding) and
+// each mutable head is sealed into one block for the file, so snapshot
+// size and write time shrink with the storage compression ratio.
+// Snapshots produced by the old row engine (plain line protocol) are
+// detected by the missing magic and replayed line by line.
+
+// snapshotMagic heads a columnar snapshot. Line-protocol snapshots can
+// never collide with it: a line starts with a measurement name and '\7'
+// is not valid there.
+const snapshotMagic = "\x07PMVCOL1\n"
 
 // Open opens (creating if needed) a durable DB at dir. Recovery order:
 // the snapshot's points first, then every WAL record newer than the
@@ -45,13 +60,21 @@ func Open(dir string, pol storage.FsyncPolicy) (*DB, error) {
 		return nil
 	}
 	if len(rec.Snapshot) > 0 {
-		for _, line := range strings.Split(string(rec.Snapshot), "\n") {
-			if line == "" {
-				continue
-			}
-			if err := replayLine(line); err != nil {
+		if bytes.HasPrefix(rec.Snapshot, []byte(snapshotMagic)) {
+			if err := db.loadSnapshot(rec.Snapshot); err != nil {
 				st.Close()
-				return nil, err
+				return nil, fmt.Errorf("tsdb: recover %s: %w", dir, err)
+			}
+		} else {
+			// Legacy row-engine snapshot: line protocol, one point per line.
+			for _, line := range strings.Split(string(rec.Snapshot), "\n") {
+				if line == "" {
+					continue
+				}
+				if err := replayLine(line); err != nil {
+					st.Close()
+					return nil, err
+				}
 			}
 		}
 	}
@@ -111,10 +134,19 @@ func (db *DB) Sync() error {
 	return st.Sync()
 }
 
-// snapshotLocked renders the whole store as line protocol, one point
-// per line, measurements in sorted order. Callers hold db.mu
-// exclusively (shard locks are not needed: the structural lock excludes
-// all writers).
+// Snapshot chunk kinds: a sealed block carried verbatim, or the head
+// sealed just for the file (it stays mutable in memory).
+const (
+	chunkSealed = 1
+	chunkHead   = 0
+)
+
+// snapshotLocked renders the whole store in columnar snapshot form:
+// measurements in sorted order, each measurement's series in creation
+// order (so recovery reassigns the same scan tie-break sequence), each
+// series as its identity plus its chunks — sealed blocks verbatim, the
+// head compressed once. Callers hold db.mu exclusively (shard locks are
+// not needed: the structural lock excludes all writers).
 func (db *DB) snapshotLocked() ([]byte, error) {
 	var names []string
 	for i := range db.shards {
@@ -123,19 +155,215 @@ func (db *DB) snapshotLocked() ([]byte, error) {
 		}
 	}
 	sort.Strings(names)
-	var b strings.Builder
-	for _, m := range names {
-		sh := db.shardFor(m)
-		for _, p := range sh.measurements[m].points {
-			line, err := EncodeLine(p)
-			if err != nil {
-				return nil, fmt.Errorf("tsdb: snapshot %s: %w", m, err)
+	out := []byte(snapshotMagic)
+	total := 0
+	for _, name := range names {
+		total += len(db.shardFor(name).measurements[name].series)
+	}
+	out = binary.AppendUvarint(out, uint64(total))
+	var tagKeys []string
+	for _, name := range names {
+		m := db.shardFor(name).measurements[name]
+		for _, s := range m.series {
+			out = binary.AppendUvarint(out, uint64(len(m.name)))
+			out = append(out, m.name...)
+			out = binary.AppendUvarint(out, uint64(len(s.tags)))
+			tagKeys = tagKeys[:0]
+			for k := range s.tags {
+				tagKeys = append(tagKeys, k)
 			}
-			b.WriteString(line)
-			b.WriteByte('\n')
+			sort.Strings(tagKeys)
+			for _, k := range tagKeys {
+				out = binary.AppendUvarint(out, uint64(len(k)))
+				out = append(out, k...)
+				v := s.tags[k]
+				out = binary.AppendUvarint(out, uint64(len(v)))
+				out = append(out, v...)
+			}
+			chunks := len(s.blocks)
+			var headBlob []byte
+			if len(s.head.times) > 0 {
+				hb, err := encodeBlock(s.head.times, s.names, s.head.cols)
+				if err != nil {
+					return nil, fmt.Errorf("tsdb: snapshot %s: %w", m.name, err)
+				}
+				headBlob = hb.blob
+				chunks++
+			}
+			out = binary.AppendUvarint(out, uint64(chunks))
+			for _, b := range s.blocks {
+				out = append(out, chunkSealed)
+				out = binary.AppendUvarint(out, uint64(len(b.blob)))
+				out = append(out, b.blob...)
+			}
+			if headBlob != nil {
+				out = append(out, chunkHead)
+				out = binary.AppendUvarint(out, uint64(len(headBlob)))
+				out = append(out, headBlob...)
+			}
 		}
 	}
-	return []byte(b.String()), nil
+	return out, nil
+}
+
+// loadSnapshot rebuilds the store from a columnar snapshot. Sealed
+// chunks are adopted verbatim (their blobs alias the snapshot buffer,
+// which is immutable once loaded); the head chunk decompresses back
+// into mutable column arrays. Runs before the DB is shared — no locks.
+func (db *DB) loadSnapshot(snap []byte) error {
+	data := snap[len(snapshotMagic):]
+	p := 0
+	uvar := func() (int, error) {
+		v, n := binary.Uvarint(data[p:])
+		if n <= 0 || v > uint64(len(data)) {
+			return 0, errBlockCorrupt
+		}
+		p += n
+		return int(v), nil
+	}
+	str := func() (string, error) {
+		l, err := uvar()
+		if err != nil || l > len(data)-p {
+			return "", errBlockCorrupt
+		}
+		s := string(data[p : p+l])
+		p += l
+		return s, nil
+	}
+	nseries, err := uvar()
+	if err != nil {
+		return err
+	}
+	for si := 0; si < nseries; si++ {
+		meas, err := str()
+		if err != nil {
+			return err
+		}
+		if meas == "" {
+			return errBlockCorrupt
+		}
+		ntags, err := uvar()
+		if err != nil {
+			return err
+		}
+		tags := make(map[string]string, ntags)
+		for i := 0; i < ntags; i++ {
+			k, err := str()
+			if err != nil {
+				return err
+			}
+			v, err := str()
+			if err != nil {
+				return err
+			}
+			tags[k] = v
+		}
+		sh := db.shardFor(meas)
+		m := sh.measurements[meas]
+		if m == nil {
+			name := sh.intern.intern(meas)
+			m = &measurement{name: name, byKey: map[string]*memSeries{}}
+			sh.measurements[name] = m
+		}
+		s := sh.seriesFor(m, tags)
+		nchunks, err := uvar()
+		if err != nil {
+			return err
+		}
+		for c := 0; c < nchunks; c++ {
+			if p >= len(data) {
+				return errBlockCorrupt
+			}
+			kind := data[p]
+			p++
+			blen, err := uvar()
+			if err != nil || blen > len(data)-p {
+				return errBlockCorrupt
+			}
+			b, err := decodeBlock(data[p : p+blen])
+			if err != nil {
+				return err
+			}
+			p += blen
+			if kind == chunkSealed {
+				if err := sh.adoptBlock(s, b); err != nil {
+					return err
+				}
+			} else {
+				if err := sh.adoptHead(s, b); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if p != len(data) {
+		return errBlockCorrupt
+	}
+	return nil
+}
+
+// adoptBlock attaches a recovered sealed block to a series, with the
+// same stats accounting a live seal performs.
+func (sh *shard) adoptBlock(s *memSeries, b *block) error {
+	// Register the block's fields so later head inserts reuse columns.
+	for i := range b.fields {
+		if _, ok := s.fields[b.fields[i].name]; !ok {
+			name := sh.intern.intern(b.fields[i].name)
+			s.fields[name] = len(s.names)
+			s.names = append(s.names, name)
+			s.head.cols = append(s.head.cols, nil)
+		}
+	}
+	s.blocks = append(s.blocks, b)
+	st := sh.stats
+	st.sealedBytes.Add(int64(len(b.blob)))
+	st.sealedRows.Add(int64(b.rows))
+	st.sealedValues.Add(int64(b.values))
+	st.blocks.Add(1)
+	sh.points += uint64(b.rows)
+	sh.values += uint64(b.values)
+	return nil
+}
+
+// adoptHead decompresses a head chunk back into the series' mutable
+// column arrays.
+func (sh *shard) adoptHead(s *memSeries, b *block) error {
+	times, err := b.decodeTimes(nil)
+	if err != nil {
+		return err
+	}
+	for i := range b.fields {
+		if _, ok := s.fields[b.fields[i].name]; !ok {
+			name := sh.intern.intern(b.fields[i].name)
+			s.fields[name] = len(s.names)
+			s.names = append(s.names, name)
+			s.head.cols = append(s.head.cols, nil)
+		}
+	}
+	nan := math.NaN()
+	s.head.times = times
+	for ci := range s.names {
+		col := make([]float64, len(times))
+		bi := b.fieldIndex(s.names[ci])
+		if bi < 0 {
+			for i := range col {
+				col[i] = nan
+			}
+		} else {
+			decoded, err := b.decodeField(bi, col)
+			if err != nil {
+				return err
+			}
+			col = decoded
+		}
+		s.head.cols[ci] = col
+	}
+	st := sh.stats
+	st.headRows.Add(int64(len(times)))
+	st.headSlots.Add(int64(len(times)) * int64(len(s.names)))
+	sh.points += uint64(b.rows)
+	sh.values += uint64(b.values)
+	return nil
 }
 
 // Compact folds the current state into an atomic snapshot and resets

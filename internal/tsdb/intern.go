@@ -1,0 +1,46 @@
+package tsdb
+
+import (
+	"encoding/binary"
+	"sort"
+)
+
+// String interning for the columnar store. Every point used to carry
+// its own Tags map; in the columnar layout a series owns one canonical
+// tag set and points contribute only (time, field values). The interner
+// deduplicates measurement names, tag keys, and tag values per shard so
+// a million points over a handful of series pin a handful of strings.
+//
+// An interner is guarded by its shard's mutex — no locking here.
+type interner map[string]string
+
+// intern returns the canonical instance of s, storing it on first use.
+func (in interner) intern(s string) string {
+	if c, ok := in[s]; ok {
+		return c
+	}
+	in[s] = s
+	return s
+}
+
+// appendSeriesKey appends the canonical series identity — measurement
+// plus the sorted tag set, each part uvarint-length-prefixed so the key
+// is injective (no separator collisions) — to dst and returns it.
+// keys is caller scratch for sorting tag keys without allocating.
+func appendSeriesKey(dst []byte, meas string, tags map[string]string, keys []string) ([]byte, []string) {
+	dst = binary.AppendUvarint(dst, uint64(len(meas)))
+	dst = append(dst, meas...)
+	keys = keys[:0]
+	for k := range tags {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		dst = binary.AppendUvarint(dst, uint64(len(k)))
+		dst = append(dst, k...)
+		v := tags[k]
+		dst = binary.AppendUvarint(dst, uint64(len(v)))
+		dst = append(dst, v...)
+	}
+	return dst, keys
+}

@@ -14,6 +14,14 @@
 // measurements never serialize), batches commit to the write-ahead log
 // as one group-committed record (one fsync per batch, atomic recovery),
 // and the wire protocol ships a whole batch per round trip (WRITEB).
+//
+// Storage is columnar: a point decomposes into its series identity
+// (measurement + canonical sorted tag set, interned once per shard) and
+// per-field value columns. Each series keeps a mutable head of column
+// arrays that seals into immutable Gorilla-compressed blocks of
+// blockRows samples (block.go/column.go) — queries scan blocks, block
+// footers answer whole-block aggregates without decompression, and
+// retention drops whole sealed blocks in O(1).
 package tsdb
 
 import (
@@ -22,6 +30,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pmove/internal/introspect"
 	"pmove/internal/storage"
@@ -39,7 +48,10 @@ type Point struct {
 // Validate checks the point is storable: a named measurement, at least
 // one field, no empty tag/field keys (or empty tag values), and finite
 // field values — NaN/±Inf round-trip through the line protocol but poison
-// aggregations, so they are rejected with ErrNonFiniteField.
+// aggregations, so they are rejected with ErrNonFiniteField. (The
+// columnar store additionally relies on this: NaN is the in-column
+// "field absent" sentinel, which is unambiguous only because no stored
+// value can be NaN.)
 func (p *Point) Validate() error {
 	if p.Measurement == "" {
 		return fmt.Errorf("tsdb: point has no measurement")
@@ -63,24 +75,6 @@ func (p *Point) Validate() error {
 	return nil
 }
 
-// series is the rows of one measurement, kept sorted by time.
-type series struct {
-	points []Point
-}
-
-// add lands one point keeping the series time-ordered. Fast path:
-// append when in time order (the common telemetry case).
-func (s *series) add(p Point) {
-	if n := len(s.points); n == 0 || s.points[n-1].Time <= p.Time {
-		s.points = append(s.points, p)
-		return
-	}
-	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time > p.Time })
-	s.points = append(s.points, Point{})
-	copy(s.points[i+1:], s.points[i:])
-	s.points[i] = p
-}
-
 // RetentionPolicy bounds how long data is kept (paper: "we rely on the
 // retention policy of InfluxDB which describes for how long the DB keeps
 // data").
@@ -95,51 +89,130 @@ type RetentionPolicy struct {
 // the stats counters stays trivially cheap.
 const NumShards = 16
 
+// storageStats is the columnar engine's resident-footprint accounting,
+// maintained with atomics because shards mutate it concurrently under
+// their own stripe locks. headSlots counts head column cells (rows ×
+// field columns, padding included), so headRows*8 + headSlots*8 +
+// sealedBytes is the engine's resident data size in bytes.
+type storageStats struct {
+	headRows     atomic.Int64 // rows currently in mutable heads
+	headSlots    atomic.Int64 // float64 cells across head columns
+	sealedBytes  atomic.Int64 // compressed bytes across sealed blocks
+	sealedRows   atomic.Int64 // rows across sealed blocks
+	sealedValues atomic.Int64 // present field values across sealed blocks
+	blocks       atomic.Int64 // sealed block count
+}
+
+// storageGauges are the introspection handles the stats publish into.
+type storageGauges struct {
+	bytes, blocks, ratio, head *introspect.Gauge
+}
+
 // shard is one lock stripe: a slice of the measurement map plus its
 // share of the cumulative write counters, merged on read by Stats.
+// The interner and the key/tagKeys scratch are guarded by mu.
 type shard struct {
 	mu           sync.RWMutex
-	measurements map[string]*series
+	measurements map[string]*measurement
 	points       uint64 // rows written into this stripe
 	values       uint64 // field values written into this stripe
+
+	intern  interner
+	keyBuf  []byte
+	tagKeys []string
+	stats   *storageStats
+}
+
+// seriesFor resolves (or creates) the series for a tag set within a
+// measurement. The lookup is allocation-free: the candidate key renders
+// into shard scratch and probes the map via the string(bytes) idiom.
+func (sh *shard) seriesFor(m *measurement, tags map[string]string) *memSeries {
+	sh.keyBuf, sh.tagKeys = appendSeriesKey(sh.keyBuf[:0], m.name, tags, sh.tagKeys)
+	if s, ok := m.byKey[string(sh.keyBuf)]; ok {
+		return s
+	}
+	ctags := make(map[string]string, len(tags))
+	for k, v := range tags {
+		ctags[sh.intern.intern(k)] = sh.intern.intern(v)
+	}
+	s := &memSeries{
+		seq:    m.nextSeq,
+		key:    string(sh.keyBuf),
+		tags:   ctags,
+		fields: map[string]int{},
+	}
+	m.nextSeq++
+	m.series = append(m.series, s)
+	m.byKey[s.key] = s
+	return s
+}
+
+// insertSeriesRow lands one row into a series' head, sealing it into a
+// compressed block when it reaches blockRows, with footprint accounting.
+func (sh *shard) insertSeriesRow(s *memSeries, t int64, fields map[string]float64) {
+	st := sh.stats
+	preSlots := int64(len(s.names)) * int64(len(s.head.times))
+	s.insertRow(t, fields, sh.intern)
+	st.headRows.Add(1)
+	st.headSlots.Add(int64(len(s.names))*int64(len(s.head.times)) - preSlots)
+	if len(s.head.times) >= blockRows {
+		rows := int64(len(s.head.times))
+		slots := int64(len(s.names)) * rows
+		b, err := s.seal()
+		if err != nil {
+			// Can only mean an engine bug; keep the rows in the head (the
+			// next insert retries) rather than lose data.
+			return
+		}
+		st.headRows.Add(-rows)
+		st.headSlots.Add(-slots)
+		st.sealedBytes.Add(int64(len(b.blob)))
+		st.sealedRows.Add(int64(b.rows))
+		st.sealedValues.Add(int64(b.values))
+		st.blocks.Add(1)
+	}
 }
 
 // insertLocked lands one validated point. Callers hold sh.mu.
 func (sh *shard) insertLocked(p Point) {
-	s := sh.measurements[p.Measurement]
-	if s == nil {
-		s = &series{}
-		sh.measurements[p.Measurement] = s
+	m := sh.measurements[p.Measurement]
+	if m == nil {
+		name := sh.intern.intern(p.Measurement)
+		m = &measurement{name: name, byKey: map[string]*memSeries{}}
+		sh.measurements[name] = m
 	}
-	s.add(p)
+	s := sh.seriesFor(m, p.Tags)
+	sh.insertSeriesRow(s, p.Time, p.Fields)
 	sh.points++
 	sh.values += uint64(len(p.Fields))
 }
 
 // insertRun lands every point of ps whose shard index (precomputed in
 // idx) equals self, under ONE lock acquisition — the atomic-per-shard
-// leg of a batch write. Consecutive points of the same measurement skip
-// the map lookup, and the stats counters are bumped once per run.
+// leg of a batch write. Consecutive points of the same measurement and
+// tag set skip the map and series-key lookups, and the stats counters
+// are bumped once per run.
 func (sh *shard) insertRun(ps []Point, idx []uint32, self uint32) {
 	sh.mu.Lock()
-	var lastM string
-	var lastS *series
+	var lastM *measurement
 	var rows, vals uint64
 	for i := range ps {
 		if idx[i] != self {
 			continue
 		}
-		p := ps[i]
-		s := lastS
-		if s == nil || p.Measurement != lastM {
-			s = sh.measurements[p.Measurement]
-			if s == nil {
-				s = &series{}
-				sh.measurements[p.Measurement] = s
+		p := &ps[i]
+		m := lastM
+		if m == nil || p.Measurement != m.name {
+			m = sh.measurements[p.Measurement]
+			if m == nil {
+				name := sh.intern.intern(p.Measurement)
+				m = &measurement{name: name, byKey: map[string]*memSeries{}}
+				sh.measurements[name] = m
 			}
-			lastM, lastS = p.Measurement, s
+			lastM = m
 		}
-		s.add(p)
+		s := sh.seriesFor(m, p.Tags)
+		sh.insertSeriesRow(s, p.Time, p.Fields)
 		rows++
 		vals += uint64(len(p.Fields))
 	}
@@ -170,6 +243,11 @@ type DB struct {
 
 	shards [NumShards]shard
 
+	// stats is the storage-footprint accounting; gauges (when
+	// introspection is attached) receive a publish after every mutation.
+	stats  storageStats
+	gauges atomic.Pointer[storageGauges]
+
 	// qcache memoizes aggregate query results; writers invalidate it
 	// per measurement before acknowledging (see querycache.go).
 	qcache *queryCache
@@ -179,16 +257,53 @@ type DB struct {
 func New() *DB {
 	db := &DB{retention: RetentionPolicy{Name: "autogen"}, qcache: newQueryCache(0)}
 	for i := range db.shards {
-		db.shards[i].measurements = make(map[string]*series)
+		sh := &db.shards[i]
+		sh.measurements = make(map[string]*measurement)
+		sh.intern = interner{}
+		sh.stats = &db.stats
 	}
 	return db
 }
 
 // SetIntrospection attaches the self-observability plane: query-cache
 // hit/miss/evict/invalidation counters land in the introspector's
-// registry as query.cache.* (exported with the pmove.self. prefix).
+// registry as query.cache.*, and the columnar engine's footprint gauges
+// as storage.bytes / storage.blocks / storage.compression.ratio /
+// storage.head.samples (all exported with the pmove.self. prefix).
 func (db *DB) SetIntrospection(in *introspect.Introspector) {
 	db.qcache.setIntrospection(in)
+	reg := in.Metrics()
+	db.gauges.Store(&storageGauges{
+		bytes:  reg.Gauge("storage.bytes"),
+		blocks: reg.Gauge("storage.blocks"),
+		ratio:  reg.Gauge("storage.compression.ratio"),
+		head:   reg.Gauge("storage.head.samples"),
+	})
+	db.publishStorageGauges()
+}
+
+// publishStorageGauges pushes the current footprint accounting into the
+// introspection gauges: resident bytes (head columns at 8 bytes/cell +
+// compressed blocks), sealed block count, sealed compression ratio
+// (uncompressed row bytes ÷ compressed bytes; 0 before the first seal),
+// and head sample count. No-op until SetIntrospection attaches gauges.
+func (db *DB) publishStorageGauges() {
+	g := db.gauges.Load()
+	if g == nil {
+		return
+	}
+	headRows := db.stats.headRows.Load()
+	headSlots := db.stats.headSlots.Load()
+	sealedBytes := db.stats.sealedBytes.Load()
+	g.bytes.Set(float64(headRows*8 + headSlots*8 + sealedBytes))
+	g.blocks.Set(float64(db.stats.blocks.Load()))
+	ratio := 0.0
+	if sealedBytes > 0 {
+		raw := db.stats.sealedRows.Load()*8 + db.stats.sealedValues.Load()*8
+		ratio = float64(raw) / float64(sealedBytes)
+	}
+	g.ratio.Set(ratio)
+	g.head.Set(float64(headRows))
 }
 
 // shardIndex stripes a measurement name with FNV-1a.
@@ -249,6 +364,7 @@ func (db *DB) WritePoint(p Point) error {
 	// Invalidate after the point is visible and before acknowledging:
 	// a cache hit must never be older than an acknowledged write.
 	db.qcache.invalidate(p.Measurement)
+	db.publishStorageGauges()
 	return nil
 }
 
@@ -335,6 +451,7 @@ func (db *DB) WriteBatchContext(ctx context.Context, ps []Point) error {
 		seen[ps[i].Measurement] = struct{}{}
 		db.qcache.invalidate(ps[i].Measurement)
 	}
+	db.publishStorageGauges()
 	return nil
 }
 
@@ -396,20 +513,31 @@ func (db *DB) Stats() (points, values uint64) {
 
 // CountValues returns the number of stored field values in a measurement,
 // and how many of them are zero — the accounting Table III reports
-// ("Inserted" and "Zeros" columns).
+// ("Inserted" and "Zeros" columns). Sealed blocks answer from their
+// footers without decompression; only the mutable heads are scanned.
 func (db *DB) CountValues(measurement string) (total, zeros uint64) {
 	sh := db.shardFor(measurement)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	s := sh.measurements[measurement]
-	if s == nil {
+	m := sh.measurements[measurement]
+	if m == nil {
 		return 0, 0
 	}
-	for _, p := range s.points {
-		for _, v := range p.Fields {
-			total++
-			if v == 0 {
-				zeros++
+	for _, s := range m.series {
+		for _, b := range s.blocks {
+			for i := range b.fields {
+				total += b.fields[i].count
+				zeros += b.fields[i].zeros
+			}
+		}
+		for _, col := range s.head.cols {
+			for _, v := range col {
+				if v == v { // non-NaN: a present value
+					total++
+					if v == 0 {
+						zeros++
+					}
+				}
 			}
 		}
 	}
@@ -417,7 +545,9 @@ func (db *DB) CountValues(measurement string) (total, zeros uint64) {
 }
 
 // EnforceRetention drops points older than now-Duration. Returns the
-// number of points dropped.
+// number of points dropped. Sealed blocks wholly before the cutoff are
+// dropped in O(1) each — no decompression, just unlinking — and at most
+// one straddling block per series is rewritten.
 func (db *DB) EnforceRetention(now int64) int {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -429,13 +559,21 @@ func (db *DB) EnforceRetention(now int64) int {
 	for i := range db.shards {
 		sh := &db.shards[i]
 		sh.mu.Lock()
-		for name, s := range sh.measurements {
-			i := sort.Search(len(s.points), func(i int) bool { return s.points[i].Time >= cutoff })
-			if i > 0 {
-				dropped += i
-				s.points = append([]Point(nil), s.points[i:]...)
+		for name, m := range sh.measurements {
+			kept := m.series[:0]
+			for _, s := range m.series {
+				dropped += sh.retainSeries(s, cutoff)
+				if len(s.blocks) == 0 && len(s.head.times) == 0 {
+					delete(m.byKey, s.key)
+					continue
+				}
+				kept = append(kept, s)
 			}
-			if len(s.points) == 0 {
+			for j := len(kept); j < len(m.series); j++ {
+				m.series[j] = nil
+			}
+			m.series = kept
+			if len(m.series) == 0 {
 				delete(sh.measurements, name)
 			}
 		}
@@ -444,7 +582,89 @@ func (db *DB) EnforceRetention(now int64) int {
 	if dropped > 0 {
 		db.qcache.invalidateAll()
 	}
+	db.publishStorageGauges()
 	return dropped
+}
+
+// retainSeries applies a retention cutoff to one series: whole sealed
+// blocks before the cutoff unlink in O(1), the (at most one) straddling
+// block is rewritten, and the head drops its expired prefix. Returns
+// rows dropped. Callers hold sh.mu.
+func (sh *shard) retainSeries(s *memSeries, cutoff int64) int {
+	st := sh.stats
+	dropped := 0
+	kept := s.blocks[:0]
+	for _, b := range s.blocks {
+		switch {
+		case b.maxT < cutoff: // wholly expired: O(1) drop
+			dropped += b.rows
+			st.sealedBytes.Add(-int64(len(b.blob)))
+			st.sealedRows.Add(-int64(b.rows))
+			st.sealedValues.Add(-int64(b.values))
+			st.blocks.Add(-1)
+		case b.minT >= cutoff: // wholly live
+			kept = append(kept, b)
+		default: // straddles: rewrite the surviving suffix
+			nb, removed, err := shrinkBlock(b, cutoff)
+			if err != nil || removed == 0 {
+				// Decode failure would mean an engine bug; keep the data.
+				kept = append(kept, b)
+				continue
+			}
+			dropped += removed
+			st.sealedBytes.Add(int64(len(nb.blob)) - int64(len(b.blob)))
+			st.sealedRows.Add(int64(nb.rows) - int64(b.rows))
+			st.sealedValues.Add(int64(nb.values) - int64(b.values))
+			kept = append(kept, nb)
+		}
+	}
+	for i := len(kept); i < len(s.blocks); i++ {
+		s.blocks[i] = nil
+	}
+	s.blocks = kept
+	h := &s.head
+	if n := len(h.times); n > 0 && h.times[0] < cutoff {
+		i := sort.Search(n, func(i int) bool { return h.times[i] >= cutoff })
+		dropped += i
+		copy(h.times, h.times[i:])
+		h.times = h.times[:n-i]
+		for ci := range h.cols {
+			copy(h.cols[ci], h.cols[ci][i:])
+			h.cols[ci] = h.cols[ci][:n-i]
+		}
+		st.headRows.Add(-int64(i))
+		st.headSlots.Add(-int64(i) * int64(len(s.names)))
+	}
+	return dropped
+}
+
+// shrinkBlock re-encodes the rows of b at or after cutoff into a new
+// block, returning it and the number of rows removed. The caller has
+// established minT < cutoff <= maxT, so the suffix is never empty.
+func shrinkBlock(b *block, cutoff int64) (*block, int, error) {
+	times, err := b.decodeTimes(nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	idx := sort.Search(len(times), func(i int) bool { return times[i] >= cutoff })
+	if idx == 0 {
+		return b, 0, nil
+	}
+	names := make([]string, len(b.fields))
+	cols := make([][]float64, len(b.fields))
+	for i := range b.fields {
+		names[i] = b.fields[i].name
+		col, err := b.decodeField(i, nil)
+		if err != nil {
+			return nil, 0, err
+		}
+		cols[i] = col[idx:]
+	}
+	nb, err := encodeBlock(times[idx:], names, cols)
+	if err != nil {
+		return nil, 0, err
+	}
+	return nb, idx, nil
 }
 
 // Row is one result row of a query.
@@ -495,9 +715,9 @@ func (db *DB) QueryString(stmt string) (*Result, error) {
 // ExecuteContext runs one query from its request form. Only the
 // stripe owning the queried measurement is locked, so reads never
 // block writers of other measurements. Aggregate queries run on the
-// parallel windowed engine (aggexec.go) behind the invalidation-
-// correct result cache (querycache.go); raw SELECTs materialize rows
-// on one goroutine as before.
+// parallel block-aware engine (aggexec.go) behind the invalidation-
+// correct result cache (querycache.go); raw SELECTs merge the sorted
+// runs (sealed blocks + heads) of every matching series.
 func (db *DB) ExecuteContext(ctx context.Context, req QueryRequest) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("tsdb: query: %w", err)
@@ -537,50 +757,212 @@ func (db *DB) ExecuteContext(ctx context.Context, req QueryRequest) (*Result, er
 		}
 		return res, nil
 	}
+	return db.execRaw(q)
+}
+
+// rawRun is one time-sorted source of rows for the raw SELECT merge: a
+// decoded sealed block or a series head, restricted to the query's time
+// bounds and to the selected columns it actually carries.
+type rawRun struct {
+	times    []int64
+	names    []string
+	cols     [][]float64
+	pos, end int
+}
+
+// timeBounds binary-searches the [lo, hi) index span of times matching
+// the query's From/To bounds (0 = unbounded, as everywhere else).
+func timeBounds(times []int64, from, to int64) (lo, hi int) {
+	lo, hi = 0, len(times)
+	if from != 0 {
+		lo = sort.Search(len(times), func(i int) bool { return times[i] >= from })
+	}
+	if to != 0 {
+		hi = sort.Search(len(times), func(i int) bool { return times[i] > to })
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// blockRawRun decodes the selected columns of a sealed block into a
+// merge run. A block carrying none of the selected fields yields an
+// empty run — none of its rows could contribute a row.
+func blockRawRun(b *block, q *Query, selectAll bool) (rawRun, error) {
+	var run rawRun
+	if selectAll {
+		for fi := range b.fields {
+			col, err := b.decodeField(fi, nil)
+			if err != nil {
+				return run, err
+			}
+			run.names = append(run.names, b.fields[fi].name)
+			run.cols = append(run.cols, col)
+		}
+	} else {
+		for _, f := range q.Fields {
+			fi := b.fieldIndex(f)
+			if fi < 0 {
+				continue
+			}
+			col, err := b.decodeField(fi, nil)
+			if err != nil {
+				return run, err
+			}
+			run.names = append(run.names, f)
+			run.cols = append(run.cols, col)
+		}
+		if len(run.names) == 0 {
+			return run, nil
+		}
+	}
+	times, err := b.decodeTimes(nil)
+	if err != nil {
+		return run, err
+	}
+	run.times = times
+	run.pos, run.end = timeBounds(times, q.From, q.To)
+	return run, nil
+}
+
+// headRawRun builds a merge run over a series head by aliasing its
+// column arrays — safe for the duration of the shard read lock.
+func headRawRun(s *memSeries, q *Query, selectAll bool) rawRun {
+	var run rawRun
+	if selectAll {
+		run.names = s.names
+		run.cols = s.head.cols
+	} else {
+		for _, f := range q.Fields {
+			if ci, ok := s.fields[f]; ok {
+				run.names = append(run.names, f)
+				run.cols = append(run.cols, s.head.cols[ci])
+			}
+		}
+		if len(run.names) == 0 {
+			return run
+		}
+	}
+	run.times = s.head.times
+	run.pos, run.end = timeBounds(run.times, q.From, q.To)
+	return run
+}
+
+// appendRawRow renders the run's current row (skipping it when no
+// selected field is present) and advances the cursor.
+func appendRawRow(res *Result, r *rawRun) {
+	t := r.times[r.pos]
+	vals := make(map[string]float64, len(r.names))
+	for ci, name := range r.names {
+		if v := r.cols[ci][r.pos]; v == v {
+			vals[name] = v
+		}
+	}
+	r.pos++
+	if len(vals) == 0 {
+		return
+	}
+	res.Rows = append(res.Rows, Row{Time: t, Values: vals})
+}
+
+// runHeapDown restores the min-heap property from index i. The heap
+// orders run indices by (current time, run index), so equal timestamps
+// resolve deterministically: series creation order, then block order,
+// then head — which within one series is ingest order.
+func runHeapDown(h []int, i int, runs []rawRun) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && runLess(runs, h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && runLess(runs, h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
+func runLess(runs []rawRun, a, b int) bool {
+	ta, tb := runs[a].times[runs[a].pos], runs[b].times[runs[b].pos]
+	return ta < tb || (ta == tb && a < b)
+}
+
+// execRaw materializes a raw SELECT: per matching series, the
+// overlapping sealed blocks decode into sorted runs and the head joins
+// as a final run; a k-way merge emits rows in (time, series, ingest)
+// order — the same order the row store produced.
+func (db *DB) execRaw(q *Query) (*Result, error) {
 	sh := db.shardFor(q.Measurement)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	s := sh.measurements[q.Measurement]
 	res := &Result{Measurement: q.Measurement, Columns: q.Fields}
-	if s == nil {
+	m := sh.measurements[q.Measurement]
+	if m == nil {
 		return res, nil
 	}
 	selectAll := len(q.Fields) == 1 && q.Fields[0] == "*"
-	for _, p := range s.points {
-		if q.From != 0 && p.Time < q.From {
+	var runs []rawRun
+	for _, s := range m.series {
+		if !s.matchTags(q.TagFilter) {
 			continue
 		}
-		if q.To != 0 && p.Time > q.To {
-			continue
-		}
-		match := true
-		for k, v := range q.TagFilter {
-			if p.Tags[k] != v {
-				match = false
-				break
-			}
-		}
-		if !match {
-			continue
-		}
-		row := Row{Time: p.Time, Values: map[string]float64{}}
-		if selectAll {
-			for f, v := range p.Fields {
-				row.Values[f] = v
-			}
-		} else {
-			any := false
-			for _, f := range q.Fields {
-				if v, ok := p.Fields[f]; ok {
-					row.Values[f] = v
-					any = true
-				}
-			}
-			if !any {
+		for _, b := range s.blocks {
+			if (q.From != 0 && b.maxT < q.From) || (q.To != 0 && b.minT > q.To) {
 				continue
 			}
+			run, err := blockRawRun(b, q, selectAll)
+			if err != nil {
+				return nil, err
+			}
+			if run.end > run.pos {
+				runs = append(runs, run)
+			}
 		}
-		res.Rows = append(res.Rows, row)
+		if len(s.head.times) > 0 {
+			if run := headRawRun(s, q, selectAll); run.end > run.pos {
+				runs = append(runs, run)
+			}
+		}
+	}
+	total := 0
+	for i := range runs {
+		total += runs[i].end - runs[i].pos
+	}
+	if total > 0 {
+		res.Rows = make([]Row, 0, total)
+	}
+	switch len(runs) {
+	case 0:
+	case 1:
+		r := &runs[0]
+		for r.pos < r.end {
+			appendRawRow(res, r)
+		}
+	default:
+		h := make([]int, len(runs))
+		for i := range runs {
+			h[i] = i
+		}
+		for i := len(h)/2 - 1; i >= 0; i-- {
+			runHeapDown(h, i, runs)
+		}
+		for len(h) > 0 {
+			r := &runs[h[0]]
+			appendRawRow(res, r)
+			if r.pos >= r.end {
+				h[0] = h[len(h)-1]
+				h = h[:len(h)-1]
+			}
+			if len(h) > 0 {
+				runHeapDown(h, 0, runs)
+			}
+		}
 	}
 	if selectAll {
 		// Stabilise the column list.
